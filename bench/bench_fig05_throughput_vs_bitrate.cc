@@ -1,0 +1,75 @@
+// Fig. 5: single-core compression throughput at different bit-rates, on
+// Nyx and RTM fields, plus the Eq.-(1) fit (the C_min/C_max/a numbers the
+// paper reports in §IV-B).
+#include "bench_common.h"
+
+#include "model/throughput_model.h"
+
+using namespace pcw;
+
+namespace {
+
+struct Series {
+  std::string name;
+  std::vector<float> field;
+  sz::Dims dims;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Single-core compression throughput vs bit-rate",
+                      "Fig. 5 (+ §IV-B fit)");
+
+  const sz::Dims dims = sz::Dims::make_3d(64, 64, 64);
+  std::vector<Series> series;
+  series.push_back({"nyx/baryon_density",
+                    data::make_nyx_field(dims, data::NyxField::kBaryonDensity, 7), dims});
+  series.push_back({"nyx/temperature",
+                    data::make_nyx_field(dims, data::NyxField::kTemperature, 7), dims});
+  series.push_back({"nyx/velocity_x",
+                    data::make_nyx_field(dims, data::NyxField::kVelocityX, 7), dims});
+  series.push_back({"rtm/wavefield", data::make_rtm_field(dims, 7), dims});
+
+  util::Table t({"field", "rel_eb", "bit-rate", "ratio", "throughput MB/s"});
+  std::vector<model::ThroughputSample> fit_samples;
+
+  for (const auto& s : series) {
+    for (const double rel_eb : {1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 1e-5, 1e-6}) {
+      sz::Params p;
+      p.mode = sz::ErrorBoundMode::kRelative;
+      p.error_bound = rel_eb;
+      // Median of 3 runs to tame timer noise.
+      double best = 1e300;
+      std::size_t size = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        util::Timer timer;
+        const auto blob = sz::compress<float>(s.field, s.dims, p);
+        best = std::min(best, timer.seconds());
+        size = blob.size();
+      }
+      const double br = sz::bit_rate(size, s.field.size());
+      const double thr = static_cast<double>(s.field.size() * 4) / best;
+      t.add_row({s.name, util::Table::fmt(rel_eb, 6), util::Table::fmt(br, 3),
+                 util::Table::fmt(sz::compression_ratio<float>(size, s.field.size()), 1),
+                 util::Table::fmt(thr / 1e6, 1)});
+      fit_samples.push_back({br, thr});
+    }
+  }
+  t.print(std::cout);
+
+  const auto fitted = model::CompressionThroughputModel::calibrate(fit_samples);
+  std::printf("\nEq. (1) fit on this machine: C_min=%.1f MB/s  C_max=%.1f MB/s  a=%.3f\n",
+              fitted.c_min() / 1e6, fitted.c_max() / 1e6, fitted.exponent());
+  std::printf("paper (Summit-class core, 512^3 baryon density): C_min=101.7  C_max=240.6  a=-1.716\n");
+
+  // Shape checks the paper asserts: bounded band, rising as bit-rate falls.
+  std::vector<double> pred, act;
+  for (const auto& s : fit_samples) {
+    pred.push_back(fitted.throughput(s.bit_rate));
+    act.push_back(s.throughput);
+  }
+  std::printf("model-vs-measured MAPE: %.1f%%  (band C_max/C_min = %.2fx; paper ~2.1x)\n",
+              100.0 * util::mape(pred, act), fitted.c_max() / fitted.c_min());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 7: independent-write I/O throughput per process vs data size per
+// process, at 128 processes — the offline calibration that feeds Eq. (2).
+// Reported both for the Summit-like and Bebop-like platform models, plus
+// a real-file measurement at thread scale for grounding.
+#include "bench_common.h"
+
+#include <filesystem>
+
+#include "h5/file.h"
+#include "iosim/simulator.h"
+#include "model/throughput_model.h"
+#include "mpi/comm.h"
+
+using namespace pcw;
+
+namespace {
+
+void sweep_platform(const iosim::Platform& platform) {
+  std::printf("\nplatform: %s (aggregate %.1f GB/s, plateau %.1f MB/s)\n",
+              platform.name.c_str(), platform.aggregate_bw / 1e9,
+              platform.per_proc_plateau / 1e6);
+  util::Table t({"MB/process", "per-proc MB/s", "aggregate GB/s"});
+  std::vector<model::WriteSample> samples;
+  const int procs = 128;
+  for (const double mb : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+    std::vector<iosim::WriteJob> jobs(procs);
+    for (int i = 0; i < procs; ++i) {
+      jobs[static_cast<std::size_t>(i)] = {0.0, mb * 1e6, 0.0, i, 0, i};
+    }
+    const auto r = simulate_independent(platform, jobs);
+    const double per_proc = mb * 1e6 / r.makespan;
+    samples.push_back({mb * 1e6, per_proc});
+    t.add_row({util::Table::fmt(mb, 0), util::Table::fmt(per_proc / 1e6, 2),
+               util::Table::fmt(per_proc * procs / 1e9, 2)});
+  }
+  t.print(std::cout);
+  const auto fit = model::WriteThroughputModel::calibrate(samples);
+  std::printf("Eq. (2) calibration: C_thr (plateau) = %.1f MB/s, half-size = %.1f MB\n",
+              fit.stable_throughput() / 1e6, fit.half_size() / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Independent write throughput per process vs size", "Fig. 7");
+  sweep_platform(iosim::Platform::summit());
+  sweep_platform(iosim::Platform::bebop());
+
+  // Grounding: a real shared file written by 8 simulated ranks on this
+  // machine (page-cache speeds, so magnitudes differ; the *shape* —
+  // rising then saturating — is what Fig. 7 shows).
+  std::printf("\nreal shared-file measurement (8 ranks, this machine):\n");
+  util::Table t({"MB/process", "per-proc MB/s"});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pcw_fig07.pcw5").string();
+  for (const double mb : {1.0, 4.0, 16.0, 64.0}) {
+    auto file = h5::File::create(path);
+    const auto bytes = static_cast<std::size_t>(mb * 1e6);
+    std::vector<std::uint8_t> payload(bytes, 0x5a);
+    util::Timer timer;
+    mpi::Runtime::run(8, [&](mpi::Comm& comm) {
+      const auto off = file->alloc_collective(comm, bytes * 8);
+      file->pwrite(off + static_cast<std::uint64_t>(comm.rank()) * bytes, payload);
+      comm.barrier();
+    });
+    const double dt = timer.seconds();
+    t.add_row({util::Table::fmt(mb, 0), util::Table::fmt(mb * 1e6 / dt / 1e6, 1)});
+  }
+  t.print(std::cout);
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 9: the trade-off between write-performance overhead and storage
+// overhead as the extra-space ratio varies, averaged over Nyx and VPIC at
+// 512 processes — and the resulting weight -> R_space mapping.
+#include "bench_common.h"
+
+#include "model/extra_space.h"
+
+using namespace pcw;
+
+int main() {
+  bench::print_header("Extra-space ratio mapping", "Fig. 9");
+
+  const int procs = 512;
+  const auto nyx = bench::collect_nyx_samples(data::kNyxPrimaryFields,
+                                              sz::Dims::make_3d(32, 32, 32), 4, 11);
+  const auto vpic = bench::collect_vpic_samples(1 << 16, 4, 11);
+  const auto platform = iosim::Platform::summit();
+
+  auto overheads = [&](const std::vector<bench::FieldSamples>& samples,
+                       double rspace) {
+    const auto profiles = bench::to_scaled_profiles(samples, procs, 99, 512.0);
+    core::TimingConfig cfg;
+    cfg.comp_model = bench::calibrate_comp_model(samples);
+    cfg.mode = core::WriteMode::kOverlap;
+    cfg.rspace = rspace;
+    const auto b = core::simulate_write(platform, profiles, cfg);
+    // Performance overhead relative to the write path without overflow
+    // handling (paper definition: excludes compression).
+    core::TimingConfig no_ovf = cfg;
+    no_ovf.rspace = 4.0;  // enough head-room that nothing overflows
+    const auto base = core::simulate_write(platform, profiles, no_ovf);
+    const double perf_overhead = (b.write_exposed + b.overflow) /
+                                     std::max(1e-9, base.write_exposed + base.overflow) -
+                                 1.0;
+    const double storage_overhead = b.storage_bytes / b.ideal_compressed_bytes - 1.0;
+    return std::pair{perf_overhead, storage_overhead};
+  };
+
+  util::Table t({"R_space", "perf overhead (nyx)", "storage overhead (nyx)",
+                 "perf overhead (vpic)", "storage overhead (vpic)"});
+  for (const double r : {1.05, 1.10, 1.15, 1.20, 1.25, 1.30, 1.35, 1.43, 1.50}) {
+    const auto [pn, sn] = overheads(nyx, r);
+    const auto [pv, sv] = overheads(vpic, r);
+    t.add_row({util::Table::fmt(r, 2), util::Table::fmt(100 * pn, 1) + "%",
+               util::Table::fmt(100 * sn, 1) + "%", util::Table::fmt(100 * pv, 1) + "%",
+               util::Table::fmt(100 * sv, 1) + "%"});
+  }
+  t.print(std::cout);
+
+  std::printf("\nweight -> R_space mapping (performance weight 0..1):\n");
+  util::Table m({"weight", "R_space"});
+  for (int w = 0; w <= 10; ++w) {
+    m.add_row({util::Table::fmt(w / 10.0, 1),
+               util::Table::fmt(model::rspace_for_weight(w / 10.0), 3)});
+  }
+  m.print(std::cout);
+  std::printf("\nshape check: perf overhead falls and storage overhead rises with "
+              "R_space; knee near 1.1-1.25; default 1.25.\n");
+  return 0;
+}

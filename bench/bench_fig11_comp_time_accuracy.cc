@@ -1,0 +1,75 @@
+// Fig. 11 (+ the §IV-B fit): accuracy of the Eq.-(1) compression-time
+// estimate. Offline phase fits C_min/C_max/a on the baryon-density field
+// alone; online phase predicts the compression time of 64 partitions x 6
+// fields and compares against measured times.
+#include "bench_common.h"
+
+#include "model/throughput_model.h"
+#include "util/stats.h"
+
+using namespace pcw;
+
+int main() {
+  bench::print_header("Compression-time estimation accuracy (64 partitions)",
+                      "Fig. 11 + §IV-B fit");
+
+  // ---- offline: sweep relative error bounds on baryon density ----------
+  const sz::Dims cal_dims = sz::Dims::make_3d(64, 64, 64);
+  const auto cal_field = data::make_nyx_field(cal_dims, data::NyxField::kBaryonDensity, 5);
+  std::vector<model::ThroughputSample> cal;
+  for (const double rel_eb : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8}) {
+    sz::Params p;
+    p.mode = sz::ErrorBoundMode::kRelative;
+    p.error_bound = rel_eb;
+    double best = 1e300;
+    std::size_t size = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Timer t;
+      const auto blob = sz::compress<float>(cal_field, cal_dims, p);
+      best = std::min(best, t.seconds());
+      size = blob.size();
+    }
+    cal.push_back({sz::bit_rate(size, cal_field.size()), cal_field.size() * 4.0 / best});
+  }
+  const auto fit = model::CompressionThroughputModel::calibrate(cal);
+  std::printf("offline fit (baryon density only): C_min=%.1f MB/s C_max=%.1f MB/s a=%.3f\n",
+              fit.c_min() / 1e6, fit.c_max() / 1e6, fit.exponent());
+  std::printf("paper's fit on its platform:       C_min=101.7  C_max=240.6  a=-1.716\n\n");
+
+  // ---- online: 64 partitions across all 6 fields ------------------------
+  const int kPartitions = 64;
+  const sz::Dims global = sz::Dims::make_3d(128, 128, 128);
+  const auto dec = data::decompose(global, kPartitions);
+  std::vector<double> predicted, actual;
+  util::Table t({"field", "partitions", "MAPE %", "corr"});
+  for (int f = 0; f < data::kNyxPrimaryFields; ++f) {
+    const auto field = static_cast<data::NyxField>(f);
+    const auto info = data::nyx_field_info(field);
+    sz::Params p;
+    p.error_bound = info.abs_error_bound;
+    std::vector<double> pf, af;
+    std::vector<float> block(dec.local.count());
+    for (int r = 0; r < kPartitions; ++r) {
+      data::fill_nyx_field(block, dec.local, dec.origin_of(r), global, field, 5);
+      const auto est = model::estimate_ratio<float>(block, dec.local, p);
+      const double pred = fit.predict_time(static_cast<double>(block.size()) * 4,
+                                           est.bit_rate);
+      util::Timer timer;
+      (void)sz::compress<float>(block, dec.local, p);
+      const double act = timer.seconds();
+      pf.push_back(pred);
+      af.push_back(act);
+    }
+    predicted.insert(predicted.end(), pf.begin(), pf.end());
+    actual.insert(actual.end(), af.begin(), af.end());
+    t.add_row({info.name, std::to_string(kPartitions),
+               util::Table::fmt(100 * util::mape(pf, af), 1),
+               util::Table::fmt(util::pearson(pf, af), 3)});
+  }
+  t.print(std::cout);
+  std::printf("\noverall: MAPE %.1f%%, correlation %.3f over %zu partitions "
+              "(paper: visually tight fit in Fig. 11)\n",
+              100 * util::mape(predicted, actual), util::pearson(predicted, actual),
+              predicted.size());
+  return 0;
+}

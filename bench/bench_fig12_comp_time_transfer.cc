@@ -1,0 +1,69 @@
+// Fig. 12: the same compression-time model *transferred* — offline
+// parameters fitted on the small (64^3) baryon-density run are applied,
+// unchanged, to a larger volume split into 512 partitions.
+#include "bench_common.h"
+
+#include "model/throughput_model.h"
+#include "util/stats.h"
+
+using namespace pcw;
+
+int main() {
+  bench::print_header(
+      "Compression-time estimation with transferred offline parameters",
+      "Fig. 12");
+
+  // Offline fit on the small dataset (matches bench_fig11's procedure).
+  const sz::Dims cal_dims = sz::Dims::make_3d(64, 64, 64);
+  const auto cal_field = data::make_nyx_field(cal_dims, data::NyxField::kBaryonDensity, 5);
+  std::vector<model::ThroughputSample> cal;
+  for (const double rel_eb : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8}) {
+    sz::Params p;
+    p.mode = sz::ErrorBoundMode::kRelative;
+    p.error_bound = rel_eb;
+    double best = 1e300;
+    std::size_t size = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Timer t;
+      const auto blob = sz::compress<float>(cal_field, cal_dims, p);
+      best = std::min(best, t.seconds());
+      size = blob.size();
+    }
+    cal.push_back({sz::bit_rate(size, cal_field.size()), cal_field.size() * 4.0 / best});
+  }
+  const auto fit = model::CompressionThroughputModel::calibrate(cal);
+
+  // Online: a *different, larger* volume (different seed = different
+  // snapshot), 512 partitions, all 6 fields sampled sparsely (every 8th
+  // partition to keep the bench under a minute).
+  const int kPartitions = 512;
+  const sz::Dims global = sz::Dims::make_3d(256, 256, 256);
+  const auto dec = data::decompose(global, kPartitions);
+  std::vector<double> predicted, actual;
+  std::vector<float> block(dec.local.count());
+  for (int f = 0; f < data::kNyxPrimaryFields; ++f) {
+    const auto field = static_cast<data::NyxField>(f);
+    sz::Params p;
+    p.error_bound = data::nyx_field_info(field).abs_error_bound;
+    for (int r = 0; r < kPartitions; r += 8) {
+      data::fill_nyx_field(block, dec.local, dec.origin_of(r), global, field, 31);
+      const auto est = model::estimate_ratio<float>(block, dec.local, p);
+      predicted.push_back(
+          fit.predict_time(static_cast<double>(block.size()) * 4, est.bit_rate));
+      util::Timer timer;
+      (void)sz::compress<float>(block, dec.local, p);
+      actual.push_back(timer.seconds());
+    }
+  }
+  util::Table t({"metric", "value"});
+  t.add_row({"partitions sampled", std::to_string(predicted.size())});
+  t.add_row({"MAPE", util::Table::fmt(100 * util::mape(predicted, actual), 1) + "%"});
+  t.add_row({"correlation", util::Table::fmt(util::pearson(predicted, actual), 3)});
+  t.add_row({"mean predicted (ms)",
+             util::Table::fmt(1e3 * util::mean(predicted), 2)});
+  t.add_row({"mean actual (ms)", util::Table::fmt(1e3 * util::mean(actual), 2)});
+  t.print(std::cout);
+  std::printf("\nshape check: parameters transfer across dataset sizes because\n"
+              "different fields/datasets share the same throughput band (Fig. 5).\n");
+  return 0;
+}

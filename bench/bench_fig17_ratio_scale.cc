@@ -1,0 +1,99 @@
+// Fig. 17: performance breakdown of the overlap and overlap+reorder
+// solutions (a, b) across overall compression ratios at 512 processes and
+// (c, d) across scales 256..4096 at target bit-rate 2, for both Nyx and
+// VPIC.
+#include "bench_common.h"
+
+using namespace pcw;
+
+namespace {
+
+void print_breakdown_row(util::Table& t, const std::string& tag,
+                         const char* method, const core::Breakdown& b) {
+  t.add_row({tag, method, util::Table::fmt(b.compress, 2),
+             util::Table::fmt(b.write_exposed, 2), util::Table::fmt(b.overflow, 3),
+             util::Table::fmt(b.predict + b.exchange, 3),
+             util::Table::fmt(b.total, 2)});
+}
+
+void ratio_sweep(const std::string& dataset, bool is_vpic) {
+  std::printf("\n--- (%s) breakdown vs compression ratio, 512 procs, summit ---\n",
+              dataset.c_str());
+  util::Table t({"target bit-rate", "method", "compress s", "write s", "overflow s",
+                 "predict+exch s", "total s"});
+  const auto platform = iosim::Platform::summit();
+  for (const double target_br : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    auto probe = [&](double eb_scale) {
+      const auto s =
+          is_vpic ? bench::collect_vpic_samples(1 << 16, 1, 3, eb_scale)
+                  : bench::collect_nyx_samples(data::kNyxPrimaryFields,
+                                               sz::Dims::make_3d(32, 32, 32), 1, 3,
+                                               eb_scale);
+      return bench::mean_bit_rate(s);
+    };
+    const double eb_scale = bench::find_eb_scale_for_bitrate(target_br, probe);
+    const auto samples =
+        is_vpic ? bench::collect_vpic_samples(1 << 16, 3, 5, eb_scale)
+                : bench::collect_nyx_samples(data::kNyxPrimaryFields,
+                                             sz::Dims::make_3d(32, 32, 32), 3, 5,
+                                             eb_scale);
+    const auto profiles = bench::to_scaled_profiles(samples, 512, 31, 512.0);
+    core::TimingConfig cfg;
+    cfg.comp_model = bench::calibrate_comp_model(samples);
+    const std::string tag = util::Table::fmt(target_br, 1) +
+                            " (got " + util::Table::fmt(bench::mean_bit_rate(samples), 2) + ")";
+    cfg.mode = core::WriteMode::kOverlap;
+    print_breakdown_row(t, tag, "overlap", core::simulate_write(platform, profiles, cfg));
+    cfg.mode = core::WriteMode::kOverlapReorder;
+    print_breakdown_row(t, tag, "reorder", core::simulate_write(platform, profiles, cfg));
+  }
+  t.print(std::cout);
+}
+
+void scale_sweep(const std::string& dataset, bool is_vpic) {
+  std::printf("\n--- (%s) breakdown vs scale, target bit-rate 2, summit ---\n",
+              dataset.c_str());
+  auto probe = [&](double eb_scale) {
+    const auto s = is_vpic ? bench::collect_vpic_samples(1 << 16, 1, 3, eb_scale)
+                           : bench::collect_nyx_samples(data::kNyxPrimaryFields,
+                                                        sz::Dims::make_3d(32, 32, 32),
+                                                        1, 3, eb_scale);
+    return bench::mean_bit_rate(s);
+  };
+  const double eb_scale = bench::find_eb_scale_for_bitrate(2.0, probe);
+  const auto samples =
+      is_vpic ? bench::collect_vpic_samples(1 << 16, 3, 5, eb_scale)
+              : bench::collect_nyx_samples(data::kNyxPrimaryFields,
+                                           sz::Dims::make_3d(32, 32, 32), 3, 5, eb_scale);
+  util::Table t({"procs", "method", "compress s", "write s", "overflow s",
+                 "predict+exch s", "total s"});
+  const auto platform = iosim::Platform::summit();
+  for (const int procs : {256, 512, 1024, 2048, 4096}) {
+    // Weak scaling: same per-rank partition (256^3-equivalent).
+    const auto profiles = bench::to_scaled_profiles(samples, procs, 41, 512.0);
+    core::TimingConfig cfg;
+    cfg.comp_model = bench::calibrate_comp_model(samples);
+    cfg.mode = core::WriteMode::kOverlap;
+    print_breakdown_row(t, std::to_string(procs), "overlap",
+                        core::simulate_write(platform, profiles, cfg));
+    cfg.mode = core::WriteMode::kOverlapReorder;
+    print_breakdown_row(t, std::to_string(procs), "reorder",
+                        core::simulate_write(platform, profiles, cfg));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Breakdown vs ratio and vs scale", "Fig. 17 (a-d)");
+  ratio_sweep("nyx", false);     // Fig. 17a
+  ratio_sweep("vpic", true);     // Fig. 17b
+  scale_sweep("nyx", false);     // Fig. 17c
+  scale_sweep("vpic", true);     // Fig. 17d
+  std::printf(
+      "\nshape checks (paper §IV-D): reordering gain is largest at mid ratios\n"
+      "(~10-20x) and fades at both extremes; per-rank times are stable across\n"
+      "scales with slowly growing communication terms.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Fig. 18: overall improvement of the proposed solution over the previous
+// H5Z-SZ-style write, plus storage overhead, (a, b) across compression
+// ratios at 512 processes and (c, d) across scales at target bit-rate 2.
+// The dashed red line of the paper (HDF5 without compression) is printed
+// as its own column.
+#include "bench_common.h"
+
+using namespace pcw;
+
+namespace {
+
+void sweep_ratio(const std::string& dataset, bool is_vpic) {
+  std::printf("\n--- (%s) improvement vs compression ratio, 512 procs, summit ---\n",
+              dataset.c_str());
+  util::Table t({"bit-rate", "ratio", "vs filter", "vs no-comp", "filter vs no-comp",
+                 "storage ovh %"});
+  const auto platform = iosim::Platform::summit();
+  for (const double target_br : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    auto probe = [&](double eb_scale) {
+      const auto s = is_vpic ? bench::collect_vpic_samples(1 << 16, 1, 3, eb_scale)
+                             : bench::collect_nyx_samples(data::kNyxPrimaryFields,
+                                                          sz::Dims::make_3d(32, 32, 32),
+                                                          1, 3, eb_scale);
+      return bench::mean_bit_rate(s);
+    };
+    const double eb_scale = bench::find_eb_scale_for_bitrate(target_br, probe);
+    const auto samples =
+        is_vpic ? bench::collect_vpic_samples(1 << 16, 3, 5, eb_scale)
+                : bench::collect_nyx_samples(data::kNyxPrimaryFields,
+                                             sz::Dims::make_3d(32, 32, 32), 3, 5,
+                                             eb_scale);
+    const auto profiles = bench::to_scaled_profiles(samples, 512, 23, 512.0);
+    core::TimingConfig cfg;
+    cfg.comp_model = bench::calibrate_comp_model(samples);
+    cfg.mode = core::WriteMode::kNoCompression;
+    const auto nc = core::simulate_write(platform, profiles, cfg);
+    cfg.mode = core::WriteMode::kFilterCollective;
+    const auto filter = core::simulate_write(platform, profiles, cfg);
+    cfg.mode = core::WriteMode::kOverlapReorder;
+    const auto ours = core::simulate_write(platform, profiles, cfg);
+    t.add_row({util::Table::fmt(bench::mean_bit_rate(samples), 2),
+               util::Table::fmt(bench::mean_ratio(samples), 1),
+               util::Table::fmt(filter.total / ours.total, 2) + "x",
+               util::Table::fmt(nc.total / ours.total, 2) + "x",
+               util::Table::fmt(nc.total / filter.total, 2) + "x",
+               util::Table::fmt(
+                   100 * (ours.storage_bytes / ours.ideal_compressed_bytes - 1.0), 1)});
+  }
+  t.print(std::cout);
+}
+
+void sweep_scale(const std::string& dataset, bool is_vpic) {
+  std::printf("\n--- (%s) improvement vs scale, target bit-rate 2, summit ---\n",
+              dataset.c_str());
+  auto probe = [&](double eb_scale) {
+    const auto s = is_vpic ? bench::collect_vpic_samples(1 << 16, 1, 3, eb_scale)
+                           : bench::collect_nyx_samples(data::kNyxPrimaryFields,
+                                                        sz::Dims::make_3d(32, 32, 32),
+                                                        1, 3, eb_scale);
+    return bench::mean_bit_rate(s);
+  };
+  const double eb_scale = bench::find_eb_scale_for_bitrate(2.0, probe);
+  const auto samples =
+      is_vpic ? bench::collect_vpic_samples(1 << 16, 3, 5, eb_scale)
+              : bench::collect_nyx_samples(data::kNyxPrimaryFields,
+                                           sz::Dims::make_3d(32, 32, 32), 3, 5,
+                                           eb_scale);
+  util::Table t({"procs", "vs filter", "vs no-comp", "storage ovh %"});
+  const auto platform = iosim::Platform::summit();
+  for (const int procs : {256, 512, 1024, 2048, 4096}) {
+    const auto profiles = bench::to_scaled_profiles(samples, procs, 29, 512.0);
+    core::TimingConfig cfg;
+    cfg.comp_model = bench::calibrate_comp_model(samples);
+    cfg.mode = core::WriteMode::kNoCompression;
+    const auto nc = core::simulate_write(platform, profiles, cfg);
+    cfg.mode = core::WriteMode::kFilterCollective;
+    const auto filter = core::simulate_write(platform, profiles, cfg);
+    cfg.mode = core::WriteMode::kOverlapReorder;
+    const auto ours = core::simulate_write(platform, profiles, cfg);
+    t.add_row({std::to_string(procs),
+               util::Table::fmt(filter.total / ours.total, 2) + "x",
+               util::Table::fmt(nc.total / ours.total, 2) + "x",
+               util::Table::fmt(
+                   100 * (ours.storage_bytes / ours.ideal_compressed_bytes - 1.0), 1)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Overall improvement + storage overhead", "Fig. 18 (a-d)");
+  sweep_ratio("nyx", false);    // Fig. 18a
+  sweep_ratio("vpic", true);    // Fig. 18b
+  sweep_scale("nyx", false);    // Fig. 18c
+  sweep_scale("vpic", true);    // Fig. 18d
+  std::printf(
+      "\nshape checks (paper): improvement over H5Z-SZ peaks near ratios 10-20x\n"
+      "(paper: up to 2.91x); at very low ratios the filter path can lose to\n"
+      "non-compressed write; gains are stable-to-rising with scale.\n");
+  return 0;
+}

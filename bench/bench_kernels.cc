@@ -1,0 +1,112 @@
+// Engineering microbenchmarks (google-benchmark): per-stage costs of the
+// pcw::sz pipeline and the prediction models. Not a paper figure; used to
+// keep the compressor in the throughput band Eq. (1) assumes.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "data/workloads.h"
+#include "model/ratio_model.h"
+#include "sz/compressor.h"
+#include "sz/huffman.h"
+#include "sz/lorenzo.h"
+#include "sz/lossless.h"
+#include "util/bitstream.h"
+
+namespace {
+
+using namespace pcw;
+
+const sz::Dims kDims = sz::Dims::make_3d(64, 64, 64);
+
+const std::vector<float>& field() {
+  static const std::vector<float> f =
+      data::make_nyx_field(kDims, data::NyxField::kBaryonDensity, 9);
+  return f;
+}
+
+void BM_LorenzoQuantize(benchmark::State& state) {
+  const double eb = 0.2;
+  for (auto _ : state) {
+    auto q = sz::lorenzo_quantize<float>(field(), kDims, eb, 32768);
+    benchmark::DoNotOptimize(q.codes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field().size() * 4));
+}
+BENCHMARK(BM_LorenzoQuantize);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const auto q = sz::lorenzo_quantize<float>(field(), kDims, 0.2, 32768);
+  std::vector<std::uint64_t> counts(65536, 0);
+  for (const auto c : q.codes) ++counts[c];
+  std::vector<sz::SymbolCount> freqs;
+  for (std::uint32_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] > 0) freqs.push_back({s, counts[s]});
+  }
+  const sz::HuffmanEncoder enc(freqs);
+  for (auto _ : state) {
+    util::BitWriter w;
+    for (const auto c : q.codes) enc.encode(c, w);
+    auto bytes = w.finish();
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(q.codes.size() * 4));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_LzCompress(benchmark::State& state) {
+  sz::Params p;
+  p.error_bound = 0.5;
+  p.lossless = false;
+  const auto blob = sz::compress<float>(field(), kDims, p);
+  for (auto _ : state) {
+    auto out = sz::lz_compress(blob);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_LzCompress);
+
+void BM_CompressEndToEnd(benchmark::State& state) {
+  sz::Params p;
+  p.error_bound = 0.2 * std::pow(10.0, -static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    auto blob = sz::compress<float>(field(), kDims, p);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field().size() * 4));
+}
+BENCHMARK(BM_CompressEndToEnd)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_DecompressEndToEnd(benchmark::State& state) {
+  sz::Params p;
+  p.error_bound = 0.2;
+  const auto blob = sz::compress<float>(field(), kDims, p);
+  for (auto _ : state) {
+    auto out = sz::decompress<float>(blob);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field().size() * 4));
+}
+BENCHMARK(BM_DecompressEndToEnd);
+
+void BM_RatioModelEstimate(benchmark::State& state) {
+  sz::Params p;
+  p.error_bound = 0.2;
+  for (auto _ : state) {
+    auto est = model::estimate_ratio<float>(field(), kDims, p);
+    benchmark::DoNotOptimize(&est);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field().size() * 4));
+}
+BENCHMARK(BM_RatioModelEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+#include "core/planner.h"
+
+#include <stdexcept>
+
+#include "model/extra_space.h"
+
+namespace pcw::core {
+namespace {
+
+std::uint64_t align_up(std::uint64_t v, std::uint64_t alignment) {
+  return alignment == 0 ? v : (v + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace
+
+LayoutPlan plan_layout(const std::vector<std::vector<PartitionPrediction>>& predictions,
+                       double rspace, std::uint64_t alignment) {
+  LayoutPlan plan;
+  plan.slots.resize(predictions.size());
+  std::uint64_t cursor = 0;
+  for (std::size_t f = 0; f < predictions.size(); ++f) {
+    plan.slots[f].resize(predictions[f].size());
+    if (!predictions[f].empty() && predictions[f].size() != predictions[0].size()) {
+      throw std::invalid_argument("planner: ragged prediction matrix");
+    }
+    for (std::size_t r = 0; r < predictions[f].size(); ++r) {
+      const auto& pred = predictions[f][r];
+      const double reserved = model::reserved_bytes(
+          static_cast<double>(pred.predicted_bytes), pred.predicted_ratio, rspace);
+      PartitionSlot& slot = plan.slots[f][r];
+      slot.offset = cursor;
+      slot.reserved_bytes = align_up(static_cast<std::uint64_t>(reserved) + 1, alignment);
+      cursor += slot.reserved_bytes;
+    }
+  }
+  plan.total_bytes = cursor;
+  return plan;
+}
+
+std::vector<std::vector<std::uint64_t>> assign_overflow_offsets(
+    const std::vector<std::vector<std::uint64_t>>& overflow_bytes,
+    std::uint64_t* total_out, std::uint64_t alignment) {
+  // Rank-major: all of one rank's tails are adjacent, so a rank appends
+  // its entire overflow with a single contiguous write.
+  std::vector<std::vector<std::uint64_t>> offsets(overflow_bytes.size());
+  std::size_t nranks = 0;
+  for (std::size_t f = 0; f < overflow_bytes.size(); ++f) {
+    offsets[f].resize(overflow_bytes[f].size(), 0);
+    nranks = std::max(nranks, overflow_bytes[f].size());
+  }
+  std::uint64_t cursor = 0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    for (std::size_t f = 0; f < overflow_bytes.size(); ++f) {
+      if (r >= overflow_bytes[f].size() || overflow_bytes[f][r] == 0) continue;
+      offsets[f][r] = cursor;
+      cursor += align_up(overflow_bytes[f][r], alignment);
+    }
+  }
+  if (total_out != nullptr) *total_out = cursor;
+  return offsets;
+}
+
+}  // namespace pcw::core

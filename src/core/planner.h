@@ -1,0 +1,44 @@
+// Offset planner (§III-D): turns predicted per-partition compressed sizes
+// into a deterministic shared-file layout with reserved head-room.
+//
+// Every rank runs the planner on the *same* all-gathered predictions, so
+// all ranks derive identical offsets with no further communication — the
+// property that unlocks independent asynchronous writes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcw::core {
+
+struct PartitionPrediction {
+  std::uint64_t predicted_bytes = 0;
+  double predicted_ratio = 1.0;   // drives the Eq. (3) extra-space boost
+};
+
+struct PartitionSlot {
+  std::uint64_t offset = 0;          // relative to the layout base
+  std::uint64_t reserved_bytes = 0;  // predicted * effective r_space, aligned
+};
+
+struct LayoutPlan {
+  std::uint64_t total_bytes = 0;
+  // slots[field][rank]
+  std::vector<std::vector<PartitionSlot>> slots;
+};
+
+/// Builds a field-major layout: all of field 0's partitions (rank order),
+/// then field 1's, ... Slot sizes are predicted_bytes scaled by the
+/// effective extra-space ratio (Eq. 3) and rounded up to `alignment`.
+LayoutPlan plan_layout(const std::vector<std::vector<PartitionPrediction>>& predictions,
+                       double rspace, std::uint64_t alignment = 64);
+
+/// Assigns deterministic offsets for overflow tails appended after the
+/// main layout: field-major, rank order, 64-byte aligned. Returns
+/// offsets[field][rank] (relative to the overflow base) and the total via
+/// `total_out`. Entries with zero bytes get offset 0.
+std::vector<std::vector<std::uint64_t>> assign_overflow_offsets(
+    const std::vector<std::vector<std::uint64_t>>& overflow_bytes,
+    std::uint64_t* total_out, std::uint64_t alignment = 64);
+
+}  // namespace pcw::core

@@ -1,0 +1,71 @@
+#include "data/noise.h"
+
+#include <cmath>
+
+namespace pcw::data {
+namespace {
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+double ValueNoise3D::lattice(std::int64_t ix, std::int64_t iy, std::int64_t iz) const {
+  std::uint64_t h = seed_;
+  h = mix(h ^ static_cast<std::uint64_t>(ix) * 0x9e3779b97f4a7c15ull);
+  h = mix(h ^ static_cast<std::uint64_t>(iy) * 0xc2b2ae3d27d4eb4full);
+  h = mix(h ^ static_cast<std::uint64_t>(iz) * 0x165667b19e3779f9ull);
+  // Map to [-1, 1].
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double ValueNoise3D::at(double x, double y, double z) const {
+  const double fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const auto iz = static_cast<std::int64_t>(fz);
+  const double tx = smoothstep(x - fx);
+  const double ty = smoothstep(y - fy);
+  const double tz = smoothstep(z - fz);
+
+  double corners[2][2][2];
+  for (int dx = 0; dx < 2; ++dx) {
+    for (int dy = 0; dy < 2; ++dy) {
+      for (int dz = 0; dz < 2; ++dz) {
+        corners[dx][dy][dz] = lattice(ix + dx, iy + dy, iz + dz);
+      }
+    }
+  }
+  auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+  const double x00 = lerp(corners[0][0][0], corners[1][0][0], tx);
+  const double x01 = lerp(corners[0][0][1], corners[1][0][1], tx);
+  const double x10 = lerp(corners[0][1][0], corners[1][1][0], tx);
+  const double x11 = lerp(corners[0][1][1], corners[1][1][1], tx);
+  const double y0 = lerp(x00, x10, ty);
+  const double y1 = lerp(x01, x11, ty);
+  return lerp(y0, y1, tz);
+}
+
+double ValueNoise3D::fbm(double x, double y, double z, int octaves, double lacunarity,
+                         double persistence) const {
+  double sum = 0.0, amp = 1.0, norm = 0.0, freq = 1.0;
+  for (int o = 0; o < octaves; ++o) {
+    // Per-octave offset decorrelates octave lattices.
+    const double off = 37.13 * static_cast<double>(o + 1);
+    sum += amp * at(x * freq + off, y * freq + off * 0.618, z * freq + off * 0.382);
+    norm += amp;
+    amp *= persistence;
+    freq *= lacunarity;
+  }
+  return norm > 0.0 ? sum / norm : 0.0;
+}
+
+}  // namespace pcw::data

@@ -1,0 +1,33 @@
+// Deterministic lattice value-noise with fractal (fBm) stacking.
+//
+// The workload generators need smooth, spatially-correlated 3-D fields
+// whose compressibility varies across space — the property behind the
+// paper's Fig.-1 bit-rate spread. FFT-based Gaussian random fields would
+// be the textbook choice; multi-octave value noise gives the same
+// qualitative spectrum with O(1) per-point cost and exact global
+// consistency across partitions (any rank can evaluate any coordinate).
+#pragma once
+
+#include <cstdint>
+
+namespace pcw::data {
+
+class ValueNoise3D {
+ public:
+  explicit ValueNoise3D(std::uint64_t seed) : seed_(seed) {}
+
+  /// Smooth noise in [-1, 1], C0-continuous (trilinear between lattice
+  /// points, smoothstep-eased).
+  double at(double x, double y, double z) const;
+
+  /// Fractal Brownian motion: `octaves` layers, each `lacunarity` times
+  /// finer and `persistence` times weaker. Normalized to ~[-1, 1].
+  double fbm(double x, double y, double z, int octaves, double lacunarity = 2.0,
+             double persistence = 0.55) const;
+
+ private:
+  double lattice(std::int64_t ix, std::int64_t iy, std::int64_t iz) const;
+  std::uint64_t seed_;
+};
+
+}  // namespace pcw::data

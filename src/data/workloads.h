@@ -1,0 +1,116 @@
+// Synthetic stand-ins for the paper's evaluation datasets (Table I).
+//
+//   Nyx  — cosmology grids: 6 primary fields (baryon density, dark-matter
+//          density, temperature, velocity x/y/z) plus the 3 particle-
+//          velocity fields of the 4096^3 run. Fields are smooth fractal
+//          fields with Nyx-like magnitudes so the paper's absolute error
+//          bounds (0.2, 0.4, 1e3, 2e5, 2e5, 2e5) land near the paper's
+//          ~16x ratio.
+//   VPIC — particle arrays: stratified positions (locally ordered, like
+//          cell-binned particle dumps) and drifting-Maxwellian momenta.
+//   RTM  — Ricker-wavelet wavefield (used by Fig. 5's throughput sweep).
+//
+// All generators are globally consistent: a rank can generate exactly its
+// partition given (origin, local dims, global dims, seed), and every rank
+// observes the same global field. `time` evolves the fields smoothly so
+// multi-time-step studies (Fig. 15) see realistic drift.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sz/compressor.h"
+#include "sz/dims.h"
+
+namespace pcw::data {
+
+// ---------------------------------------------------------------------------
+// Nyx-like cosmology grids
+// ---------------------------------------------------------------------------
+
+enum class NyxField {
+  kBaryonDensity = 0,
+  kDarkMatterDensity,
+  kTemperature,
+  kVelocityX,
+  kVelocityY,
+  kVelocityZ,
+  kParticleVx,
+  kParticleVy,
+  kParticleVz,
+};
+
+inline constexpr int kNyxPrimaryFields = 6;
+inline constexpr int kNyxAllFields = 9;
+
+struct FieldInfo {
+  const char* name;
+  /// Paper-recommended absolute error bound ([13], [31]; §IV-A).
+  double abs_error_bound;
+};
+
+FieldInfo nyx_field_info(NyxField field);
+
+/// Fills `out` (local.count() elements) with the partition of `field`
+/// whose lowest corner sits at `origin` inside `global`.
+void fill_nyx_field(std::span<float> out, const sz::Dims& local,
+                    const std::array<std::size_t, 3>& origin, const sz::Dims& global,
+                    NyxField field, std::uint64_t seed, double time = 0.0);
+
+/// Whole-field convenience wrapper.
+std::vector<float> make_nyx_field(const sz::Dims& global, NyxField field,
+                                  std::uint64_t seed, double time = 0.0);
+
+// ---------------------------------------------------------------------------
+// VPIC-like particle dumps
+// ---------------------------------------------------------------------------
+
+enum class VpicField {
+  kX = 0,
+  kY,
+  kZ,
+  kUx,
+  kUy,
+  kUz,
+  kKineticEnergy,
+  kWeight,
+};
+
+inline constexpr int kVpicAllFields = 8;
+
+FieldInfo vpic_field_info(VpicField field);
+
+/// Fills `out` with particles [offset, offset + out.size()) of a global
+/// population of `total` particles.
+void fill_vpic_field(std::span<float> out, std::uint64_t offset, std::uint64_t total,
+                     VpicField field, std::uint64_t seed);
+
+std::vector<float> make_vpic_field(std::uint64_t total, VpicField field,
+                                   std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// RTM-like wavefield
+// ---------------------------------------------------------------------------
+
+std::vector<float> make_rtm_field(const sz::Dims& global, std::uint64_t seed,
+                                  double time = 0.4);
+
+// ---------------------------------------------------------------------------
+// Domain decomposition helpers
+// ---------------------------------------------------------------------------
+
+/// Splits `global` into `nranks` near-cubic blocks (nranks must be a
+/// power of 8, 2, or any product of factors of global extents; falls back
+/// to slab decomposition along d0 when no 3-D split divides evenly).
+struct BlockDecomposition {
+  sz::Dims local;                            // extents of every block
+  std::array<std::size_t, 3> grid;           // blocks per dimension
+  std::array<std::size_t, 3> origin_of(int rank) const;
+};
+
+BlockDecomposition decompose(const sz::Dims& global, int nranks);
+
+}  // namespace pcw::data

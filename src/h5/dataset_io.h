@@ -1,0 +1,65 @@
+// High-level dataset I/O: the two *baseline* write paths the paper
+// compares against, plus the shared-file reader.
+//
+//   * write_contiguous     — "original non-compression solution": every
+//     rank writes its slice independently at a statically computable
+//     offset (sizes are known a priori, no data-dependent sync).
+//   * write_filtered_collective — "previous compression-filter solution"
+//     (H5Z-SZ): every rank compresses, compressed sizes are exchanged,
+//     offsets derived, then data lands collectively. The compress ->
+//     size-exchange -> write ordering is the serialization bottleneck the
+//     paper removes.
+//
+// The paper's own predictive/overlapped path lives in pcw::core; it uses
+// the File primitives directly.
+#pragma once
+
+#include <string>
+
+#include "h5/file.h"
+#include "h5/filter.h"
+#include "mpi/comm.h"
+#include "sz/dims.h"
+
+namespace pcw::h5 {
+
+/// Phase timings measured inside the collective filter path, so benches
+/// can reproduce the paper's stacked-bar breakdowns (Fig. 16/17).
+struct FilterWriteStats {
+  double compress_seconds = 0.0;
+  double exchange_seconds = 0.0;   // allgather of compressed sizes
+  double write_seconds = 0.0;      // collective write incl. final barrier
+  std::uint64_t compressed_bytes = 0;   // this rank's partition
+};
+
+/// Non-compression baseline. `local` is this rank's slice (flattened);
+/// slices are concatenated in rank order to form the global array of
+/// `global_dims.count()` elements. Independent writes, one barrier pair
+/// around metadata registration.
+template <typename T>
+void write_contiguous(mpi::Comm& comm, File& file, const std::string& name,
+                      std::span<const T> local, const sz::Dims& global_dims);
+
+/// H5Z-SZ-style baseline: compress with `filter`, exchange sizes, write
+/// collectively. `local_dims` describes this rank's slice extents (used
+/// by the SZ predictor). Returns this rank's timing breakdown.
+template <typename T>
+FilterWriteStats write_filtered_collective(mpi::Comm& comm, File& file,
+                                           const std::string& name,
+                                           std::span<const T> local,
+                                           const sz::Dims& local_dims,
+                                           const sz::Dims& global_dims,
+                                           const Filter& filter);
+
+/// Reads a whole dataset back as the flattened global array, reassembling
+/// partitions and undoing any filter (overflow segments included).
+template <typename T>
+std::vector<T> read_dataset(const File& file, const std::string& name,
+                            const sz::Params& sz_params = {});
+
+/// Reads one partition's stored payload (slot + overflow concatenated).
+std::vector<std::uint8_t> read_partition_payload(const File& file,
+                                                 const DatasetDesc& desc,
+                                                 const PartitionRecord& part);
+
+}  // namespace pcw::h5

@@ -1,0 +1,188 @@
+#include "h5/file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpi/comm.h"
+
+namespace pcw::h5 {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("h5: " + what + ": " + std::strerror(errno));
+}
+
+void full_pwrite(int fd, const std::uint8_t* buf, std::size_t len, std::uint64_t off) {
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, buf, len, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pwrite");
+    }
+    buf += n;
+    len -= static_cast<std::size_t>(n);
+    off += static_cast<std::uint64_t>(n);
+  }
+}
+
+void full_pread(int fd, std::uint8_t* buf, std::size_t len, std::uint64_t off) {
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, buf, len, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread");
+    }
+    if (n == 0) throw std::runtime_error("h5: pread past EOF");
+    buf += n;
+    len -= static_cast<std::size_t>(n);
+    off += static_cast<std::uint64_t>(n);
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<File> File::create(const std::string& path, FileOptions opts) {
+  auto file = std::shared_ptr<File>(new File());
+  file->path_ = path;
+  file->writable_ = true;
+  file->fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (file->fd_ < 0) throw_errno("open for create");
+  // Placeholder superblock; patched at close.
+  std::vector<std::uint8_t> sb(kSuperblockSize, 0);
+  full_pwrite(file->fd_, sb.data(), sb.size(), 0);
+  file->async_pool_ = std::make_unique<util::ThreadPool>(opts.async_threads);
+  return file;
+}
+
+std::shared_ptr<File> File::open(const std::string& path) {
+  auto file = std::shared_ptr<File>(new File());
+  file->path_ = path;
+  file->writable_ = false;
+  file->fd_ = ::open(path.c_str(), O_RDONLY);
+  if (file->fd_ < 0) throw_errno("open for read");
+
+  std::uint8_t sb[kSuperblockSize];
+  full_pread(file->fd_, sb, sizeof(sb), 0);
+  std::uint32_t magic, version;
+  std::uint64_t footer_off, footer_size;
+  std::memcpy(&magic, sb, 4);
+  std::memcpy(&version, sb + 4, 4);
+  std::memcpy(&footer_off, sb + 8, 8);
+  std::memcpy(&footer_size, sb + 16, 8);
+  if (magic != kMagic) throw std::runtime_error("h5: bad magic (not a PCW5 file)");
+  if (version != kVersion) throw std::runtime_error("h5: unsupported version");
+  if (footer_off == 0) throw std::runtime_error("h5: file was not closed");
+
+  std::vector<std::uint8_t> footer(footer_size);
+  full_pread(file->fd_, footer.data(), footer.size(), footer_off);
+  file->datasets_ = parse_footer(footer);
+  file->cursor_.store(footer_off);
+  file->file_bytes_ = footer_off + footer_size;
+  file->closed_ = true;
+  return file;
+}
+
+File::~File() {
+  if (async_pool_) async_pool_->wait_idle();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t File::alloc(std::uint64_t bytes) {
+  if (!writable_) throw std::runtime_error("h5: alloc on read-only file");
+  return cursor_.fetch_add(bytes);
+}
+
+std::uint64_t File::alloc_collective(mpi::Comm& comm, std::uint64_t total_bytes) {
+  std::uint64_t base = 0;
+  if (comm.rank() == 0) base = alloc(total_bytes);
+  return comm.bcast(base, 0);
+}
+
+void File::pwrite(std::uint64_t offset, std::span<const std::uint8_t> data) {
+  if (!writable_) throw std::runtime_error("h5: pwrite on read-only file");
+  full_pwrite(fd_, data.data(), data.size(), offset);
+}
+
+std::vector<std::uint8_t> File::pread(std::uint64_t offset, std::uint64_t size) const {
+  std::vector<std::uint8_t> out(size);
+  full_pread(fd_, out.data(), out.size(), offset);
+  return out;
+}
+
+WriteTicket File::async_write(std::uint64_t offset, std::vector<std::uint8_t> data) {
+  if (!writable_) throw std::runtime_error("h5: async_write on read-only file");
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(std::move(data));
+  std::future<void> fut = async_pool_->submit([this, offset, buf] {
+    full_pwrite(fd_, buf->data(), buf->size(), offset);
+  });
+  return WriteTicket(fut.share());
+}
+
+void File::flush_async() {
+  if (async_pool_) async_pool_->wait_idle();
+}
+
+void File::add_dataset(DatasetDesc desc) {
+  std::lock_guard lock(meta_mu_);
+  for (const auto& d : datasets_) {
+    if (d.name == desc.name) throw std::invalid_argument("h5: duplicate dataset " + desc.name);
+  }
+  datasets_.push_back(std::move(desc));
+}
+
+void File::update_dataset(const DatasetDesc& desc) {
+  std::lock_guard lock(meta_mu_);
+  for (auto& d : datasets_) {
+    if (d.name == desc.name) {
+      d = desc;
+      return;
+    }
+  }
+  throw std::invalid_argument("h5: update of unknown dataset " + desc.name);
+}
+
+const DatasetDesc* File::find_dataset(const std::string& name) const {
+  std::lock_guard lock(meta_mu_);
+  for (const auto& d : datasets_) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+void File::write_footer_and_superblock() {
+  const std::vector<std::uint8_t> footer = serialize_footer(datasets_);
+  const std::uint64_t footer_off = cursor_.load();
+  full_pwrite(fd_, footer.data(), footer.size(), footer_off);
+  std::uint8_t sb[kSuperblockSize] = {};
+  const std::uint64_t footer_size = footer.size();
+  std::memcpy(sb, &kMagic, 4);
+  std::memcpy(sb + 4, &kVersion, 4);
+  std::memcpy(sb + 8, &footer_off, 8);
+  std::memcpy(sb + 16, &footer_size, 8);
+  full_pwrite(fd_, sb, sizeof(sb), 0);
+  file_bytes_ = footer_off + footer_size;
+  closed_ = true;
+}
+
+void File::close_collective(mpi::Comm& comm) {
+  comm.barrier();          // all writes issued
+  flush_async();           // drain this process's async queue
+  comm.barrier();          // all queues drained
+  if (comm.rank() == 0) {
+    std::lock_guard lock(meta_mu_);
+    if (!closed_) write_footer_and_superblock();
+  }
+  comm.barrier();
+}
+
+void File::close_single() {
+  flush_async();
+  std::lock_guard lock(meta_mu_);
+  if (!closed_) write_footer_and_superblock();
+}
+
+}  // namespace pcw::h5

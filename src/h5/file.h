@@ -1,0 +1,129 @@
+// h5lite File: the shared-file handle.
+//
+// One File object is shared by all ranks of a (simulated-MPI) run, like an
+// MPI-IO/parallel-HDF5 file handle. Thread-safety contract:
+//   * pwrite/pread are safe from any thread (POSIX pwrite is atomic w.r.t.
+//     the offset argument),
+//   * alloc() is lock-free (atomic cursor),
+//   * add_dataset()/metadata access is mutex-protected,
+//   * the async queue is a background-thread writer emulating HDF5's
+//     asynchronous VOL connector [Tang et al., TPDS'22]: async_write()
+//     enqueues and returns immediately; WriteTicket::wait() (or flush())
+//     observes durability and any I/O error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "h5/format.h"
+#include "util/thread_pool.h"
+
+namespace pcw::mpi {
+class Comm;
+}
+
+namespace pcw::h5 {
+
+/// Completion handle for an asynchronous write.
+class WriteTicket {
+ public:
+  WriteTicket() = default;
+  explicit WriteTicket(std::shared_future<void> f) : fut_(std::move(f)) {}
+  /// Blocks until the write is on disk; rethrows any I/O error.
+  void wait() const {
+    if (fut_.valid()) fut_.get();
+  }
+  bool valid() const { return fut_.valid(); }
+
+ private:
+  std::shared_future<void> fut_;
+};
+
+struct FileOptions {
+  /// Background writer threads for the async queue. The paper's async VOL
+  /// uses one background thread; more can be useful on real parallel FS.
+  unsigned async_threads = 1;
+};
+
+class File {
+ public:
+  /// Creates/truncates a file for writing. The data cursor starts after
+  /// the superblock.
+  static std::shared_ptr<File> create(const std::string& path, FileOptions opts = {});
+
+  /// Opens an existing file read-only and parses the dataset table.
+  static std::shared_ptr<File> open(const std::string& path);
+
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  // ---- data-region primitives -------------------------------------------
+
+  /// Reserves `bytes` of data region; returns the starting offset.
+  std::uint64_t alloc(std::uint64_t bytes);
+
+  /// Collective allocation: every rank passes the same total, every rank
+  /// receives the same base offset (rank 0 allocates, then broadcast).
+  std::uint64_t alloc_collective(mpi::Comm& comm, std::uint64_t total_bytes);
+
+  /// Synchronous positioned write/read.
+  void pwrite(std::uint64_t offset, std::span<const std::uint8_t> data);
+  std::vector<std::uint8_t> pread(std::uint64_t offset, std::uint64_t size) const;
+
+  /// Asynchronous positioned write: the buffer is moved into the queue.
+  WriteTicket async_write(std::uint64_t offset, std::vector<std::uint8_t> data);
+
+  /// Waits until every queued async write has completed.
+  void flush_async();
+
+  // ---- metadata -----------------------------------------------------------
+
+  /// Registers a dataset (call once per dataset, any single rank).
+  void add_dataset(DatasetDesc desc);
+
+  /// Updates an already-registered dataset (e.g. to fill in actual sizes
+  /// and overflow segments after the write wave).
+  void update_dataset(const DatasetDesc& desc);
+
+  const std::vector<DatasetDesc>& datasets() const { return datasets_; }
+  const DatasetDesc* find_dataset(const std::string& name) const;
+
+  /// Collective close: barrier, async flush, then rank 0 writes the footer
+  /// and patches the superblock. The File stays usable read-only.
+  void close_collective(mpi::Comm& comm);
+
+  /// Non-collective close for single-writer use.
+  void close_single();
+
+  std::uint64_t data_end() const { return cursor_.load(); }
+  const std::string& path() const { return path_; }
+
+  /// Total bytes of file consumed (superblock + data + footer), valid
+  /// after close. This is the "storage size" benches report.
+  std::uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  File() = default;
+  void write_footer_and_superblock();
+
+  std::string path_;
+  int fd_ = -1;
+  bool writable_ = false;
+  std::atomic<std::uint64_t> cursor_{kSuperblockSize};
+  std::uint64_t file_bytes_ = 0;
+
+  mutable std::mutex meta_mu_;
+  std::vector<DatasetDesc> datasets_;
+  bool closed_ = false;
+
+  std::unique_ptr<util::ThreadPool> async_pool_;
+};
+
+}  // namespace pcw::h5

@@ -1,0 +1,102 @@
+#include "h5/filter.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pcw::h5 {
+
+std::vector<std::uint8_t> NullFilter::decode(std::span<const std::uint8_t> blob,
+                                             DataType dtype,
+                                             std::uint64_t expect_elems) const {
+  if (blob.size() != expect_elems * element_size(dtype)) {
+    throw std::runtime_error("h5: null-filter size mismatch");
+  }
+  return {blob.begin(), blob.end()};
+}
+
+std::vector<std::uint8_t> SzFilter::encode(std::span<const std::uint8_t> raw,
+                                           DataType dtype, const sz::Dims& dims) const {
+  switch (dtype) {
+    case DataType::kFloat32: {
+      if (raw.size() != dims.count() * sizeof(float)) {
+        throw std::invalid_argument("h5: sz-filter f32 size mismatch");
+      }
+      std::span<const float> data{reinterpret_cast<const float*>(raw.data()), dims.count()};
+      return sz::compress<float>(data, dims, params_);
+    }
+    case DataType::kFloat64: {
+      if (raw.size() != dims.count() * sizeof(double)) {
+        throw std::invalid_argument("h5: sz-filter f64 size mismatch");
+      }
+      std::span<const double> data{reinterpret_cast<const double*>(raw.data()), dims.count()};
+      return sz::compress<double>(data, dims, params_);
+    }
+    case DataType::kBytes:
+      throw std::invalid_argument("h5: sz filter requires a float type");
+  }
+  throw std::invalid_argument("h5: unknown dtype");
+}
+
+std::vector<std::uint8_t> SzFilter::decode(std::span<const std::uint8_t> blob,
+                                           DataType dtype,
+                                           std::uint64_t expect_elems) const {
+  switch (dtype) {
+    case DataType::kFloat32: {
+      std::vector<float> vals = sz::decompress<float>(blob);
+      if (vals.size() != expect_elems) throw std::runtime_error("h5: sz element count");
+      std::vector<std::uint8_t> out(vals.size() * sizeof(float));
+      std::memcpy(out.data(), vals.data(), out.size());
+      return out;
+    }
+    case DataType::kFloat64: {
+      std::vector<double> vals = sz::decompress<double>(blob);
+      if (vals.size() != expect_elems) throw std::runtime_error("h5: sz element count");
+      std::vector<std::uint8_t> out(vals.size() * sizeof(double));
+      std::memcpy(out.data(), vals.data(), out.size());
+      return out;
+    }
+    case DataType::kBytes:
+      throw std::invalid_argument("h5: sz filter requires a float type");
+  }
+  throw std::invalid_argument("h5: unknown dtype");
+}
+
+std::vector<std::uint8_t> ZfpFilter::encode(std::span<const std::uint8_t> raw,
+                                            DataType dtype, const sz::Dims& dims) const {
+  if (dtype != DataType::kFloat32) {
+    throw std::invalid_argument("h5: zfp filter supports f32 only");
+  }
+  if (raw.size() != dims.count() * sizeof(float)) {
+    throw std::invalid_argument("h5: zfp-filter f32 size mismatch");
+  }
+  std::span<const float> data{reinterpret_cast<const float*>(raw.data()), dims.count()};
+  return zfp::compress(data, dims, params_);
+}
+
+std::vector<std::uint8_t> ZfpFilter::decode(std::span<const std::uint8_t> blob,
+                                            DataType dtype,
+                                            std::uint64_t expect_elems) const {
+  if (dtype != DataType::kFloat32) {
+    throw std::invalid_argument("h5: zfp filter supports f32 only");
+  }
+  const std::vector<float> vals = zfp::decompress(blob);
+  if (vals.size() != expect_elems) throw std::runtime_error("h5: zfp element count");
+  std::vector<std::uint8_t> out(vals.size() * sizeof(float));
+  std::memcpy(out.data(), vals.data(), out.size());
+  return out;
+}
+
+std::unique_ptr<Filter> make_filter(FilterId id, const sz::Params& sz_params,
+                                    const zfp::Params& zfp_params) {
+  switch (id) {
+    case FilterId::kNone:
+      return std::make_unique<NullFilter>();
+    case FilterId::kSz:
+      return std::make_unique<SzFilter>(sz_params);
+    case FilterId::kZfp:
+      return std::make_unique<ZfpFilter>(zfp_params);
+  }
+  throw std::invalid_argument("h5: unknown filter id");
+}
+
+}  // namespace pcw::h5

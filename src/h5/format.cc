@@ -1,0 +1,103 @@
+#include "h5/format.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pcw::h5 {
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+template <typename T>
+T get(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  if (pos + sizeof(T) > in.size()) throw std::runtime_error("h5: truncated footer");
+  T v;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+std::string get_string(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  const auto len = get<std::uint32_t>(in, pos);
+  if (pos + len > in.size()) throw std::runtime_error("h5: truncated footer string");
+  std::string s(reinterpret_cast<const char*>(in.data() + pos), len);
+  pos += len;
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_footer(const std::vector<DatasetDesc>& datasets) {
+  std::vector<std::uint8_t> out;
+  put(out, static_cast<std::uint32_t>(datasets.size()));
+  for (const auto& d : datasets) {
+    put_string(out, d.name);
+    put(out, static_cast<std::uint8_t>(d.dtype));
+    put(out, static_cast<std::uint8_t>(d.layout));
+    put(out, static_cast<std::uint32_t>(d.filter));
+    put(out, static_cast<std::uint64_t>(d.global_dims.d0));
+    put(out, static_cast<std::uint64_t>(d.global_dims.d1));
+    put(out, static_cast<std::uint64_t>(d.global_dims.d2));
+    put(out, d.abs_error_bound);
+    put(out, d.file_offset);
+    put(out, d.nbytes);
+    put(out, static_cast<std::uint64_t>(d.partitions.size()));
+    for (const auto& p : d.partitions) {
+      put(out, p.rank);
+      put(out, p.elem_offset);
+      put(out, p.elem_count);
+      put(out, p.file_offset);
+      put(out, p.reserved_bytes);
+      put(out, p.actual_bytes);
+      put(out, p.overflow_offset);
+      put(out, p.overflow_bytes);
+    }
+  }
+  return out;
+}
+
+std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  const auto n = get<std::uint32_t>(bytes, pos);
+  std::vector<DatasetDesc> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DatasetDesc d;
+    d.name = get_string(bytes, pos);
+    d.dtype = static_cast<DataType>(get<std::uint8_t>(bytes, pos));
+    d.layout = static_cast<Layout>(get<std::uint8_t>(bytes, pos));
+    d.filter = static_cast<FilterId>(get<std::uint32_t>(bytes, pos));
+    d.global_dims.d0 = get<std::uint64_t>(bytes, pos);
+    d.global_dims.d1 = get<std::uint64_t>(bytes, pos);
+    d.global_dims.d2 = get<std::uint64_t>(bytes, pos);
+    d.abs_error_bound = get<double>(bytes, pos);
+    d.file_offset = get<std::uint64_t>(bytes, pos);
+    d.nbytes = get<std::uint64_t>(bytes, pos);
+    const auto nparts = get<std::uint64_t>(bytes, pos);
+    d.partitions.resize(nparts);
+    for (auto& p : d.partitions) {
+      p.rank = get<std::uint32_t>(bytes, pos);
+      p.elem_offset = get<std::uint64_t>(bytes, pos);
+      p.elem_count = get<std::uint64_t>(bytes, pos);
+      p.file_offset = get<std::uint64_t>(bytes, pos);
+      p.reserved_bytes = get<std::uint64_t>(bytes, pos);
+      p.actual_bytes = get<std::uint64_t>(bytes, pos);
+      p.overflow_offset = get<std::uint64_t>(bytes, pos);
+      p.overflow_bytes = get<std::uint64_t>(bytes, pos);
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace pcw::h5

@@ -1,0 +1,80 @@
+// h5lite on-disk format.
+//
+// HDF5-inspired single shared file with deferred metadata:
+//
+//   [superblock: 32 B][data region ......][footer][EOF]
+//
+// Data is written offset-addressed (pwrite) by any number of writers; the
+// footer — the dataset table — is serialized once at close by rank 0 and
+// the superblock is patched to point at it. Deferred metadata is what lets
+// partitions land at *predicted* offsets without any metadata round-trip,
+// and lets overflow segments be appended after the main write wave.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sz/dims.h"
+
+namespace pcw::h5 {
+
+inline constexpr std::uint32_t kMagic = 0x35574350;  // "PCW5"
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint64_t kSuperblockSize = 32;
+
+enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1, kBytes = 2 };
+
+inline std::size_t element_size(DataType t) {
+  switch (t) {
+    case DataType::kFloat32: return 4;
+    case DataType::kFloat64: return 8;
+    case DataType::kBytes: return 1;
+  }
+  return 1;
+}
+
+enum class Layout : std::uint8_t {
+  kContiguous = 0,    // one extent, uncompressed
+  kPartitioned = 1,   // per-rank partitions, possibly filtered
+};
+
+enum class FilterId : std::uint32_t {
+  kNone = 0,
+  kSz = 1,            // pcw::sz error-bounded lossy filter (H5Z-SZ analog)
+  kZfp = 2,           // pcw::zfp fixed-rate lossy filter (H5Z-ZFP analog)
+};
+
+/// One rank's slice of a partitioned dataset.
+struct PartitionRecord {
+  std::uint32_t rank = 0;
+  std::uint64_t elem_offset = 0;     // first element in flattened global order
+  std::uint64_t elem_count = 0;
+  std::uint64_t file_offset = 0;     // start of the reserved slot
+  std::uint64_t reserved_bytes = 0;  // slot size (predicted * r_space)
+  std::uint64_t actual_bytes = 0;    // bytes of real (compressed) payload
+  // Overflow segment: payload bytes beyond the reserved slot, appended at
+  // the end of the data region after the main write wave (§III-D).
+  std::uint64_t overflow_offset = 0;
+  std::uint64_t overflow_bytes = 0;
+};
+
+struct DatasetDesc {
+  std::string name;
+  DataType dtype = DataType::kFloat32;
+  sz::Dims global_dims;              // logical extents of the whole field
+  Layout layout = Layout::kContiguous;
+  FilterId filter = FilterId::kNone;
+  double abs_error_bound = 0.0;      // informational, for filtered data
+  // kContiguous:
+  std::uint64_t file_offset = 0;
+  std::uint64_t nbytes = 0;
+  // kPartitioned:
+  std::vector<PartitionRecord> partitions;
+};
+
+/// Footer (dataset table) serialization.
+std::vector<std::uint8_t> serialize_footer(const std::vector<DatasetDesc>& datasets);
+std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace pcw::h5

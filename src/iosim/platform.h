@@ -1,0 +1,79 @@
+// Parallel-filesystem platform models.
+//
+// The paper's large-scale numbers come from Summit (GPFS/Alpine) and Bebop
+// (GPFS); neither is available here, so timing studies run against this
+// analytic platform model. It captures the three effects the paper's
+// results hinge on:
+//
+//   1. a *saturating per-process throughput curve* (Fig. 7): small
+//      requests get a fraction of the plateau — this is why compressed
+//      partitions write disproportionately slowly and why Eq. (2) using
+//      the plateau mispredicts at low bit-rates (Fig. 13);
+//   2. a *shared aggregate bandwidth* across concurrent writers
+//      (processor-sharing with per-writer caps, water-filling);
+//   3. *collective-write inefficiency*: collective writes achieve a
+//      fraction of independent-write bandwidth plus a per-operation
+//      synchronization cost growing with log2(P) — the paper cites
+//      ExaHDF5 [19] for independent >> collective and relies on it.
+//
+// Preset constants are calibrated so the Fig.-16 operating point (512
+// procs, ~14x ratio, balanced compression/write) reproduces the paper's
+// reported step ratios (1.87x / 1.79x / 1.30x); see EXPERIMENTS.md.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace pcw::iosim {
+
+struct Platform {
+  std::string name;
+
+  // Aggregate file-system bandwidth shared by all writers (bytes/s).
+  double aggregate_bw = 32e9;
+
+  // Per-process independent-write throughput: plateau * s / (s + half_size).
+  double per_proc_plateau = 200e6;   // bytes/s
+  double per_proc_half_size = 6e6;   // bytes
+
+  // Collective writes are penalized twice: the shared-file aggregate
+  // bandwidth available to a collective is derated (two-phase I/O,
+  // lock contention), and each process's own rate is derated
+  // (synchronized progress). ExaHDF5 [19] reports independent >>
+  // collective; the paper relies on that gap.
+  double collective_efficiency = 0.5;        // aggregate derate
+  double collective_proc_efficiency = 0.65;  // per-process derate
+
+  // Cost of one collective synchronization (barrier/offset exchange):
+  // alpha + beta * log2(P).
+  double sync_alpha = 3e-3;          // seconds
+  double sync_beta = 0.5e-3;         // seconds per log2(P)
+
+  // All-gather of one small value per rank: alpha + beta * log2(P).
+  double allgather_alpha = 0.3e-3;
+  double allgather_beta = 0.25e-3;
+
+  // Fixed setup latency per independent write request (seconds).
+  double write_latency = 0.2e-3;
+
+  double per_proc_throughput(double bytes) const {
+    return bytes <= 0.0 ? 0.0
+                        : per_proc_plateau * bytes / (bytes + per_proc_half_size);
+  }
+
+  double sync_cost(int nprocs) const {
+    return sync_alpha + sync_beta * std::log2(static_cast<double>(nprocs < 2 ? 2 : nprocs));
+  }
+
+  double allgather_cost(int nprocs) const {
+    return allgather_alpha +
+           allgather_beta * std::log2(static_cast<double>(nprocs < 2 ? 2 : nprocs));
+  }
+
+  /// Summit-like: high aggregate bandwidth, relatively cheap collectives.
+  static Platform summit();
+  /// Bebop-like: ~10x lower aggregate bandwidth, costlier collectives.
+  static Platform bebop();
+};
+
+}  // namespace pcw::iosim

@@ -1,0 +1,237 @@
+#include "iosim/simulator.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace pcw::iosim {
+
+Platform Platform::summit() {
+  // Calibrated against the paper's Fig.-16 operating point (512 procs,
+  // ~14-18x ratio, 256^3-per-rank weak scaling): per-process shared-file
+  // write throughput on Alpine-class GPFS is tens of MB/s once hundreds
+  // of writers contend, and the half-size of the Fig.-7 curve sits at
+  // ~10 MB, which is what makes small compressed writes slow relative to
+  // compression and the overlap/reordering profitable. See EXPERIMENTS.md
+  // for the calibration derivation.
+  Platform p;
+  p.name = "summit";
+  p.aggregate_bw = 15e9;
+  p.per_proc_plateau = 20e6;
+  p.per_proc_half_size = 12e6;
+  p.collective_efficiency = 0.5;
+  p.collective_proc_efficiency = 0.65;
+  p.sync_alpha = 3e-3;
+  p.sync_beta = 0.5e-3;
+  p.allgather_alpha = 0.3e-3;
+  p.allgather_beta = 0.25e-3;
+  p.write_latency = 0.2e-3;
+  return p;
+}
+
+Platform Platform::bebop() {
+  Platform p;
+  p.name = "bebop";
+  p.aggregate_bw = 1.8e9;
+  p.per_proc_plateau = 12e6;
+  p.per_proc_half_size = 8e6;
+  p.collective_efficiency = 0.5;
+  p.collective_proc_efficiency = 0.65;
+  p.sync_alpha = 5e-3;
+  p.sync_beta = 1.0e-3;
+  p.allgather_alpha = 0.5e-3;
+  p.allgather_beta = 0.4e-3;
+  p.write_latency = 0.5e-3;
+  return p;
+}
+
+namespace {
+
+// Max-min fair rate allocation (water-filling) of `capacity` across flows
+// with per-flow caps. rates[i] is written for each active index.
+void water_fill(const std::vector<std::size_t>& active,
+                const std::vector<double>& caps, double capacity,
+                std::vector<double>& rates) {
+  double remaining_capacity = capacity;
+  std::vector<std::size_t> unsettled = active;
+  // Iteratively give constrained flows their cap; split what remains.
+  while (!unsettled.empty()) {
+    const double share = remaining_capacity / static_cast<double>(unsettled.size());
+    bool any_capped = false;
+    for (std::size_t k = 0; k < unsettled.size();) {
+      const std::size_t j = unsettled[k];
+      if (caps[j] <= share) {
+        rates[j] = caps[j];
+        remaining_capacity -= caps[j];
+        unsettled[k] = unsettled.back();
+        unsettled.pop_back();
+        any_capped = true;
+      } else {
+        ++k;
+      }
+    }
+    if (!any_capped) {
+      for (const std::size_t j : unsettled) rates[j] = share;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+SimResult simulate_independent(const Platform& platform, std::span<const WriteJob> jobs) {
+  const std::size_t n = jobs.size();
+  SimResult result;
+  result.finish.assign(n, 0.0);
+  if (n == 0) return result;
+
+  std::vector<double> remaining(n), caps(n), arrival(n), rates(n, 0.0);
+  // Chain bookkeeping: a job is *eligible* once it has arrived AND every
+  // earlier (input-order) job of its chain has finished.
+  std::vector<std::size_t> chain_pred(n, SIZE_MAX);  // previous job in chain
+  {
+    std::vector<std::size_t> last_in_chain_sentinel;
+    std::vector<int> chain_ids;
+    std::vector<std::size_t> chain_last;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (jobs[i].chain >= 0) {
+        const int c = jobs[i].chain;
+        std::size_t slot = SIZE_MAX;
+        for (std::size_t k = 0; k < chain_ids.size(); ++k) {
+          if (chain_ids[k] == c) slot = k;
+        }
+        if (slot == SIZE_MAX) {
+          chain_ids.push_back(c);
+          chain_last.push_back(i);
+        } else {
+          chain_pred[i] = chain_last[slot];
+          chain_last[slot] = i;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (jobs[i].bytes < 0.0) throw std::invalid_argument("iosim: negative job size");
+    remaining[i] = jobs[i].bytes;
+    caps[i] = jobs[i].cap > 0.0 ? jobs[i].cap : platform.per_proc_throughput(jobs[i].bytes);
+    if (caps[i] <= 0.0) caps[i] = 1.0;  // zero-byte jobs finish instantly anyway
+    arrival[i] = jobs[i].arrival + platform.write_latency;
+  }
+
+  std::vector<bool> done(n, false), started(n, false);
+  std::vector<std::size_t> active;
+  std::size_t n_done = 0;
+  double now = 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  auto eligible = [&](std::size_t j) {
+    return !started[j] && arrival[j] <= now + 1e-15 &&
+           (chain_pred[j] == SIZE_MAX || done[chain_pred[j]]);
+  };
+
+  while (n_done < n) {
+    // Admit every eligible job; loop because retiring a zero-byte job can
+    // unblock its chain successor at the same instant.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!eligible(j)) continue;
+        started[j] = true;
+        changed = true;
+        if (remaining[j] <= 0.0) {
+          done[j] = true;
+          ++n_done;
+          result.finish[j] = std::max(now, arrival[j]);
+        } else {
+          active.push_back(j);
+        }
+      }
+    }
+
+    if (n_done == n) break;  // the admit pass can retire the final job
+
+    if (active.empty()) {
+      // Jump to the earliest pending arrival whose chain is unblocked (a
+      // blocked job's predecessor is unfinished, and nothing is active,
+      // so its predecessor must itself be waiting on its arrival).
+      double next_t = kInf;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!started[j] && arrival[j] > now &&
+            (chain_pred[j] == SIZE_MAX || done[chain_pred[j]])) {
+          next_t = std::min(next_t, arrival[j]);
+        }
+      }
+      if (next_t == kInf) throw std::runtime_error("iosim: deadlocked chains");
+      now = next_t;
+      continue;
+    }
+
+    water_fill(active, caps, platform.aggregate_bw, rates);
+
+    // Time to the next event: earliest completion or next relevant arrival.
+    double dt = kInf;
+    for (const std::size_t j : active) {
+      if (rates[j] > 0.0) dt = std::min(dt, remaining[j] / rates[j]);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!started[j] && arrival[j] > now) dt = std::min(dt, arrival[j] - now);
+    }
+    if (!(dt > 0.0) || dt == kInf) {
+      throw std::runtime_error("iosim: stalled simulation");
+    }
+
+    for (const std::size_t j : active) remaining[j] -= rates[j] * dt;
+    now += dt;
+    result.busy_seconds += dt;
+
+    // Retire completed flows.
+    for (std::size_t k = 0; k < active.size();) {
+      const std::size_t j = active[k];
+      if (remaining[j] <= 1e-9 * std::max(1.0, jobs[j].bytes)) {
+        result.finish[j] = now;
+        done[j] = true;
+        ++n_done;
+        active[k] = active.back();
+        active.pop_back();
+      } else {
+        ++k;
+      }
+    }
+  }
+
+  result.makespan = 0.0;
+  for (const double f : result.finish) result.makespan = std::max(result.makespan, f);
+  return result;
+}
+
+double simulate_collective(const Platform& platform, double start,
+                           std::span<const double> bytes_per_proc) {
+  const int nprocs = static_cast<int>(bytes_per_proc.size());
+  if (nprocs == 0) return start;
+  // Entry sync: offsets are exchanged and every rank waits for the slot
+  // assignment; exit sync: the collective returns together.
+  double t = start + platform.sync_cost(nprocs);
+
+  // All flows start together under derated bandwidth/caps; with identical
+  // start times the fluid completion is the max of per-flow lower bounds
+  // computed by a single water-filled simulation.
+  Platform derated = platform;
+  derated.aggregate_bw *= platform.collective_efficiency;
+  derated.write_latency = 0.0;
+  std::vector<WriteJob> jobs(static_cast<std::size_t>(nprocs));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].arrival = 0.0;
+    jobs[i].bytes = bytes_per_proc[i];
+    jobs[i].cap = platform.per_proc_throughput(bytes_per_proc[i]) *
+                  platform.collective_proc_efficiency;
+    jobs[i].proc = static_cast<int>(i);
+  }
+  const SimResult r = simulate_independent(derated, jobs);
+  t += r.makespan;
+  t += platform.sync_cost(nprocs);
+  return t;
+}
+
+}  // namespace pcw::iosim

@@ -1,0 +1,44 @@
+// Discrete-event parallel-write simulator.
+//
+// Writers are fluid flows sharing the platform's aggregate bandwidth
+// under per-flow caps (max-min fair / water-filling). Events are job
+// arrivals and completions; between events rates are constant, so the
+// simulation is exact for the fluid model, with O(E * J) cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "iosim/platform.h"
+
+namespace pcw::iosim {
+
+struct WriteJob {
+  double arrival = 0.0;    // seconds at which the data is ready to write
+  double bytes = 0.0;      // payload size
+  double cap = 0.0;        // per-flow rate cap (bytes/s); 0 = derive below
+  int proc = 0;            // owning process (informational)
+  int tag = 0;             // caller-defined id (field index etc.)
+  // Jobs sharing a chain id >= 0 are served strictly in input order (an
+  // async write queue drained by one background thread); -1 = no chain.
+  int chain = -1;
+};
+
+struct SimResult {
+  double makespan = 0.0;               // time the last byte lands
+  std::vector<double> finish;          // per job, same order as input
+  double busy_seconds = 0.0;           // integral of (aggregate in use > 0)
+};
+
+/// Simulates independent asynchronous writes. Jobs with cap == 0 get the
+/// platform per-process curve cap for their size; write_latency is added
+/// to each arrival.
+SimResult simulate_independent(const Platform& platform, std::span<const WriteJob> jobs);
+
+/// Simulates one collective write of `bytes_per_proc[i]` from each of P
+/// processes entering together at time `start`: derated bandwidth, entry
+/// and exit synchronization included. Returns completion time.
+double simulate_collective(const Platform& platform, double start,
+                           std::span<const double> bytes_per_proc);
+
+}  // namespace pcw::iosim

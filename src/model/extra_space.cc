@@ -1,0 +1,27 @@
+#include "model/extra_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcw::model {
+
+double effective_rspace(double rspace, double predicted_ratio) {
+  rspace = std::max(rspace, 1.0);
+  if (predicted_ratio > 32.0) {
+    return std::min(2.0, 1.0 + (rspace - 1.0) * 4.0);
+  }
+  return rspace;
+}
+
+double rspace_for_weight(double performance_weight) {
+  const double w = std::clamp(performance_weight, 0.0, 1.0);
+  // Concave map: sqrt gives ~half the head-room by w = 0.25, mirroring the
+  // steep initial drop in overflow probability seen in Fig. 9/14.
+  return kMinRspace + (kMaxRspace - kMinRspace) * std::sqrt(w);
+}
+
+double reserved_bytes(double predicted_bytes, double predicted_ratio, double rspace) {
+  return predicted_bytes * effective_rspace(rspace, predicted_ratio);
+}
+
+}  // namespace pcw::model

@@ -1,0 +1,35 @@
+// Extra-space policy (§III-D): how much head-room to reserve on top of
+// each partition's *predicted* compressed size so that mispredictions
+// rarely overflow.
+#pragma once
+
+namespace pcw::model {
+
+/// Supported R_space interval. Below 1.1 the overflow-handling cost
+/// explodes (the paper measured 32.4% overflowing partitions and +65.6%
+/// time at 1.1 with no margin to spare); above 1.43 storage is traded for
+/// negligible performance.
+inline constexpr double kMinRspace = 1.1;
+inline constexpr double kMaxRspace = 1.43;
+inline constexpr double kDefaultRspace = 1.25;
+
+/// Eq. (3): at predicted compression ratios above 32 the ratio model's
+/// accuracy collapses (Huffman saturates at 32x for f32 and the LZ stage
+/// dominates), so the reserved ratio is widened:
+///     r_space = min(2, 1 + (R_space - 1) * 4)      for ratio > 32.
+/// Below the threshold the user-chosen R_space applies unchanged.
+double effective_rspace(double rspace, double predicted_ratio);
+
+/// Fig. 9 mapping: converts a user preference weight w in [0, 1]
+/// (0 = minimize storage overhead, 1 = maximize write performance) to an
+/// R_space in [kMinRspace, kMaxRspace]. The curve is concave in w because
+/// the first head-room increments buy the most overflow reduction —
+/// matching the empirical average over Nyx/VPIC on both systems.
+double rspace_for_weight(double performance_weight);
+
+/// Bytes to reserve for a partition with predicted compressed size
+/// `predicted_bytes` and predicted ratio `predicted_ratio` under policy
+/// R_space (Eq. (3) applied automatically).
+double reserved_bytes(double predicted_bytes, double predicted_ratio, double rspace);
+
+}  // namespace pcw::model

@@ -1,0 +1,113 @@
+#include "model/throughput_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pcw::model {
+namespace {
+
+double model_mse(std::span<const ThroughputSample> samples, double c_min,
+                 double c_max, double a) {
+  double mse = 0.0;
+  for (const auto& s : samples) {
+    const double pred = std::clamp(
+        (c_max - c_min) * std::pow(s.bit_rate / 3.0, a) + c_min, c_min, c_max);
+    const double rel = (pred - s.throughput) / s.throughput;
+    mse += rel * rel;
+  }
+  return mse / static_cast<double>(samples.size());
+}
+
+}  // namespace
+
+CompressionThroughputModel CompressionThroughputModel::calibrate(
+    std::span<const ThroughputSample> samples) {
+  if (samples.size() < 3) {
+    throw std::invalid_argument("CompressionThroughputModel: need >= 3 samples");
+  }
+  double c_min = samples[0].throughput, c_max = samples[0].throughput;
+  for (const auto& s : samples) {
+    if (s.bit_rate <= 0.0 || s.throughput <= 0.0) {
+      throw std::invalid_argument("CompressionThroughputModel: non-positive sample");
+    }
+    c_min = std::min(c_min, s.throughput);
+    c_max = std::max(c_max, s.throughput);
+  }
+  if (c_max <= c_min) c_max = c_min * 1.01;  // degenerate flat profile
+
+  // Coarse grid then golden-section refinement on the exponent.
+  double best_a = -1.0, best_err = std::numeric_limits<double>::max();
+  for (double a = -4.0; a <= -0.1; a += 0.05) {
+    const double err = model_mse(samples, c_min, c_max, a);
+    if (err < best_err) {
+      best_err = err;
+      best_a = a;
+    }
+  }
+  double lo = best_a - 0.05, hi = best_a + 0.05;
+  constexpr double kPhi = 0.6180339887498949;
+  for (int it = 0; it < 40; ++it) {
+    const double m1 = hi - kPhi * (hi - lo);
+    const double m2 = lo + kPhi * (hi - lo);
+    if (model_mse(samples, c_min, c_max, m1) < model_mse(samples, c_min, c_max, m2)) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  return CompressionThroughputModel(c_min, c_max, 0.5 * (lo + hi));
+}
+
+double CompressionThroughputModel::throughput(double bit_rate) const {
+  if (bit_rate <= 0.0) return c_max_;
+  const double s = (c_max_ - c_min_) * std::pow(bit_rate / 3.0, a_) + c_min_;
+  return std::clamp(s, c_min_, c_max_);
+}
+
+double CompressionThroughputModel::predict_time(double original_bytes,
+                                                double bit_rate) const {
+  const double s = throughput(bit_rate);
+  return s > 0.0 ? original_bytes / s : 0.0;
+}
+
+WriteThroughputModel WriteThroughputModel::calibrate(
+    std::span<const WriteSample> samples) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("WriteThroughputModel: need >= 2 samples");
+  }
+  double plateau = 0.0;
+  for (const auto& s : samples) {
+    if (s.bytes <= 0.0 || s.throughput <= 0.0) {
+      throw std::invalid_argument("WriteThroughputModel: non-positive sample");
+    }
+    plateau = std::max(plateau, s.throughput);
+  }
+  // Least-squares grid over s_half in log space; thr(s)=P*s/(s+h) with P
+  // fixed to the observed max slightly inflated (the max sample itself is
+  // still below the asymptote).
+  plateau *= 1.05;
+  double best_h = 1e6, best_err = std::numeric_limits<double>::max();
+  for (double log_h = std::log(1e3); log_h <= std::log(1e9); log_h += 0.05) {
+    const double h = std::exp(log_h);
+    double err = 0.0;
+    for (const auto& s : samples) {
+      const double pred = plateau * s.bytes / (s.bytes + h);
+      const double rel = (pred - s.throughput) / s.throughput;
+      err += rel * rel;
+    }
+    if (err < best_err) {
+      best_err = err;
+      best_h = h;
+    }
+  }
+  return WriteThroughputModel(plateau, best_h);
+}
+
+double WriteThroughputModel::throughput(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  return plateau_ * bytes / (bytes + half_size_);
+}
+
+}  // namespace pcw::model

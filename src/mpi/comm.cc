@@ -1,0 +1,141 @@
+#include "mpi/comm.h"
+
+#include <map>
+#include <thread>
+
+namespace pcw::mpi {
+
+namespace detail {
+
+struct Group {
+  explicit Group(int n) : nranks(n), slots(static_cast<std::size_t>(n)) {}
+
+  const int nranks;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool aborted = false;
+
+  // Sense-reversing central barrier.
+  int arrived = 0;
+  std::uint64_t generation = 0;
+
+  // Collective exchange slots, one per rank. Protocol: write own slot,
+  // barrier, read all, barrier (the second barrier licenses slot reuse).
+  std::vector<std::vector<std::uint8_t>> slots;
+
+  // Point-to-point mailboxes keyed by (dest, source, tag).
+  struct MailboxKey {
+    int dest, source, tag;
+    auto operator<=>(const MailboxKey&) const = default;
+  };
+  std::map<MailboxKey, std::deque<std::vector<std::uint8_t>>> mailboxes;
+
+  void check_abort_locked() const {
+    if (aborted) throw AbortedError();
+  }
+
+  void abort() {
+    std::lock_guard lock(mu);
+    aborted = true;
+    cv.notify_all();
+  }
+
+  void barrier() {
+    std::unique_lock lock(mu);
+    check_abort_locked();
+    const std::uint64_t my_gen = generation;
+    if (++arrived == nranks) {
+      arrived = 0;
+      ++generation;
+      cv.notify_all();
+    } else {
+      cv.wait(lock, [&] { return generation != my_gen || aborted; });
+    }
+    check_abort_locked();
+  }
+};
+
+}  // namespace detail
+
+Comm::Comm(std::shared_ptr<detail::Group> group, int rank)
+    : group_(std::move(group)), rank_(rank) {}
+
+int Comm::size() const { return group_->nranks; }
+
+void Comm::barrier() { group_->barrier(); }
+
+std::vector<std::vector<std::uint8_t>> Comm::allgather_bytes(
+    std::span<const std::uint8_t> bytes) {
+  {
+    std::lock_guard lock(group_->mu);
+    group_->check_abort_locked();
+    group_->slots[static_cast<std::size_t>(rank_)].assign(bytes.begin(), bytes.end());
+  }
+  group_->barrier();
+  std::vector<std::vector<std::uint8_t>> out;
+  {
+    std::lock_guard lock(group_->mu);
+    group_->check_abort_locked();
+    out = group_->slots;  // copy: slots stay valid for the other readers
+  }
+  group_->barrier();
+  return out;
+}
+
+void Comm::send(int dest, int tag, std::span<const std::uint8_t> bytes) {
+  if (dest < 0 || dest >= group_->nranks) {
+    throw std::invalid_argument("mpi: send dest out of range");
+  }
+  std::lock_guard lock(group_->mu);
+  group_->check_abort_locked();
+  group_->mailboxes[{dest, rank_, tag}].emplace_back(bytes.begin(), bytes.end());
+  group_->cv.notify_all();
+}
+
+std::vector<std::uint8_t> Comm::recv(int source, int tag) {
+  if (source < 0 || source >= group_->nranks) {
+    throw std::invalid_argument("mpi: recv source out of range");
+  }
+  std::unique_lock lock(group_->mu);
+  const detail::Group::MailboxKey key{rank_, source, tag};
+  group_->cv.wait(lock, [&] {
+    const auto it = group_->mailboxes.find(key);
+    return group_->aborted || (it != group_->mailboxes.end() && !it->second.empty());
+  });
+  group_->check_abort_locked();
+  auto& queue = group_->mailboxes[key];
+  std::vector<std::uint8_t> msg = std::move(queue.front());
+  queue.pop_front();
+  return msg;
+}
+
+void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
+  if (nranks < 1 || nranks > 4096) {
+    throw std::invalid_argument("mpi: nranks must be in [1, 4096]");
+  }
+  auto group = std::make_shared<detail::Group>(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(group, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        {
+          std::lock_guard lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        group->abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pcw::mpi

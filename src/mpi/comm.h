@@ -1,0 +1,131 @@
+// Simulated MPI runtime: SPMD ranks as threads over shared memory.
+//
+// The paper's algorithms need exactly four communication primitives —
+// barrier, allgather (predicted sizes), allgatherv (overflow sizes,
+// metadata), and allreduce (timing reductions) — plus point-to-point for
+// completeness. This module provides them with MPI semantics (collective
+// calls must be entered by every rank of the communicator, in the same
+// order) so that pcw::core code reads like its MPI counterpart would.
+//
+// Error handling: if any rank throws, the runtime aborts the group —
+// ranks blocked in collectives wake with AbortedError — and
+// Runtime::run() rethrows the first rank's exception, so tests see
+// failures instead of deadlocks.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pcw::mpi {
+
+/// Thrown in ranks that were blocked in a collective when another rank
+/// failed.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("mpi: group aborted") {}
+};
+
+namespace detail {
+struct Group;
+}
+
+class Comm {
+ public:
+  Comm(std::shared_ptr<detail::Group> group, int rank);
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  void barrier();
+
+  /// Gathers one trivially-copyable value from each rank; result is
+  /// indexed by rank and identical on all ranks.
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    auto raw = allgather_bytes({p, sizeof(T)});
+    std::vector<T> out(raw.size());
+    for (std::size_t r = 0; r < raw.size(); ++r) {
+      if (raw[r].size() != sizeof(T)) throw std::runtime_error("mpi: allgather size");
+      std::memcpy(&out[r], raw[r].data(), sizeof(T));
+    }
+    return out;
+  }
+
+  /// Variable-length gather of trivially-copyable element spans.
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+    auto raw = allgather_bytes({p, values.size_bytes()});
+    std::vector<std::vector<T>> out(raw.size());
+    for (std::size_t r = 0; r < raw.size(); ++r) {
+      out[r].resize(raw[r].size() / sizeof(T));
+      std::memcpy(out[r].data(), raw[r].data(), raw[r].size());
+    }
+    return out;
+  }
+
+  template <typename T>
+  T allreduce_max(T value) {
+    auto all = allgather(value);
+    T best = all[0];
+    for (const T& v : all) best = std::max(best, v);
+    return best;
+  }
+
+  template <typename T>
+  T allreduce_min(T value) {
+    auto all = allgather(value);
+    T best = all[0];
+    for (const T& v : all) best = std::min(best, v);
+    return best;
+  }
+
+  template <typename T>
+  T allreduce_sum(T value) {
+    auto all = allgather(value);
+    T sum{};
+    for (const T& v : all) sum += v;
+    return sum;
+  }
+
+  /// One-to-all broadcast of a trivially-copyable value.
+  template <typename T>
+  T bcast(const T& value, int root) {
+    // Implemented over allgather for simplicity; collective semantics are
+    // identical and the message sizes here are tiny.
+    return allgather(value).at(static_cast<std::size_t>(root));
+  }
+
+  /// Blocking point-to-point with a small tag space.
+  void send(int dest, int tag, std::span<const std::uint8_t> bytes);
+  std::vector<std::uint8_t> recv(int source, int tag);
+
+  /// Byte-level allgatherv primitive the typed wrappers build on.
+  std::vector<std::vector<std::uint8_t>> allgather_bytes(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  std::shared_ptr<detail::Group> group_;
+  int rank_;
+};
+
+class Runtime {
+ public:
+  /// Runs `fn` on `nranks` SPMD ranks (threads) and joins them. Rethrows
+  /// the first rank exception, if any. Rank count must be in [1, 4096].
+  static void run(int nranks, const std::function<void(Comm&)>& fn);
+};
+
+}  // namespace pcw::mpi

@@ -1,0 +1,80 @@
+// pcw::sz top-level error-bounded lossy compressor (SZ3 stand-in).
+//
+// Pipeline: Lorenzo predict+quantize -> canonical Huffman -> LZ back end.
+// The container is self-describing: decompress() needs only the blob.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sz/dims.h"
+
+namespace pcw::sz {
+
+enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1 };
+
+enum class ErrorBoundMode : std::uint8_t {
+  kAbsolute = 0,   // |recon - orig| <= error_bound
+  kRelative = 1,   // |recon - orig| <= error_bound * (max - min)
+};
+
+struct Params {
+  ErrorBoundMode mode = ErrorBoundMode::kAbsolute;
+  double error_bound = 1e-3;
+  /// Half-width of the quantization codebook; alphabet is 2*radius codes.
+  /// SZ's default. Larger radius = fewer outliers, bigger codebook.
+  std::uint32_t radius = 32768;
+  /// Apply the LZ lossless stage when it shrinks the payload.
+  bool lossless = true;
+};
+
+/// Parsed container header, exposed for tests/benches/the ratio model.
+struct HeaderInfo {
+  DataType dtype = DataType::kFloat32;
+  Dims dims;
+  double abs_error_bound = 0.0;   // as applied (relative already resolved)
+  std::uint32_t radius = 0;
+  std::uint64_t outlier_count = 0;
+  bool lz_applied = false;
+  std::uint64_t payload_raw_size = 0;   // pre-LZ payload bytes
+  std::uint64_t header_size = 0;        // container header bytes
+};
+
+/// Compresses `data`; throws std::invalid_argument on bad params/sizes.
+template <typename T>
+std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
+                                   const Params& params);
+
+/// Decompresses a blob produced by compress<T>. Throws std::runtime_error
+/// on malformed input or element-type mismatch. If `dims_out` is non-null
+/// it receives the stored extents.
+template <typename T>
+std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out = nullptr);
+
+/// Parses the container header without touching the payload.
+HeaderInfo inspect(std::span<const std::uint8_t> blob);
+
+/// Bits per element for a compressed blob of `compressed_bytes` covering
+/// `element_count` values.
+inline double bit_rate(std::size_t compressed_bytes, std::size_t element_count) {
+  return element_count == 0
+             ? 0.0
+             : 8.0 * static_cast<double>(compressed_bytes) / static_cast<double>(element_count);
+}
+
+/// original/compressed size ratio for T-typed data.
+template <typename T>
+double compression_ratio(std::size_t compressed_bytes, std::size_t element_count) {
+  return compressed_bytes == 0 ? 0.0
+                               : static_cast<double>(element_count * sizeof(T)) /
+                                     static_cast<double>(compressed_bytes);
+}
+
+/// Resolves a Params error bound against concrete data (relative mode uses
+/// the value range). Exposed so the ratio model applies identical logic.
+template <typename T>
+double resolve_error_bound(std::span<const T> data, const Params& params);
+
+}  // namespace pcw::sz

@@ -1,0 +1,32 @@
+// Dataset extents. Row-major C order with the last dimension fastest,
+// matching how Nyx/VPIC field arrays are laid out on disk.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace pcw::sz {
+
+struct Dims {
+  // d0 is the slowest-varying dimension, d2 the fastest. 1-D data is
+  // {1, 1, n}; 2-D data is {1, rows, cols}.
+  std::size_t d0 = 1;
+  std::size_t d1 = 1;
+  std::size_t d2 = 1;
+
+  static Dims make_1d(std::size_t n) { return {1, 1, n}; }
+  static Dims make_2d(std::size_t rows, std::size_t cols) { return {1, rows, cols}; }
+  static Dims make_3d(std::size_t x, std::size_t y, std::size_t z) { return {x, y, z}; }
+
+  std::size_t count() const { return d0 * d1 * d2; }
+
+  /// Number of dimensions with extent > 1 (minimum 1).
+  int rank() const {
+    int r = (d0 > 1) + (d1 > 1) + (d2 > 1);
+    return r == 0 ? 1 : r;
+  }
+
+  bool operator==(const Dims&) const = default;
+};
+
+}  // namespace pcw::sz

@@ -1,0 +1,92 @@
+// Canonical Huffman codec over 32-bit symbols.
+//
+// This is the entropy stage of the pcw::sz compressor, mirroring SZ's
+// customized Huffman encoder: the alphabet is the quantization-code space
+// (2 * radius, typically 65536), but only the codes that actually occur
+// are present in the codebook. Canonical code assignment keeps the
+// serialized codebook small (symbol + bit length per entry) and makes
+// decoding table-driven.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitstream.h"
+
+namespace pcw::sz {
+
+/// Frequency table entry for codebook construction.
+struct SymbolCount {
+  std::uint32_t symbol = 0;
+  std::uint64_t count = 0;
+};
+
+class HuffmanEncoder {
+ public:
+  /// Builds a canonical codebook from symbol frequencies. Zero-count
+  /// entries are ignored; an empty/all-zero table yields an empty book.
+  explicit HuffmanEncoder(std::span<const SymbolCount> freqs);
+
+  /// Appends the codeword for `symbol` (must be in the codebook).
+  void encode(std::uint32_t symbol, util::BitWriter& out) const;
+
+  /// Serializes the codebook (count + per-symbol {varint symbol, u8 len}).
+  std::vector<std::uint8_t> serialize_codebook() const;
+
+  /// Total encoded size in bits if each symbol s occurs freqs[s] times —
+  /// used by the ratio model to cost a hypothetical encoding.
+  std::uint64_t cost_bits(std::span<const SymbolCount> freqs) const;
+
+  int max_code_length() const { return max_len_; }
+  std::size_t distinct_symbols() const { return lengths_.size(); }
+
+ private:
+  friend class HuffmanDecoder;
+  // Sorted by (length, symbol): canonical order.
+  std::vector<std::uint32_t> symbols_;
+  std::vector<std::uint8_t> lengths_;        // parallel to symbols_
+  // Dense lookup: symbol -> (reversed code, length); index by symbol via map
+  // from symbol to slot. For the quantization alphabet symbols are dense
+  // around the radius, so we use a hash-free two-table scheme: a direct
+  // vector covering [min_sym, max_sym].
+  std::uint32_t min_sym_ = 0;
+  std::vector<std::uint32_t> code_of_;       // reversed bits, LSB-first stream
+  std::vector<std::uint8_t> len_of_;
+  int max_len_ = 0;
+};
+
+class HuffmanDecoder {
+ public:
+  /// Reconstructs the codebook from HuffmanEncoder::serialize_codebook
+  /// output. Returns bytes consumed via `consumed`.
+  HuffmanDecoder(std::span<const std::uint8_t> codebook, std::size_t* consumed);
+
+  /// Decodes one symbol.
+  std::uint32_t decode(util::BitReader& in) const;
+
+  std::size_t distinct_symbols() const { return symbols_.size(); }
+
+ private:
+  static constexpr int kFastBits = 11;
+
+  std::vector<std::uint32_t> symbols_;       // canonical order
+  std::vector<std::uint8_t> lengths_;
+  // Canonical decode tables per length.
+  std::vector<std::uint32_t> first_code_;    // index: length
+  std::vector<std::uint32_t> first_index_;   // index into symbols_
+  int max_len_ = 0;
+  // Fast path: next kFastBits of the (LSB-first) stream -> symbol index+len.
+  struct FastEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t len = 0;                    // 0 = slow path
+  };
+  std::vector<FastEntry> fast_;
+};
+
+/// Computes canonical code lengths for the given frequencies via the
+/// standard two-queue/heap Huffman construction. Exposed for the ratio
+/// model, which costs hypothetical codebooks without encoding.
+std::vector<std::uint8_t> huffman_code_lengths(std::span<const SymbolCount> freqs);
+
+}  // namespace pcw::sz

@@ -1,0 +1,128 @@
+#include "sz/lorenzo.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcw::sz {
+namespace {
+
+// Lorenzo predictor over the reconstruction buffer. Out-of-range
+// neighbours contribute 0 (zero-padding), so the very first point is
+// predicted as 0 and the first row/plane degrade to lower-order stencils.
+template <typename T>
+double predict(const T* recon, std::size_t i, std::size_t x, std::size_t y,
+               std::size_t z, std::size_t sx, std::size_t sy) {
+  const bool has_x = x > 0, has_y = y > 0, has_z = z > 0;
+  double p = 0.0;
+  if (has_z) p += static_cast<double>(recon[i - 1]);
+  if (has_y) p += static_cast<double>(recon[i - sy]);
+  if (has_x) p += static_cast<double>(recon[i - sx]);
+  if (has_y && has_z) p -= static_cast<double>(recon[i - sy - 1]);
+  if (has_x && has_z) p -= static_cast<double>(recon[i - sx - 1]);
+  if (has_x && has_y) p -= static_cast<double>(recon[i - sx - sy]);
+  if (has_x && has_y && has_z) p += static_cast<double>(recon[i - sx - sy - 1]);
+  return p;
+}
+
+}  // namespace
+
+template <typename T>
+QuantizeResult<T> lorenzo_quantize(std::span<const T> data, const Dims& dims,
+                                   double eb, std::uint32_t radius) {
+  if (data.size() != dims.count()) {
+    throw std::invalid_argument("lorenzo_quantize: data size != dims.count()");
+  }
+  if (eb <= 0.0) throw std::invalid_argument("lorenzo_quantize: eb must be > 0");
+  if (radius < 2) throw std::invalid_argument("lorenzo_quantize: radius must be >= 2");
+
+  QuantizeResult<T> result;
+  result.codes.resize(data.size());
+  std::vector<T> recon(data.size());
+
+  const double twice_eb = 2.0 * eb;
+  const std::size_t sx = dims.d1 * dims.d2;
+  const std::size_t sy = dims.d2;
+  const auto max_q = static_cast<long long>(radius) - 1;
+
+  std::size_t i = 0;
+  for (std::size_t x = 0; x < dims.d0; ++x) {
+    for (std::size_t y = 0; y < dims.d1; ++y) {
+      for (std::size_t z = 0; z < dims.d2; ++z, ++i) {
+        const double orig = static_cast<double>(data[i]);
+        const double pred = predict(recon.data(), i, x, y, z, sx, sy);
+        const double diff = orig - pred;
+        const double scaled = diff / twice_eb;
+        bool predictable = std::abs(scaled) <= static_cast<double>(max_q);
+        long long q = 0;
+        double rec = 0.0;
+        if (predictable) {
+          q = std::llround(scaled);
+          rec = pred + static_cast<double>(q) * twice_eb;
+          // Verify against the original in the *storage* precision: the
+          // value the decompressor reproduces is T(rec), so the bound must
+          // hold after the narrowing conversion too.
+          predictable = std::abs(static_cast<double>(static_cast<T>(rec)) - orig) <= eb;
+        }
+        if (predictable) {
+          result.codes[i] = static_cast<std::uint32_t>(q + static_cast<long long>(radius));
+          recon[i] = static_cast<T>(rec);
+        } else {
+          result.codes[i] = 0;
+          result.outliers.push_back(data[i]);
+          recon[i] = data[i];
+        }
+      }
+    }
+  }
+  return result;
+}
+
+template <typename T>
+void lorenzo_dequantize(std::span<const std::uint32_t> codes,
+                        std::span<const T> outliers, const Dims& dims, double eb,
+                        std::uint32_t radius, std::span<T> out) {
+  if (codes.size() != dims.count() || out.size() != dims.count()) {
+    throw std::invalid_argument("lorenzo_dequantize: size mismatch");
+  }
+  const double twice_eb = 2.0 * eb;
+  const std::size_t sx = dims.d1 * dims.d2;
+  const std::size_t sy = dims.d2;
+
+  std::size_t next_outlier = 0;
+  std::size_t i = 0;
+  for (std::size_t x = 0; x < dims.d0; ++x) {
+    for (std::size_t y = 0; y < dims.d1; ++y) {
+      for (std::size_t z = 0; z < dims.d2; ++z, ++i) {
+        const std::uint32_t code = codes[i];
+        if (code == 0) {
+          if (next_outlier >= outliers.size()) {
+            throw std::runtime_error("lorenzo_dequantize: outlier underrun");
+          }
+          out[i] = outliers[next_outlier++];
+        } else {
+          const double pred = predict(out.data(), i, x, y, z, sx, sy);
+          const auto q = static_cast<long long>(code) - static_cast<long long>(radius);
+          out[i] = static_cast<T>(pred + static_cast<double>(q) * twice_eb);
+        }
+      }
+    }
+  }
+  if (next_outlier != outliers.size()) {
+    throw std::runtime_error("lorenzo_dequantize: outlier overrun");
+  }
+}
+
+template QuantizeResult<float> lorenzo_quantize<float>(std::span<const float>,
+                                                       const Dims&, double,
+                                                       std::uint32_t);
+template QuantizeResult<double> lorenzo_quantize<double>(std::span<const double>,
+                                                         const Dims&, double,
+                                                         std::uint32_t);
+template void lorenzo_dequantize<float>(std::span<const std::uint32_t>,
+                                        std::span<const float>, const Dims&, double,
+                                        std::uint32_t, std::span<float>);
+template void lorenzo_dequantize<double>(std::span<const std::uint32_t>,
+                                         std::span<const double>, const Dims&, double,
+                                         std::uint32_t, std::span<double>);
+
+}  // namespace pcw::sz

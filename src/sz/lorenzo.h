@@ -1,0 +1,47 @@
+// Lorenzo prediction + error-bounded linear quantization.
+//
+// This is the decorrelation stage of the pcw::sz compressor, matching the
+// structure of SZ's "best-fit" default path:
+//   * each point is predicted from already-reconstructed neighbours
+//     (1-, 2- or 3-D Lorenzo stencil, zero-padded at boundaries),
+//   * the prediction residual is quantized to an integer multiple of
+//     2*error_bound,
+//   * residuals outside the bounded codebook (|q| >= radius) fall back to
+//     storing the raw value ("unpredictable data" in SZ terminology).
+//
+// Predicting from *reconstructed* values — not originals — is what makes
+// the point-wise error bound compose: every reconstructed neighbour is
+// itself within eb of its original, and the quantizer re-centres on the
+// actual prediction each step, so |recon - orig| <= eb holds point-wise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sz/dims.h"
+
+namespace pcw::sz {
+
+/// Quantization-code alphabet: code 0 marks an unpredictable point whose
+/// raw value is stored in `outliers`; codes [1, 2*radius-1] encode the
+/// signed residual q = code - radius.
+template <typename T>
+struct QuantizeResult {
+  std::vector<std::uint32_t> codes;  // one per input point
+  std::vector<T> outliers;           // raw values of code==0 points, in order
+};
+
+/// Quantizes `data` with point-wise absolute error bound `eb`.
+/// radius must be >= 2; SZ's default 32768 gives a 65536-code alphabet.
+template <typename T>
+QuantizeResult<T> lorenzo_quantize(std::span<const T> data, const Dims& dims,
+                                   double eb, std::uint32_t radius);
+
+/// Inverse transform. `out` must have dims.count() elements.
+template <typename T>
+void lorenzo_dequantize(std::span<const std::uint32_t> codes,
+                        std::span<const T> outliers, const Dims& dims, double eb,
+                        std::uint32_t radius, std::span<T> out);
+
+}  // namespace pcw::sz

@@ -1,0 +1,36 @@
+// Byte-oriented LZ77 back end (LZ4-like token format).
+//
+// SZ applies a general-purpose lossless compressor (zstd) after Huffman
+// coding; this module is our from-scratch stand-in. It matters most at
+// very high compression ratios, where the Huffman stream still contains
+// long runs (e.g. all-zero quantization codes) that entropy coding alone
+// cannot collapse below 1 bit/symbol — exactly the regime the paper's
+// Eq. (3) compensates for.
+//
+// Format (repeats until input consumed):
+//   token byte: high nibble = literal run length (15 => extended bytes),
+//               low nibble  = match length - kMinMatch (15 => extended)
+//   [extended literal length: 255-terminated byte sequence]
+//   literal bytes
+//   match offset: u16 little-endian (1..65535), absent in the final
+//                 literal-only sequence
+//   [extended match length bytes]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pcw::sz {
+
+/// Greedy hash-chain LZ compressor. Never fails; worst case the output is
+/// input size + small per-block overhead.
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> input);
+
+/// Inverse of lz_compress. `expected_size` is the decoded size recorded by
+/// the caller (the compressor container stores it); used to preallocate
+/// and to validate.
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> input,
+                                        std::size_t expected_size);
+
+}  // namespace pcw::sz

@@ -1,0 +1,62 @@
+#include "util/bitstream.h"
+
+#include <cassert>
+
+namespace pcw::util {
+
+void BitWriter::put(std::uint64_t bits, int nbits) {
+  assert(nbits >= 0 && nbits <= 57);
+  assert(nbits == 64 || (bits >> nbits) == 0);
+  acc_ |= bits << nbits_;
+  nbits_ += nbits;
+  while (nbits_ >= 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc_));
+    acc_ >>= 8;
+    nbits_ -= 8;
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (nbits_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc_));
+  }
+  acc_ = 0;
+  nbits_ = 0;
+  std::vector<std::uint8_t> out;
+  out.swap(bytes_);
+  return out;
+}
+
+void BitReader::refill() {
+  while (avail_ <= 56 && byte_pos_ < bytes_.size()) {
+    acc_ |= static_cast<std::uint64_t>(bytes_[byte_pos_++]) << avail_;
+    avail_ += 8;
+  }
+}
+
+std::uint64_t BitReader::get(int nbits) {
+  assert(nbits >= 0 && nbits <= 57);
+  if (avail_ < nbits) refill();
+  const std::uint64_t mask = nbits == 0 ? 0 : (~0ull >> (64 - nbits));
+  const std::uint64_t out = acc_ & mask;
+  acc_ >>= nbits;
+  avail_ -= nbits;
+  bit_pos_ += nbits;
+  return out;
+}
+
+std::uint64_t BitReader::peek(int nbits) {
+  assert(nbits >= 0 && nbits <= 57);
+  if (avail_ < nbits) refill();
+  const std::uint64_t mask = nbits == 0 ? 0 : (~0ull >> (64 - nbits));
+  return acc_ & mask;
+}
+
+void BitReader::skip(int nbits) {
+  assert(nbits <= avail_);
+  acc_ >>= nbits;
+  avail_ -= nbits;
+  bit_pos_ += nbits;
+}
+
+}  // namespace pcw::util

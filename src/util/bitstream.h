@@ -1,0 +1,65 @@
+// Bit-granular serialization used by the Huffman codec.
+//
+// The writer accumulates into a 64-bit register and spills whole bytes,
+// so the per-symbol cost is one shift/or plus an occasional memcpy; this
+// is what keeps the compressor in the hundreds-of-MB/s range the paper's
+// throughput model (Fig. 5) assumes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pcw::util {
+
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `nbits` bits of `bits` (LSB-first within the stream).
+  /// nbits must be in [0, 57]; longer fields are split by callers.
+  void put(std::uint64_t bits, int nbits);
+
+  /// Flushes the partial register and returns the finished byte stream.
+  /// The writer is left empty and reusable.
+  std::vector<std::uint8_t> finish();
+
+  /// Number of bits written so far (excluding padding).
+  std::size_t bit_count() const { return bytes_.size() * 8 + nbits_; }
+
+  void reserve_bytes(std::size_t n) { bytes_.reserve(n); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Reads `nbits` bits (matching BitWriter::put order). nbits in [0, 57].
+  std::uint64_t get(int nbits);
+
+  /// Peeks up to `nbits` without consuming; bits past the end read as zero.
+  std::uint64_t peek(int nbits);
+
+  /// Consumes `nbits` previously peeked bits.
+  void skip(int nbits);
+
+  std::size_t bits_consumed() const { return bit_pos_; }
+  bool exhausted() const { return bit_pos_ >= bytes_.size() * 8; }
+
+ private:
+  void refill();
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t byte_pos_ = 0;   // next byte to load into the register
+  std::size_t bit_pos_ = 0;    // absolute bits consumed
+  std::uint64_t acc_ = 0;      // register of loaded-but-unconsumed bits
+  int avail_ = 0;              // valid bits in acc_
+};
+
+}  // namespace pcw::util

@@ -1,0 +1,53 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pcw::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double value) {
+  const double span = hi_ - lo_;
+  std::size_t bin = 0;
+  if (span > 0) {
+    const double t = (value - lo_) / span;
+    const auto idx = static_cast<long long>(t * static_cast<double>(counts_.size()));
+    bin = static_cast<std::size_t>(
+        std::clamp<long long>(idx, 0, static_cast<long long>(counts_.size()) - 1));
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::fraction(std::size_t bin) const {
+  return total_ == 0 ? 0.0 : static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[96];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar = counts_[b] * width / peak;
+    std::snprintf(buf, sizeof(buf), "[%7.3f,%7.3f) %8zu |", bin_lo(b), bin_hi(b), counts_[b]);
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pcw::util

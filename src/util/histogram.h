@@ -1,0 +1,38 @@
+// Fixed-bin histogram used for bit-rate distributions (Fig. 1) and
+// quantization-code statistics in the ratio model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pcw::util {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are clamped to end bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Fraction of samples in a bin (0 when empty).
+  double fraction(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart, one line per bin, `width` chars max bar.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pcw::util

@@ -1,0 +1,37 @@
+// Small statistics toolkit used by the prediction models and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pcw::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Empty input returns 0.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Mean absolute percentage error of predictions vs actuals, in [0, inf).
+/// Pairs whose actual value is 0 are skipped.
+double mape(std::span<const double> predicted, std::span<const double> actual);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+}  // namespace pcw::util

@@ -1,0 +1,31 @@
+// Column-aligned plain-text table printer for bench output.
+//
+// Every bench binary reproduces one paper table/figure by printing rows;
+// this keeps their formatting uniform and diff-friendly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pcw::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  /// Formats a byte count with binary-unit suffix (KiB/MiB/GiB).
+  static std::string fmt_bytes(double bytes);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcw::util

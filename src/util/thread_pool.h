@@ -1,0 +1,57 @@
+// Fixed-size work-queue thread pool.
+//
+// Used by h5lite's async I/O queue and by benches that pre-generate data.
+// The pool is deliberately simple (single mutex-protected deque): tasks in
+// this codebase are coarse (compress a field, write a partition), so queue
+// contention is negligible against task cost.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcw::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future observes its completion/exception.
+  template <typename F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until every queued and running task has finished.
+  void wait_idle();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pcw::util

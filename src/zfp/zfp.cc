@@ -1,0 +1,272 @@
+#include "zfp/zfp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace pcw::zfp {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50465A50;  // "PZFP"
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 40;
+constexpr int kBlockEdge = 4;
+constexpr int kBlockSize = 64;
+constexpr int kFixedPointBits = 30;
+constexpr std::uint32_t kNegabinaryMask = 0xaaaaaaaau;
+// Biased block exponent; 0 is reserved for an all-zero block.
+constexpr int kExponentBias = 16384;
+
+// Sequency (total-degree) ordering of the 4x4x4 coefficient cube: low-
+// frequency coefficients first, so bit-plane truncation discards the
+// highest-frequency detail. Computed once.
+const std::array<std::uint8_t, kBlockSize>& sequency_order() {
+  static const std::array<std::uint8_t, kBlockSize> order = [] {
+    std::array<std::uint8_t, kBlockSize> idx{};
+    for (int i = 0; i < kBlockSize; ++i) idx[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    std::stable_sort(idx.begin(), idx.end(), [](std::uint8_t a, std::uint8_t b) {
+      const int da = (a & 3) + ((a >> 2) & 3) + ((a >> 4) & 3);
+      const int db = (b & 3) + ((b >> 2) & 3) + ((b >> 4) & 3);
+      return da < db;
+    });
+    return idx;
+  }();
+  return order;
+}
+
+// ZFP's integer lifting transform on a stride-s 4-vector (Lindstrom'14).
+void fwd_lift(std::int32_t* p, std::size_t s) {
+  std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+void inv_lift(std::int32_t* p, std::size_t s) {
+  std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+std::uint32_t to_negabinary(std::int32_t x) {
+  return (static_cast<std::uint32_t>(x) + kNegabinaryMask) ^ kNegabinaryMask;
+}
+
+std::int32_t from_negabinary(std::uint32_t u) {
+  return static_cast<std::int32_t>((u ^ kNegabinaryMask) - kNegabinaryMask);
+}
+
+struct Geometry {
+  std::size_t bx, by, bz;        // blocks per dimension
+  std::size_t block_bytes;       // exponent + payload per block
+  std::size_t payload_bits;      // rate * 64
+};
+
+Geometry geometry(const sz::Dims& dims, const Params& params) {
+  if (params.rate_bits < 2 || params.rate_bits > 32) {
+    throw std::invalid_argument("zfp: rate must be in [2, 32] bits/value");
+  }
+  Geometry g;
+  g.bx = (dims.d0 + kBlockEdge - 1) / kBlockEdge;
+  g.by = (dims.d1 + kBlockEdge - 1) / kBlockEdge;
+  g.bz = (dims.d2 + kBlockEdge - 1) / kBlockEdge;
+  g.payload_bits = static_cast<std::size_t>(params.rate_bits) * kBlockSize;
+  g.block_bytes = 2 + (g.payload_bits + 7) / 8;
+  return g;
+}
+
+}  // namespace
+
+std::size_t compressed_size(const sz::Dims& dims, const Params& params) {
+  const Geometry g = geometry(dims, params);
+  return kHeaderBytes + g.bx * g.by * g.bz * g.block_bytes;
+}
+
+std::vector<std::uint8_t> compress(std::span<const float> data, const sz::Dims& dims,
+                                   const Params& params) {
+  if (data.size() != dims.count() || data.empty()) {
+    throw std::invalid_argument("zfp: data size must equal dims.count() and be > 0");
+  }
+  const Geometry g = geometry(dims, params);
+  std::vector<std::uint8_t> out(compressed_size(dims, params), 0);
+
+  // Header.
+  std::size_t pos = 0;
+  auto put = [&](const void* p, std::size_t n) {
+    std::memcpy(out.data() + pos, p, n);
+    pos += n;
+  };
+  const std::uint8_t rate = static_cast<std::uint8_t>(params.rate_bits);
+  const std::uint64_t d0 = dims.d0, d1 = dims.d1, d2 = dims.d2;
+  put(&kMagic, 4);
+  put(&kVersion, 1);
+  put(&rate, 1);
+  pos += 2;  // reserved
+  put(&d0, 8);
+  put(&d1, 8);
+  put(&d2, 8);
+  pos = kHeaderBytes;
+
+  const std::size_t sx = dims.d1 * dims.d2;
+  const std::size_t sy = dims.d2;
+
+  std::int32_t coeffs[kBlockSize];
+  std::uint32_t nb[kBlockSize];
+  for (std::size_t cx = 0; cx < g.bx; ++cx) {
+    for (std::size_t cy = 0; cy < g.by; ++cy) {
+      for (std::size_t cz = 0; cz < g.bz; ++cz) {
+        // Gather with replicate-clamp padding.
+        float block[kBlockSize];
+        float max_abs = 0.0f;
+        for (int i = 0; i < kBlockEdge; ++i) {
+          const std::size_t x = std::min(cx * kBlockEdge + static_cast<std::size_t>(i), dims.d0 - 1);
+          for (int j = 0; j < kBlockEdge; ++j) {
+            const std::size_t y = std::min(cy * kBlockEdge + static_cast<std::size_t>(j), dims.d1 - 1);
+            for (int k = 0; k < kBlockEdge; ++k) {
+              const std::size_t z = std::min(cz * kBlockEdge + static_cast<std::size_t>(k), dims.d2 - 1);
+              const float v = data[x * sx + y * sy + z];
+              block[(i * 4 + j) * 4 + k] = v;
+              max_abs = std::max(max_abs, std::abs(v));
+            }
+          }
+        }
+
+        std::uint16_t stored_exp = 0;
+        if (max_abs > 0.0f && std::isfinite(static_cast<double>(max_abs))) {
+          const int e = std::ilogb(max_abs) + 1;
+          stored_exp = static_cast<std::uint16_t>(e + kExponentBias);
+          // Fixed point: values scaled so the largest fits 30 bits. The
+          // lifting transform's averaging steps shrink magnitudes, so
+          // int32 arithmetic cannot overflow from this range.
+          for (int i = 0; i < kBlockSize; ++i) {
+            coeffs[i] = static_cast<std::int32_t>(
+                std::ldexp(static_cast<double>(block[i]), kFixedPointBits - e));
+          }
+          // Separable transform: z (stride 1), y (stride 4), x (stride 16).
+          for (int a = 0; a < 16; ++a) fwd_lift(coeffs + a * 4, 1);
+          for (int a = 0; a < 16; ++a) fwd_lift(coeffs + (a / 4) * 16 + (a % 4), 4);
+          for (int a = 0; a < 16; ++a) fwd_lift(coeffs + a, 16);
+          const auto& order = sequency_order();
+          for (int i = 0; i < kBlockSize; ++i) nb[i] = to_negabinary(coeffs[order[static_cast<std::size_t>(i)]]);
+        } else {
+          std::memset(nb, 0, sizeof(nb));
+        }
+
+        std::memcpy(out.data() + pos, &stored_exp, 2);
+        std::uint8_t* payload = out.data() + pos + 2;
+        if (stored_exp != 0) {
+          // Bit planes MSB-first, truncated at the budget.
+          std::size_t bit = 0;
+          for (int plane = 31; plane >= 0 && bit < g.payload_bits; --plane) {
+            for (int i = 0; i < kBlockSize && bit < g.payload_bits; ++i, ++bit) {
+              if ((nb[i] >> plane) & 1u) {
+                payload[bit >> 3] |= static_cast<std::uint8_t>(1u << (bit & 7));
+              }
+            }
+          }
+        }
+        pos += g.block_bytes;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> blob, sz::Dims* dims_out) {
+  if (blob.size() < kHeaderBytes) throw std::runtime_error("zfp: truncated header");
+  std::size_t pos = 0;
+  auto get = [&](void* p, std::size_t n) {
+    std::memcpy(p, blob.data() + pos, n);
+    pos += n;
+  };
+  std::uint32_t magic;
+  std::uint8_t version, rate;
+  get(&magic, 4);
+  get(&version, 1);
+  get(&rate, 1);
+  pos += 2;
+  if (magic != kMagic) throw std::runtime_error("zfp: bad magic");
+  if (version != kVersion) throw std::runtime_error("zfp: unsupported version");
+  std::uint64_t d0, d1, d2;
+  get(&d0, 8);
+  get(&d1, 8);
+  get(&d2, 8);
+  pos = kHeaderBytes;
+
+  sz::Dims dims{d0, d1, d2};
+  Params params;
+  params.rate_bits = rate;
+  const Geometry g = geometry(dims, params);
+  if (blob.size() != compressed_size(dims, params)) {
+    throw std::runtime_error("zfp: blob size mismatch");
+  }
+
+  std::vector<float> out(dims.count());
+  const std::size_t sx = dims.d1 * dims.d2;
+  const std::size_t sy = dims.d2;
+
+  std::uint32_t nb[kBlockSize];
+  std::int32_t coeffs[kBlockSize];
+  for (std::size_t cx = 0; cx < g.bx; ++cx) {
+    for (std::size_t cy = 0; cy < g.by; ++cy) {
+      for (std::size_t cz = 0; cz < g.bz; ++cz) {
+        std::uint16_t stored_exp;
+        std::memcpy(&stored_exp, blob.data() + pos, 2);
+        const std::uint8_t* payload = blob.data() + pos + 2;
+        pos += g.block_bytes;
+
+        float block[kBlockSize];
+        if (stored_exp == 0) {
+          std::memset(block, 0, sizeof(block));
+        } else {
+          std::memset(nb, 0, sizeof(nb));
+          std::size_t bit = 0;
+          for (int plane = 31; plane >= 0 && bit < g.payload_bits; --plane) {
+            for (int i = 0; i < kBlockSize && bit < g.payload_bits; ++i, ++bit) {
+              if ((payload[bit >> 3] >> (bit & 7)) & 1u) {
+                nb[i] |= 1u << plane;
+              }
+            }
+          }
+          const auto& order = sequency_order();
+          for (int i = 0; i < kBlockSize; ++i) coeffs[order[static_cast<std::size_t>(i)]] = from_negabinary(nb[i]);
+          for (int a = 0; a < 16; ++a) inv_lift(coeffs + a, 16);
+          for (int a = 0; a < 16; ++a) inv_lift(coeffs + (a / 4) * 16 + (a % 4), 4);
+          for (int a = 0; a < 16; ++a) inv_lift(coeffs + a * 4, 1);
+          const int e = static_cast<int>(stored_exp) - kExponentBias;
+          for (int i = 0; i < kBlockSize; ++i) {
+            block[i] = static_cast<float>(
+                std::ldexp(static_cast<double>(coeffs[i]), e - kFixedPointBits));
+          }
+        }
+
+        // Scatter, dropping padded samples.
+        for (int i = 0; i < kBlockEdge; ++i) {
+          const std::size_t x = cx * kBlockEdge + static_cast<std::size_t>(i);
+          if (x >= dims.d0) break;
+          for (int j = 0; j < kBlockEdge; ++j) {
+            const std::size_t y = cy * kBlockEdge + static_cast<std::size_t>(j);
+            if (y >= dims.d1) break;
+            for (int k = 0; k < kBlockEdge; ++k) {
+              const std::size_t z = cz * kBlockEdge + static_cast<std::size_t>(k);
+              if (z >= dims.d2) break;
+              out[x * sx + y * sy + z] = block[(i * 4 + j) * 4 + k];
+            }
+          }
+        }
+      }
+    }
+  }
+  if (dims_out != nullptr) *dims_out = dims;
+  return out;
+}
+
+}  // namespace pcw::zfp

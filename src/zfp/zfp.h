@@ -1,0 +1,55 @@
+// pcw::zfp — fixed-rate transform-based lossy compressor (ZFP stand-in).
+//
+// The paper names ZFP support as future work; this module provides it and
+// enables an ablation the paper implies but never runs: with a *fixed-
+// rate* compressor every partition's compressed size is exactly
+// rate * n / 8 bytes, so offsets are computable with **zero** prediction
+// error — no extra space, no overflow handling (see
+// bench_ablation_fixed_rate).
+//
+// Algorithm (following Lindstrom'14, simplified):
+//   * the field is partitioned into 4x4x4 blocks (edges padded by
+//     replicating the nearest sample),
+//   * each block is block-normalized to a common exponent and converted
+//     to 30-bit fixed point,
+//   * a separable integer lifting transform decorrelates each axis,
+//   * coefficients are reordered by total sequency and mapped to
+//     negabinary so sign information embeds into magnitude bits,
+//   * bit planes are emitted MSB-first until the per-block bit budget
+//     (rate * block-size) is exhausted — truncation IS the compression.
+//
+// Fixed-rate mode trades the error bound for a size guarantee: the
+// per-value rate is exact, the point-wise error is data-dependent (but
+// decays ~2x per extra bit/value on smooth data; tests pin this).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sz/dims.h"
+
+namespace pcw::zfp {
+
+struct Params {
+  /// Bits per value, in [2, 32] for f32 (the block header adds ~0.25
+  /// bits/value on top). Rates are rounded up to whole bits.
+  int rate_bits = 8;
+};
+
+/// Exact compressed size for `count` elements at this rate, including the
+/// container header and per-block overheads — the property the fixed-rate
+/// write path relies on. Identical on every rank for identical counts.
+std::size_t compressed_size(const sz::Dims& dims, const Params& params);
+
+/// Compresses a float field at fixed rate. Output size ==
+/// compressed_size(dims, params), always.
+std::vector<std::uint8_t> compress(std::span<const float> data, const sz::Dims& dims,
+                                   const Params& params);
+
+/// Decompresses a blob produced by compress(). Throws on malformed input.
+std::vector<float> decompress(std::span<const std::uint8_t> blob,
+                              sz::Dims* dims_out = nullptr);
+
+}  // namespace pcw::zfp

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sz/compressor.h"
+#include "util/rng.h"
+
+namespace pcw::sz {
+namespace {
+
+std::vector<float> smooth_field(std::size_t n, std::uint64_t seed, double noise = 0.01) {
+  std::vector<float> data(n * n * n);
+  util::Rng rng(seed);
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t z = 0; z < n; ++z) {
+        data[(x * n + y) * n + z] = static_cast<float>(
+            std::sin(0.13 * static_cast<double>(x)) *
+                std::cos(0.09 * static_cast<double>(y)) +
+            0.3 * std::sin(0.21 * static_cast<double>(z)) + noise * rng.normal());
+      }
+    }
+  }
+  return data;
+}
+
+template <typename T>
+double max_abs_err(const std::vector<T>& a, const std::vector<T>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+TEST(Compressor, RoundTripRespectsAbsoluteBound) {
+  const auto data = smooth_field(32, 1);
+  const Dims dims = Dims::make_3d(32, 32, 32);
+  for (const double eb : {1e-1, 1e-2, 1e-4}) {
+    Params p;
+    p.error_bound = eb;
+    const auto blob = compress<float>(data, dims, p);
+    Dims parsed;
+    const auto rec = decompress<float>(blob, &parsed);
+    EXPECT_EQ(parsed, dims);
+    EXPECT_LE(max_abs_err(data, rec), eb);
+  }
+}
+
+TEST(Compressor, RoundTripDouble) {
+  util::Rng rng(2);
+  std::vector<double> data(17 * 19 * 23);
+  double v = 0.0;
+  for (auto& x : data) {
+    v += 0.01 * rng.normal();
+    x = v;
+  }
+  const Dims dims = Dims::make_3d(17, 19, 23);
+  Params p;
+  p.error_bound = 1e-8;
+  const auto rec = decompress<double>(compress<double>(data, dims, p));
+  EXPECT_LE(max_abs_err(data, rec), 1e-8);
+}
+
+TEST(Compressor, RelativeModeScalesWithRange) {
+  auto data = smooth_field(24, 3);
+  for (auto& x : data) x *= 1000.0f;  // range ~ +-1300
+  const Dims dims = Dims::make_3d(24, 24, 24);
+  Params p;
+  p.mode = ErrorBoundMode::kRelative;
+  p.error_bound = 1e-4;
+  const double abs_eb = resolve_error_bound<float>(data, p);
+  EXPECT_GT(abs_eb, 0.01);  // relative bound resolves against the range
+  const auto rec = decompress<float>(compress<float>(data, dims, p));
+  EXPECT_LE(max_abs_err(data, rec), abs_eb * (1 + 1e-12));
+}
+
+TEST(Compressor, RelativeModeOnConstantData) {
+  const std::vector<float> data(512, 7.0f);
+  Params p;
+  p.mode = ErrorBoundMode::kRelative;
+  p.error_bound = 1e-3;
+  const auto rec = decompress<float>(compress<float>(data, Dims::make_1d(512), p));
+  EXPECT_LE(max_abs_err(data, rec), 1e-3);
+}
+
+TEST(Compressor, TighterBoundsLowerRatio) {
+  const auto data = smooth_field(32, 4);
+  const Dims dims = Dims::make_3d(32, 32, 32);
+  double prev_size = 0.0;
+  for (const double eb : {1e-1, 1e-2, 1e-3, 1e-4}) {
+    Params p;
+    p.error_bound = eb;
+    const auto blob = compress<float>(data, dims, p);
+    EXPECT_GT(static_cast<double>(blob.size()), prev_size) << "eb=" << eb;
+    prev_size = static_cast<double>(blob.size());
+  }
+}
+
+TEST(Compressor, SmoothDataBeatsLosslessFloor) {
+  const auto data = smooth_field(32, 5);
+  const Dims dims = Dims::make_3d(32, 32, 32);
+  Params p;
+  p.error_bound = 1e-2;
+  const auto blob = compress<float>(data, dims, p);
+  EXPECT_GT(compression_ratio<float>(blob.size(), data.size()), 4.0);
+}
+
+TEST(Compressor, ConstantFieldCompressesExtremely) {
+  const std::vector<float> data(64 * 64, 1.25f);
+  Params p;
+  p.error_bound = 1e-5;
+  const auto blob = compress<float>(data, Dims::make_2d(64, 64), p);
+  EXPECT_GT(compression_ratio<float>(blob.size(), data.size()), 50.0);
+  const auto rec = decompress<float>(blob);
+  EXPECT_LE(max_abs_err(data, rec), 1e-5);
+}
+
+TEST(Compressor, HeaderInspectionMatchesInputs) {
+  const auto data = smooth_field(16, 6);
+  const Dims dims = Dims::make_3d(16, 16, 16);
+  Params p;
+  p.error_bound = 1e-3;
+  p.radius = 1024;
+  const auto blob = compress<float>(data, dims, p);
+  const HeaderInfo info = inspect(blob);
+  EXPECT_EQ(info.dtype, DataType::kFloat32);
+  EXPECT_EQ(info.dims, dims);
+  EXPECT_DOUBLE_EQ(info.abs_error_bound, 1e-3);
+  EXPECT_EQ(info.radius, 1024u);
+  EXPECT_GT(info.payload_raw_size, 0u);
+}
+
+TEST(Compressor, LosslessStageEngagesOnHighRatio) {
+  // A very loose bound sends almost all codes to the zero-residual bin;
+  // the Huffman stream is then runs the LZ stage must collapse.
+  const auto data = smooth_field(32, 7, 0.0);
+  const Dims dims = Dims::make_3d(32, 32, 32);
+  Params with_lz;
+  with_lz.error_bound = 0.5;
+  Params without_lz = with_lz;
+  without_lz.lossless = false;
+  const auto small = compress<float>(data, dims, with_lz);
+  const auto big = compress<float>(data, dims, without_lz);
+  EXPECT_LT(small.size(), big.size());
+  EXPECT_TRUE(inspect(small).lz_applied);
+  EXPECT_FALSE(inspect(big).lz_applied);
+  // Both decode identically within bound.
+  EXPECT_LE(max_abs_err(data, decompress<float>(small)), 0.5);
+  EXPECT_LE(max_abs_err(data, decompress<float>(big)), 0.5);
+}
+
+TEST(Compressor, OneDimensionalData) {
+  util::Rng rng(8);
+  std::vector<float> data(100000);
+  double v = 0.0;
+  for (auto& x : data) {
+    v = 0.999 * v + 0.05 * rng.normal();
+    x = static_cast<float>(v);
+  }
+  Params p;
+  p.error_bound = 1e-3;
+  const auto blob = compress<float>(data, Dims::make_1d(data.size()), p);
+  EXPECT_LE(max_abs_err(data, decompress<float>(blob)), 1e-3);
+  EXPECT_GT(compression_ratio<float>(blob.size(), data.size()), 2.0);
+}
+
+TEST(Compressor, SingleElement) {
+  const std::vector<float> data{3.14f};
+  Params p;
+  p.error_bound = 1e-3;
+  const auto rec = decompress<float>(compress<float>(data, Dims::make_1d(1), p));
+  EXPECT_NEAR(rec[0], 3.14f, 1e-3);
+}
+
+TEST(Compressor, RejectsEmptyData) {
+  const std::vector<float> data;
+  Params p;
+  EXPECT_THROW(compress<float>(data, Dims::make_1d(0), p), std::invalid_argument);
+}
+
+TEST(Compressor, RejectsDimsMismatch) {
+  const std::vector<float> data(10);
+  Params p;
+  EXPECT_THROW(compress<float>(data, Dims::make_1d(9), p), std::invalid_argument);
+}
+
+TEST(Compressor, RejectsBadErrorBound) {
+  const std::vector<float> data(10);
+  Params p;
+  p.error_bound = -1e-3;
+  EXPECT_THROW(compress<float>(data, Dims::make_1d(10), p), std::invalid_argument);
+}
+
+TEST(Compressor, DecompressRejectsGarbage) {
+  std::vector<std::uint8_t> junk(100, 0xab);
+  EXPECT_THROW(decompress<float>(junk), std::runtime_error);
+}
+
+TEST(Compressor, DecompressRejectsTruncatedBlob) {
+  const auto data = smooth_field(16, 9);
+  Params p;
+  p.error_bound = 1e-3;
+  auto blob = compress<float>(data, Dims::make_3d(16, 16, 16), p);
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(decompress<float>(blob), std::runtime_error);
+}
+
+TEST(Compressor, DecompressRejectsTypeMismatch) {
+  const auto data = smooth_field(16, 10);
+  Params p;
+  p.error_bound = 1e-3;
+  const auto blob = compress<float>(data, Dims::make_3d(16, 16, 16), p);
+  EXPECT_THROW(decompress<double>(blob), std::runtime_error);
+}
+
+TEST(Compressor, DeterministicOutput) {
+  const auto data = smooth_field(16, 11);
+  Params p;
+  p.error_bound = 1e-3;
+  const auto a = compress<float>(data, Dims::make_3d(16, 16, 16), p);
+  const auto b = compress<float>(data, Dims::make_3d(16, 16, 16), p);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Compressor, BitRateHelpers) {
+  EXPECT_DOUBLE_EQ(bit_rate(100, 100), 8.0);
+  EXPECT_DOUBLE_EQ(bit_rate(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(compression_ratio<float>(100, 100), 4.0);
+}
+
+struct FieldCase {
+  std::uint64_t seed;
+  double eb;
+  double noise;
+};
+
+class CompressorPropertySweep : public ::testing::TestWithParam<FieldCase> {};
+
+TEST_P(CompressorPropertySweep, BoundAndRoundTripInvariants) {
+  const auto [seed, eb, noise] = GetParam();
+  const auto data = smooth_field(24, seed, noise);
+  const Dims dims = Dims::make_3d(24, 24, 24);
+  Params p;
+  p.error_bound = eb;
+  const auto blob = compress<float>(data, dims, p);
+  const auto rec = decompress<float>(blob);
+  ASSERT_EQ(rec.size(), data.size());
+  EXPECT_LE(max_abs_err(data, rec), eb);
+  // Re-compressing the reconstruction must stay within 2*eb of original
+  // (idempotence up to quantization).
+  const auto rec2 = decompress<float>(compress<float>(rec, dims, p));
+  EXPECT_LE(max_abs_err(data, rec2), 2 * eb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, CompressorPropertySweep,
+    ::testing::Values(FieldCase{1, 1e-1, 0.01}, FieldCase{2, 1e-2, 0.01},
+                      FieldCase{3, 1e-3, 0.05}, FieldCase{4, 1e-4, 0.0},
+                      FieldCase{5, 1e-2, 0.5}, FieldCase{6, 1e-5, 0.01},
+                      FieldCase{7, 0.5, 0.1}, FieldCase{8, 1e-6, 0.001}));
+
+}  // namespace
+}  // namespace pcw::sz

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/noise.h"
+#include "data/workloads.h"
+#include "sz/compressor.h"
+#include "util/stats.h"
+
+namespace pcw::data {
+namespace {
+
+TEST(Noise, DeterministicForSeed) {
+  const ValueNoise3D a(7), b(7);
+  EXPECT_DOUBLE_EQ(a.at(1.5, 2.5, 3.5), b.at(1.5, 2.5, 3.5));
+  EXPECT_DOUBLE_EQ(a.fbm(0.3, 0.7, 0.1, 5), b.fbm(0.3, 0.7, 0.1, 5));
+}
+
+TEST(Noise, SeedsDecorrelate) {
+  const ValueNoise3D a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (std::abs(a.at(i * 0.37, 0, 0) - b.at(i * 0.37, 0, 0)) < 1e-12) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Noise, BoundedOutput) {
+  const ValueNoise3D n(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = n.fbm(i * 0.11, i * 0.07, i * 0.05, 6);
+    EXPECT_GE(v, -1.0 - 1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(Noise, SpatialContinuity) {
+  // Nearby points must have nearby values (the compressibility premise).
+  const ValueNoise3D n(5);
+  double max_step = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = i * 0.01;
+    max_step = std::max(max_step, std::abs(n.at(x + 0.01, 0.5, 0.5) - n.at(x, 0.5, 0.5)));
+  }
+  EXPECT_LT(max_step, 0.2);
+}
+
+TEST(NyxFields, InfoMatchesPaperBounds) {
+  EXPECT_STREQ(nyx_field_info(NyxField::kBaryonDensity).name, "baryon_density");
+  EXPECT_DOUBLE_EQ(nyx_field_info(NyxField::kBaryonDensity).abs_error_bound, 0.2);
+  EXPECT_DOUBLE_EQ(nyx_field_info(NyxField::kDarkMatterDensity).abs_error_bound, 0.4);
+  EXPECT_DOUBLE_EQ(nyx_field_info(NyxField::kTemperature).abs_error_bound, 1e3);
+  EXPECT_DOUBLE_EQ(nyx_field_info(NyxField::kVelocityX).abs_error_bound, 2e5);
+}
+
+TEST(NyxFields, PartitionMatchesGlobalSlice) {
+  // A rank generating its block must reproduce exactly the corresponding
+  // region of the whole field.
+  const sz::Dims global = sz::Dims::make_3d(32, 32, 32);
+  const auto whole = make_nyx_field(global, NyxField::kBaryonDensity, 99);
+  const sz::Dims local = sz::Dims::make_3d(16, 16, 16);
+  std::vector<float> block(local.count());
+  fill_nyx_field(block, local, {16, 0, 16}, global, NyxField::kBaryonDensity, 99);
+  for (std::size_t x = 0; x < 16; ++x) {
+    for (std::size_t y = 0; y < 16; ++y) {
+      for (std::size_t z = 0; z < 16; ++z) {
+        const float expect = whole[((x + 16) * 32 + y) * 32 + (z + 16)];
+        const float got = block[(x * 16 + y) * 16 + z];
+        ASSERT_EQ(got, expect) << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST(NyxFields, DensityIsPositive) {
+  const sz::Dims dims = sz::Dims::make_3d(24, 24, 24);
+  for (const auto f : {NyxField::kBaryonDensity, NyxField::kDarkMatterDensity,
+                       NyxField::kTemperature}) {
+    const auto field = make_nyx_field(dims, f, 11);
+    for (const float v : field) ASSERT_GT(v, 0.0f);
+  }
+}
+
+TEST(NyxFields, TemperatureInKelvinScale) {
+  const sz::Dims dims = sz::Dims::make_3d(24, 24, 24);
+  const auto t = make_nyx_field(dims, NyxField::kTemperature, 12);
+  std::vector<double> xs(t.begin(), t.end());
+  const double m = util::mean(xs);
+  EXPECT_GT(m, 1e3);
+  EXPECT_LT(m, 1e7);
+}
+
+TEST(NyxFields, VelocityCentersNearZero) {
+  const sz::Dims dims = sz::Dims::make_3d(24, 24, 24);
+  const auto v = make_nyx_field(dims, NyxField::kVelocityX, 13);
+  std::vector<double> xs(v.begin(), v.end());
+  EXPECT_LT(std::abs(util::mean(xs)), 1e6);
+  EXPECT_GT(util::stddev(xs), 1e4);  // real dynamic range
+}
+
+TEST(NyxFields, PaperBoundsGiveDoubleDigitRatios) {
+  // §IV-A: the recommended bounds yield ~16x overall on the 6 fields. Our
+  // synthetic stand-ins must land in the same regime (5x..80x per field).
+  const sz::Dims dims = sz::Dims::make_3d(48, 48, 48);
+  double total_raw = 0.0, total_comp = 0.0;
+  for (int f = 0; f < kNyxPrimaryFields; ++f) {
+    const auto field = static_cast<NyxField>(f);
+    const auto data = make_nyx_field(dims, field, 2024);
+    sz::Params p;
+    p.error_bound = nyx_field_info(field).abs_error_bound;
+    const auto blob = sz::compress<float>(data, dims, p);
+    const double ratio = sz::compression_ratio<float>(blob.size(), data.size());
+    EXPECT_GT(ratio, 4.0) << nyx_field_info(field).name;
+    EXPECT_LT(ratio, 120.0) << nyx_field_info(field).name;
+    total_raw += static_cast<double>(data.size()) * 4;
+    total_comp += static_cast<double>(blob.size());
+  }
+  const double overall = total_raw / total_comp;
+  EXPECT_GT(overall, 8.0);
+  EXPECT_LT(overall, 40.0);
+}
+
+TEST(NyxFields, TimeEvolutionIsGradual) {
+  const sz::Dims dims = sz::Dims::make_3d(24, 24, 24);
+  const auto t0 = make_nyx_field(dims, NyxField::kBaryonDensity, 5, 0.0);
+  const auto t1 = make_nyx_field(dims, NyxField::kBaryonDensity, 5, 1.0);
+  const auto t4 = make_nyx_field(dims, NyxField::kBaryonDensity, 5, 4.0);
+  double d01 = 0.0, d04 = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < t0.size(); ++i) {
+    d01 += std::abs(static_cast<double>(t1[i]) - t0[i]);
+    d04 += std::abs(static_cast<double>(t4[i]) - t0[i]);
+    norm += std::abs(static_cast<double>(t0[i]));
+  }
+  EXPECT_GT(d01, 0.0);          // fields actually change
+  EXPECT_GT(d04, d01);          // change accumulates with time
+  EXPECT_LT(d01, norm);         // ... but a single step is not a reshuffle
+}
+
+TEST(VpicFields, PositionsInUnitBoxAndLocallyOrdered) {
+  const auto x = make_vpic_field(1 << 16, VpicField::kX, 3);
+  for (const float v : x) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+}
+
+TEST(VpicFields, MomentaHaveDriftStructure) {
+  const auto ux = make_vpic_field(1 << 16, VpicField::kUx, 3);
+  std::vector<double> xs(ux.begin(), ux.end());
+  EXPECT_GT(util::stddev(xs), 0.02);
+  EXPECT_LT(util::stddev(xs), 0.5);
+}
+
+TEST(VpicFields, EnergyNonNegativeAndConsistent) {
+  const auto ke = make_vpic_field(1 << 14, VpicField::kKineticEnergy, 3);
+  for (const float v : ke) ASSERT_GE(v, 0.0f);
+}
+
+TEST(VpicFields, OffsetGenerationMatchesFull) {
+  const std::uint64_t total = 10000;
+  const auto whole = make_vpic_field(total, VpicField::kUy, 17);
+  std::vector<float> part(2000);
+  fill_vpic_field(part, 3000, total, VpicField::kUy, 17);
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    ASSERT_EQ(part[i], whole[3000 + i]);
+  }
+}
+
+TEST(VpicFields, SuggestedBoundsGiveVpicLikeRatio) {
+  // The paper's VPIC config: ~13.8x overall. Synthetic stand-in must land
+  // in the same order of magnitude (5x..40x overall).
+  const std::uint64_t total = 1 << 18;
+  double raw = 0.0, comp = 0.0;
+  for (int f = 0; f < kVpicAllFields; ++f) {
+    const auto field = static_cast<VpicField>(f);
+    const auto data = make_vpic_field(total, field, 77);
+    sz::Params p;
+    p.error_bound = vpic_field_info(field).abs_error_bound;
+    const auto blob = sz::compress<float>(data, sz::Dims::make_1d(total), p);
+    raw += static_cast<double>(data.size()) * 4;
+    comp += static_cast<double>(blob.size());
+  }
+  const double overall = raw / comp;
+  EXPECT_GT(overall, 5.0);
+  EXPECT_LT(overall, 40.0);
+}
+
+TEST(RtmField, WavefrontStructurePresent) {
+  const sz::Dims dims = sz::Dims::make_3d(32, 32, 32);
+  const auto w = make_rtm_field(dims, 5);
+  std::vector<double> xs(w.begin(), w.end());
+  EXPECT_GT(util::stddev(xs), 1e-3);     // not flat
+  EXPECT_LT(std::abs(util::mean(xs)), 1.0);
+  // Wave data is smooth: compressible at modest bounds.
+  sz::Params p;
+  p.error_bound = 1e-3;
+  const auto blob = sz::compress<float>(w, dims, p);
+  EXPECT_GT(sz::compression_ratio<float>(blob.size(), w.size()), 3.0);
+}
+
+TEST(Decompose, PowerOfTwoGrid) {
+  const auto d = decompose(sz::Dims::make_3d(64, 64, 64), 8);
+  EXPECT_EQ(d.grid[0] * d.grid[1] * d.grid[2], 8u);
+  EXPECT_EQ(d.local.count() * 8, 64ull * 64 * 64);
+}
+
+TEST(Decompose, PrefersCubicBlocks) {
+  const auto d = decompose(sz::Dims::make_3d(64, 64, 64), 64);
+  EXPECT_EQ(d.local.d0, 16u);
+  EXPECT_EQ(d.local.d1, 16u);
+  EXPECT_EQ(d.local.d2, 16u);
+}
+
+TEST(Decompose, OriginsCoverDomainDisjointly) {
+  const sz::Dims global = sz::Dims::make_3d(32, 32, 32);
+  const int P = 8;
+  const auto d = decompose(global, P);
+  std::vector<char> covered(global.count(), 0);
+  for (int r = 0; r < P; ++r) {
+    const auto o = d.origin_of(r);
+    for (std::size_t x = 0; x < d.local.d0; ++x) {
+      for (std::size_t y = 0; y < d.local.d1; ++y) {
+        for (std::size_t z = 0; z < d.local.d2; ++z) {
+          const std::size_t idx =
+              ((o[0] + x) * global.d1 + (o[1] + y)) * global.d2 + (o[2] + z);
+          ASSERT_EQ(covered[idx], 0);
+          covered[idx] = 1;
+        }
+      }
+    }
+  }
+  for (const char c : covered) ASSERT_EQ(c, 1);
+}
+
+TEST(Decompose, SingleRank) {
+  const auto d = decompose(sz::Dims::make_3d(10, 20, 30), 1);
+  EXPECT_EQ(d.local, sz::Dims::make_3d(10, 20, 30));
+  EXPECT_EQ(d.origin_of(0), (std::array<std::size_t, 3>{0, 0, 0}));
+}
+
+TEST(Decompose, ImpossibleSplitThrows) {
+  EXPECT_THROW(decompose(sz::Dims::make_3d(7, 7, 7), 6), std::invalid_argument);
+  EXPECT_THROW(decompose(sz::Dims::make_3d(8, 8, 8), 0), std::invalid_argument);
+}
+
+class NyxAllFieldsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NyxAllFieldsSweep, GeneratesFiniteDeterministicData) {
+  const auto field = static_cast<NyxField>(GetParam());
+  const sz::Dims dims = sz::Dims::make_3d(16, 16, 16);
+  const auto a = make_nyx_field(dims, field, 31337);
+  const auto b = make_nyx_field(dims, field, 31337);
+  EXPECT_EQ(a, b);
+  for (const float v : a) ASSERT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNineFields, NyxAllFieldsSweep,
+                         ::testing::Range(0, kNyxAllFields));
+
+}  // namespace
+}  // namespace pcw::data

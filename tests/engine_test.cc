@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/engine.h"
+#include "data/workloads.h"
+#include "h5/dataset_io.h"
+
+namespace pcw::core {
+namespace {
+
+struct RankData {
+  std::vector<std::vector<float>> fields;  // [field][elem]
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static constexpr int kRanks = 8;
+  static constexpr int kFields = 3;
+
+  void SetUp() override {
+    global_ = sz::Dims::make_3d(64, 64, 64);
+    dec_ = data::decompose(global_, kRanks);
+    ranks_.resize(kRanks);
+    for (int r = 0; r < kRanks; ++r) {
+      ranks_[static_cast<std::size_t>(r)].fields.resize(kFields);
+      for (int f = 0; f < kFields; ++f) {
+        auto& vec = ranks_[static_cast<std::size_t>(r)].fields[static_cast<std::size_t>(f)];
+        vec.resize(dec_.local.count());
+        data::fill_nyx_field(vec, dec_.local, dec_.origin_of(r), global_,
+                             static_cast<data::NyxField>(f), 4242);
+      }
+    }
+  }
+
+  void TearDown() override { std::remove(path().c_str()); }
+
+  std::string path() const {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("pcw_engine_test_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".pcw5"))
+        .string();
+  }
+
+  std::vector<FieldSpec<float>> make_specs(int rank) const {
+    std::vector<FieldSpec<float>> specs(kFields);
+    for (int f = 0; f < kFields; ++f) {
+      const auto info = data::nyx_field_info(static_cast<data::NyxField>(f));
+      specs[static_cast<std::size_t>(f)].name = info.name;
+      specs[static_cast<std::size_t>(f)].local =
+          ranks_[static_cast<std::size_t>(rank)].fields[static_cast<std::size_t>(f)];
+      specs[static_cast<std::size_t>(f)].local_dims = dec_.local;
+      specs[static_cast<std::size_t>(f)].global_dims = global_;
+      specs[static_cast<std::size_t>(f)].params.error_bound = info.abs_error_bound;
+    }
+    return specs;
+  }
+
+  /// Runs the engine in `mode` and returns per-rank reports.
+  std::vector<RankReport> run(WriteMode mode, double rspace = 1.25) {
+    auto file = h5::File::create(path());
+    EngineConfig cfg;
+    cfg.mode = mode;
+    cfg.rspace = rspace;
+    std::vector<RankReport> reports(kRanks);
+    mpi::Runtime::run(kRanks, [&](mpi::Comm& comm) {
+      const auto specs = make_specs(comm.rank());
+      reports[static_cast<std::size_t>(comm.rank())] =
+          write_fields<float>(comm, *file, specs, cfg);
+      file->close_collective(comm);
+    });
+    return reports;
+  }
+
+  /// Verifies every field reads back within its bound (or exactly for the
+  /// no-compression path).
+  void verify_readback(bool lossy) {
+    auto rf = h5::File::open(path());
+    for (int f = 0; f < kFields; ++f) {
+      const auto info = data::nyx_field_info(static_cast<data::NyxField>(f));
+      const auto full = h5::read_dataset<float>(*rf, info.name);
+      ASSERT_EQ(full.size(), global_.count());
+      for (int r = 0; r < kRanks; ++r) {
+        const auto& orig =
+            ranks_[static_cast<std::size_t>(r)].fields[static_cast<std::size_t>(f)];
+        const std::size_t off = static_cast<std::size_t>(r) * dec_.local.count();
+        for (std::size_t i = 0; i < orig.size(); ++i) {
+          const double err = std::abs(static_cast<double>(full[off + i]) - orig[i]);
+          if (lossy) {
+            ASSERT_LE(err, info.abs_error_bound) << info.name << " rank " << r;
+          } else {
+            ASSERT_EQ(err, 0.0) << info.name << " rank " << r;
+          }
+        }
+      }
+    }
+  }
+
+  sz::Dims global_;
+  data::BlockDecomposition dec_;
+  std::vector<RankData> ranks_;
+};
+
+TEST_F(EngineTest, NoCompressionRoundTrip) {
+  const auto reports = run(WriteMode::kNoCompression);
+  verify_readback(/*lossy=*/false);
+  EXPECT_EQ(reports[0].compressed_bytes, reports[0].raw_bytes);
+  EXPECT_EQ(reports[0].overflow_partitions, 0);
+}
+
+TEST_F(EngineTest, FilterCollectiveRoundTrip) {
+  const auto reports = run(WriteMode::kFilterCollective);
+  verify_readback(/*lossy=*/true);
+  for (const auto& rep : reports) {
+    EXPECT_GT(rep.compress_seconds, 0.0);
+    EXPECT_LT(rep.compressed_bytes, rep.raw_bytes / 2);
+  }
+}
+
+TEST_F(EngineTest, OverlapRoundTrip) {
+  const auto reports = run(WriteMode::kOverlap);
+  verify_readback(/*lossy=*/true);
+  for (const auto& rep : reports) {
+    EXPECT_GT(rep.predict_seconds, 0.0);
+    EXPECT_GT(rep.reserved_bytes, rep.compressed_bytes / 2);
+    EXPECT_EQ(rep.order, identity_order(kFields));
+  }
+}
+
+TEST_F(EngineTest, OverlapReorderRoundTrip) {
+  const auto reports = run(WriteMode::kOverlapReorder);
+  verify_readback(/*lossy=*/true);
+  for (const auto& rep : reports) {
+    ASSERT_EQ(rep.order.size(), static_cast<std::size_t>(kFields));
+    auto sorted = rep.order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, identity_order(kFields));
+  }
+}
+
+TEST_F(EngineTest, PredictionOverheadIsSmall) {
+  // The paper's design goal: prediction below 10% of compression.
+  const auto reports = run(WriteMode::kOverlapReorder);
+  for (const auto& rep : reports) {
+    EXPECT_LT(rep.predict_seconds, 0.20 * rep.compress_seconds + 0.01);
+  }
+}
+
+TEST_F(EngineTest, MetadataDescribesEveryPartition) {
+  run(WriteMode::kOverlapReorder);
+  auto rf = h5::File::open(path());
+  EXPECT_EQ(rf->datasets().size(), static_cast<std::size_t>(kFields));
+  for (const auto& desc : rf->datasets()) {
+    EXPECT_EQ(desc.layout, h5::Layout::kPartitioned);
+    EXPECT_EQ(desc.filter, h5::FilterId::kSz);
+    ASSERT_EQ(desc.partitions.size(), static_cast<std::size_t>(kRanks));
+    std::uint64_t elems = 0;
+    for (const auto& part : desc.partitions) {
+      EXPECT_EQ(part.elem_offset, elems);
+      elems += part.elem_count;
+      EXPECT_GT(part.actual_bytes, 0u);
+      EXPECT_GT(part.reserved_bytes, 0u);
+    }
+    EXPECT_EQ(elems, global_.count());
+  }
+}
+
+TEST_F(EngineTest, OverflowPathExercisedWithMinimalHeadroom) {
+  // rspace at the 1.0 floor (below the supported interval, allowed for
+  // testing): any under-prediction overflows, and the data must still
+  // read back correctly through slot+tail stitching.
+  const auto reports = run(WriteMode::kOverlapReorder, /*rspace=*/1.0);
+  verify_readback(/*lossy=*/true);
+  int total_overflows = 0;
+  for (const auto& rep : reports) total_overflows += rep.overflow_partitions;
+  // Not guaranteed, but with 24 partitions and zero head-room the model
+  // must under-predict at least once in practice; if never, the reserved
+  // accounting still must be consistent.
+  for (const auto& rep : reports) {
+    EXPECT_EQ(rep.overflow_partitions == 0, rep.overflow_bytes == 0);
+  }
+  (void)total_overflows;
+}
+
+TEST_F(EngineTest, StorageOverheadScalesWithRspace) {
+  const auto lo = run(WriteMode::kOverlap, 1.1);
+  std::remove(path().c_str());
+  const auto hi = run(WriteMode::kOverlap, 1.43);
+  std::uint64_t lo_res = 0, hi_res = 0;
+  for (const auto& r : lo) lo_res += r.reserved_bytes;
+  for (const auto& r : hi) hi_res += r.reserved_bytes;
+  EXPECT_GT(hi_res, lo_res);
+}
+
+TEST_F(EngineTest, ReportsAreInternallyConsistent) {
+  const auto reports = run(WriteMode::kOverlapReorder);
+  for (const auto& rep : reports) {
+    EXPECT_GE(rep.total_seconds,
+              rep.compress_seconds + rep.write_seconds - 1e-6);
+    EXPECT_EQ(rep.raw_bytes, dec_.local.count() * 4 * kFields);
+    EXPECT_GT(rep.compressed_bytes, 0u);
+  }
+}
+
+TEST_F(EngineTest, EmptyFieldListRejected) {
+  auto file = h5::File::create(path());
+  EngineConfig cfg;
+  EXPECT_THROW(
+      mpi::Runtime::run(2,
+                        [&](mpi::Comm& comm) {
+                          std::vector<FieldSpec<float>> none;
+                          write_fields<float>(comm, *file, none, cfg);
+                        }),
+      std::invalid_argument);
+}
+
+TEST_F(EngineTest, SingleRankDegenerateCase) {
+  auto file = h5::File::create(path());
+  EngineConfig cfg;
+  cfg.mode = WriteMode::kOverlapReorder;
+  mpi::Runtime::run(1, [&](mpi::Comm& comm) {
+    std::vector<FieldSpec<float>> specs(1);
+    const auto info = data::nyx_field_info(data::NyxField::kBaryonDensity);
+    specs[0].name = info.name;
+    specs[0].local = ranks_[0].fields[0];
+    specs[0].local_dims = dec_.local;
+    specs[0].global_dims = dec_.local;
+    specs[0].params.error_bound = info.abs_error_bound;
+    const auto rep = write_fields<float>(comm, *file, specs, cfg);
+    EXPECT_GT(rep.compressed_bytes, 0u);
+    file->close_collective(comm);
+  });
+  auto rf = h5::File::open(path());
+  const auto full = h5::read_dataset<float>(*rf, "baryon_density");
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    ASSERT_NEAR(full[i], ranks_[0].fields[0][i], 0.2);
+  }
+}
+
+}  // namespace
+}  // namespace pcw::core

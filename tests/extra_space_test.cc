@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "model/extra_space.h"
+
+namespace pcw::model {
+namespace {
+
+TEST(ExtraSpace, Eq3LeavesLowRatiosUntouched) {
+  EXPECT_DOUBLE_EQ(effective_rspace(1.25, 10.0), 1.25);
+  EXPECT_DOUBLE_EQ(effective_rspace(1.1, 31.9), 1.1);
+}
+
+TEST(ExtraSpace, Eq3BoostsHighRatios) {
+  // r = min(2, 1 + (R-1)*4) above ratio 32.
+  EXPECT_DOUBLE_EQ(effective_rspace(1.1, 33.0), 1.4);
+  EXPECT_DOUBLE_EQ(effective_rspace(1.25, 100.0), 2.0);  // capped
+  EXPECT_DOUBLE_EQ(effective_rspace(1.2, 50.0), 1.8);
+}
+
+TEST(ExtraSpace, Eq3CapAtTwo) {
+  EXPECT_DOUBLE_EQ(effective_rspace(1.43, 64.0), 2.0);
+  EXPECT_DOUBLE_EQ(effective_rspace(3.0, 64.0), 2.0);
+}
+
+TEST(ExtraSpace, RspaceBelowOneClamped) {
+  EXPECT_DOUBLE_EQ(effective_rspace(0.5, 10.0), 1.0);
+}
+
+TEST(ExtraSpace, WeightMapEndpoints) {
+  EXPECT_DOUBLE_EQ(rspace_for_weight(0.0), kMinRspace);
+  EXPECT_DOUBLE_EQ(rspace_for_weight(1.0), kMaxRspace);
+}
+
+TEST(ExtraSpace, WeightMapMonotoneAndConcave) {
+  double prev = 0.0;
+  double prev_gain = 1e9;
+  for (int i = 0; i <= 10; ++i) {
+    const double r = rspace_for_weight(i / 10.0);
+    EXPECT_GE(r, prev);
+    if (i > 0) {
+      const double gain = r - prev;
+      EXPECT_LE(gain, prev_gain + 1e-12);  // concave: diminishing increments
+      prev_gain = gain;
+    }
+    prev = r;
+  }
+}
+
+TEST(ExtraSpace, WeightMapClampsOutOfRange) {
+  EXPECT_DOUBLE_EQ(rspace_for_weight(-1.0), kMinRspace);
+  EXPECT_DOUBLE_EQ(rspace_for_weight(2.0), kMaxRspace);
+}
+
+TEST(ExtraSpace, DefaultInsideSupportedInterval) {
+  EXPECT_GE(kDefaultRspace, kMinRspace);
+  EXPECT_LE(kDefaultRspace, kMaxRspace);
+}
+
+TEST(ExtraSpace, ReservedBytesAppliesPolicy) {
+  EXPECT_DOUBLE_EQ(reserved_bytes(1000.0, 10.0, 1.25), 1250.0);
+  // Boosted regime: 1.25 -> 2.0.
+  EXPECT_DOUBLE_EQ(reserved_bytes(1000.0, 64.0, 1.25), 2000.0);
+}
+
+}  // namespace
+}  // namespace pcw::model

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sz/huffman.h"
+#include "util/bitstream.h"
+#include "util/rng.h"
+
+namespace pcw::sz {
+namespace {
+
+// Encodes `stream` with a codebook built from its own frequencies, then
+// decodes via serialized-codebook reconstruction.
+std::vector<std::uint32_t> round_trip(const std::vector<std::uint32_t>& stream) {
+  std::vector<std::uint64_t> counts;
+  for (const auto s : stream) {
+    if (s >= counts.size()) counts.resize(s + 1, 0);
+    ++counts[s];
+  }
+  std::vector<SymbolCount> freqs;
+  for (std::uint32_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] > 0) freqs.push_back({s, counts[s]});
+  }
+  HuffmanEncoder enc(freqs);
+  util::BitWriter w;
+  for (const auto s : stream) enc.encode(s, w);
+  const auto bits = w.finish();
+  const auto book = enc.serialize_codebook();
+
+  std::size_t consumed = 0;
+  HuffmanDecoder dec(book, &consumed);
+  EXPECT_EQ(consumed, book.size());
+  util::BitReader r(bits);
+  std::vector<std::uint32_t> out;
+  out.reserve(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) out.push_back(dec.decode(r));
+  return out;
+}
+
+TEST(Huffman, RoundTripTwoSymbols) {
+  const std::vector<std::uint32_t> stream{0, 1, 0, 0, 1, 1, 1, 0};
+  EXPECT_EQ(round_trip(stream), stream);
+}
+
+TEST(Huffman, RoundTripSingleSymbolStream) {
+  const std::vector<std::uint32_t> stream(100, 42);
+  EXPECT_EQ(round_trip(stream), stream);
+}
+
+TEST(Huffman, RoundTripSparseHighSymbols) {
+  // Quantization codes cluster near the radius; exercise sparse symbols.
+  std::vector<std::uint32_t> stream;
+  for (int i = 0; i < 500; ++i) stream.push_back(32768 + (i % 7) - 3);
+  stream.push_back(0);  // outlier marker far from the cluster
+  stream.push_back(65535);
+  EXPECT_EQ(round_trip(stream), stream);
+}
+
+TEST(Huffman, SkewedDistributionCompressesNearEntropy) {
+  // 90/10 split: entropy ~0.47 bits/symbol; Huffman gives 1 bit/symbol.
+  util::Rng rng(3);
+  std::vector<std::uint32_t> stream;
+  for (int i = 0; i < 20000; ++i) stream.push_back(rng.uniform() < 0.9 ? 5 : 9);
+  std::vector<SymbolCount> freqs{{5, 18000}, {9, 2000}};
+  HuffmanEncoder enc(freqs);
+  util::BitWriter w;
+  for (const auto s : stream) enc.encode(s, w);
+  EXPECT_LE(w.bit_count(), stream.size() + 8);  // ~1 bit/symbol
+  EXPECT_EQ(round_trip(stream), stream);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  std::vector<SymbolCount> freqs{{1, 1000}, {2, 100}, {3, 10}, {4, 1}};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[2]);
+  EXPECT_LE(lengths[2], lengths[3]);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  util::Rng rng(17);
+  std::vector<SymbolCount> freqs;
+  for (std::uint32_t s = 0; s < 200; ++s) {
+    freqs.push_back({s, rng.uniform_index(1000) + 1});
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  double kraft = 0.0;
+  for (const auto len : lengths) {
+    ASSERT_GT(len, 0);
+    kraft += std::pow(2.0, -static_cast<double>(len));
+  }
+  // A full binary code tree satisfies Kraft with equality.
+  EXPECT_NEAR(kraft, 1.0, 1e-9);
+}
+
+TEST(Huffman, CostBitsMatchesActualEncoding) {
+  std::vector<SymbolCount> freqs{{10, 500}, {11, 300}, {12, 150}, {13, 50}};
+  HuffmanEncoder enc(freqs);
+  util::BitWriter w;
+  for (const auto& f : freqs) {
+    for (std::uint64_t i = 0; i < f.count; ++i) enc.encode(f.symbol, w);
+  }
+  EXPECT_EQ(enc.cost_bits(freqs), w.bit_count());
+}
+
+TEST(Huffman, EmptyFrequencyTableYieldsEmptyBook) {
+  std::vector<SymbolCount> freqs;
+  HuffmanEncoder enc(freqs);
+  EXPECT_EQ(enc.distinct_symbols(), 0u);
+}
+
+TEST(Huffman, ZeroCountEntriesIgnored) {
+  std::vector<SymbolCount> freqs{{1, 100}, {2, 0}, {3, 100}};
+  HuffmanEncoder enc(freqs);
+  EXPECT_EQ(enc.distinct_symbols(), 2u);
+}
+
+TEST(Huffman, PathologicalFibonacciCountsStayBounded) {
+  // Fibonacci-like frequencies build maximally deep trees; the flattening
+  // fallback must keep codes <= 56 bits.
+  std::vector<SymbolCount> freqs;
+  std::uint64_t a = 1, b = 1;
+  for (std::uint32_t s = 0; s < 80; ++s) {
+    freqs.push_back({s, a});
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+    if (b > (1ull << 62)) break;
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  for (const auto len : lengths) EXPECT_LE(len, 56);
+}
+
+TEST(Huffman, DecoderRejectsTruncatedCodebook) {
+  std::vector<SymbolCount> freqs{{1, 10}, {2, 20}};
+  HuffmanEncoder enc(freqs);
+  auto book = enc.serialize_codebook();
+  book.resize(book.size() - 1);
+  std::size_t consumed = 0;
+  EXPECT_THROW(HuffmanDecoder(book, &consumed), std::runtime_error);
+}
+
+TEST(Huffman, DecoderRejectsInvalidBitstream) {
+  // Codebook covering only part of the bit space: an all-ones stream that
+  // never matches a codeword must throw, not loop.
+  std::vector<SymbolCount> freqs{{1, 3}, {2, 2}, {3, 1}};
+  HuffmanEncoder enc(freqs);
+  const auto book = enc.serialize_codebook();
+  std::size_t consumed = 0;
+  HuffmanDecoder dec(book, &consumed);
+  // Find a prefix that is not a valid codeword by brute force; with 3
+  // symbols of lengths (1,2,2) every 2-bit pattern is valid, so extend the
+  // alphabet instead.
+  std::vector<SymbolCount> freqs2{{1, 8}, {2, 4}, {3, 2}, {4, 1}, {5, 1}};
+  HuffmanEncoder enc2(freqs2);
+  std::size_t consumed2 = 0;
+  HuffmanDecoder dec2(enc2.serialize_codebook(), &consumed2);
+  // lengths are (1,2,3,4,4): pattern 1111...: follow 0/1 assignment; at
+  // least decoding a random long stream must either produce symbols or
+  // throw — never hang. We assert termination by bounded decode count.
+  std::vector<std::uint8_t> junk(64, 0xff);
+  util::BitReader r(junk);
+  int produced = 0;
+  try {
+    for (int i = 0; i < 1000; ++i) {
+      dec2.decode(r);
+      ++produced;
+    }
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+    return;
+  }
+  EXPECT_LE(produced, 1000);
+}
+
+class HuffmanRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuffmanRandomRoundTrip, RoundTripsRandomAlphabet) {
+  const int alphabet = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(alphabet) * 977);
+  std::vector<std::uint32_t> stream;
+  // Zipf-ish skew: symbol ~ floor(alphabet * u^3).
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    stream.push_back(static_cast<std::uint32_t>(u * u * u * alphabet));
+  }
+  EXPECT_EQ(round_trip(stream), stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphabetSizes, HuffmanRandomRoundTrip,
+                         ::testing::Values(2, 3, 16, 100, 1000, 65536));
+
+}  // namespace
+}  // namespace pcw::sz

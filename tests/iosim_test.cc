@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "iosim/platform.h"
+#include "iosim/simulator.h"
+
+namespace pcw::iosim {
+namespace {
+
+Platform flat_platform(double aggregate, double plateau) {
+  Platform p;
+  p.name = "test";
+  p.aggregate_bw = aggregate;
+  p.per_proc_plateau = plateau;
+  p.per_proc_half_size = 0.0;  // flat per-proc curve: cap == plateau
+  p.write_latency = 0.0;
+  p.collective_efficiency = 1.0;
+  p.sync_alpha = 0.0;
+  p.sync_beta = 0.0;
+  return p;
+}
+
+TEST(IoSim, SingleJobCapLimited) {
+  // One writer far below aggregate: finishes at bytes / cap.
+  const Platform p = flat_platform(1e9, 100.0);
+  std::vector<WriteJob> jobs{{0.0, 1000.0, 0.0, 0, 0, -1}};
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.makespan, 10.0, 1e-6);
+}
+
+TEST(IoSim, AggregateBindsManyWriters) {
+  // 10 writers x cap 100 = 1000 demand against aggregate 500: each gets 50.
+  const Platform p = flat_platform(500.0, 100.0);
+  std::vector<WriteJob> jobs(10);
+  for (int i = 0; i < 10; ++i) jobs[static_cast<std::size_t>(i)] = {0.0, 100.0, 0.0, i, 0, -1};
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.makespan, 2.0, 1e-6);
+}
+
+TEST(IoSim, WaterFillingRespectsSmallCaps) {
+  // One slow flow (cap 10) and one fast flow (cap 1000), aggregate 100:
+  // slow gets 10, fast gets 90.
+  const Platform p = flat_platform(100.0, 1000.0);
+  std::vector<WriteJob> jobs{
+      {0.0, 100.0, 10.0, 0, 0, -1},    // finishes at 10s
+      {0.0, 900.0, 1000.0, 1, 0, -1},  // gets 90 -> 10s
+  };
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.finish[0], 10.0, 1e-6);
+  EXPECT_NEAR(r.finish[1], 10.0, 1e-6);
+}
+
+TEST(IoSim, RatesRedistributeAfterCompletion) {
+  // Two flows share 100 equally; when the small one finishes the big one
+  // speeds up to its cap.
+  const Platform p = flat_platform(100.0, 100.0);
+  std::vector<WriteJob> jobs{
+      {0.0, 50.0, 0.0, 0, 0, -1},    // at 50/s each: done at 1s
+      {0.0, 150.0, 0.0, 1, 0, -1},   // 50 by 1s, then 100/s: done at 2s
+  };
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.finish[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.finish[1], 2.0, 1e-6);
+}
+
+TEST(IoSim, StaggeredArrivals) {
+  const Platform p = flat_platform(1e9, 100.0);
+  std::vector<WriteJob> jobs{
+      {0.0, 100.0, 0.0, 0, 0, -1},
+      {5.0, 100.0, 0.0, 1, 0, -1},
+  };
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.finish[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.finish[1], 6.0, 1e-6);
+}
+
+TEST(IoSim, WriteLatencyDelaysStart) {
+  Platform p = flat_platform(1e9, 100.0);
+  p.write_latency = 0.5;
+  std::vector<WriteJob> jobs{{0.0, 100.0, 0.0, 0, 0, -1}};
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.makespan, 1.5, 1e-6);
+}
+
+TEST(IoSim, ChainSerializesJobs) {
+  // Two 100-byte jobs on one chain with cap 100 and huge aggregate: the
+  // second cannot start until the first finishes even though it arrived.
+  const Platform p = flat_platform(1e9, 100.0);
+  std::vector<WriteJob> jobs{
+      {0.0, 100.0, 0.0, 0, 0, 7},
+      {0.0, 100.0, 0.0, 0, 1, 7},
+  };
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.finish[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.finish[1], 2.0, 1e-6);
+}
+
+TEST(IoSim, DistinctChainsRunConcurrently) {
+  const Platform p = flat_platform(1e9, 100.0);
+  std::vector<WriteJob> jobs{
+      {0.0, 100.0, 0.0, 0, 0, 1},
+      {0.0, 100.0, 0.0, 1, 0, 2},
+  };
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.finish[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.finish[1], 1.0, 1e-6);
+}
+
+TEST(IoSim, ChainWithLateSecondArrival) {
+  // Head finishes at 1s; the successor arrives at 3s: starts then.
+  const Platform p = flat_platform(1e9, 100.0);
+  std::vector<WriteJob> jobs{
+      {0.0, 100.0, 0.0, 0, 0, 4},
+      {3.0, 100.0, 0.0, 0, 1, 4},
+  };
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.finish[1], 4.0, 1e-6);
+}
+
+TEST(IoSim, ZeroByteJobsFinishOnArrival) {
+  const Platform p = flat_platform(1e9, 100.0);
+  std::vector<WriteJob> jobs{
+      {2.0, 0.0, 0.0, 0, 0, -1},
+      {0.0, 100.0, 0.0, 1, 0, -1},
+  };
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_NEAR(r.finish[0], 2.0, 1e-6);
+}
+
+TEST(IoSim, EmptyJobListIsNoop) {
+  const Platform p = flat_platform(1e9, 100.0);
+  const auto r = simulate_independent(p, {});
+  EXPECT_EQ(r.makespan, 0.0);
+}
+
+TEST(IoSim, NegativeBytesRejected) {
+  const Platform p = flat_platform(1e9, 100.0);
+  std::vector<WriteJob> jobs{{0.0, -5.0, 0.0, 0, 0, -1}};
+  EXPECT_THROW(simulate_independent(p, jobs), std::invalid_argument);
+}
+
+TEST(IoSim, PerProcCurveSaturates) {
+  Platform p = Platform::summit();
+  EXPECT_LT(p.per_proc_throughput(1e6), p.per_proc_throughput(50e6));
+  EXPECT_NEAR(p.per_proc_throughput(1e12), p.per_proc_plateau, p.per_proc_plateau * 0.01);
+  EXPECT_EQ(p.per_proc_throughput(0.0), 0.0);
+}
+
+TEST(IoSim, SyncAndAllgatherGrowWithScale) {
+  const Platform p = Platform::summit();
+  EXPECT_LT(p.sync_cost(64), p.sync_cost(4096));
+  EXPECT_LT(p.allgather_cost(64), p.allgather_cost(4096));
+}
+
+TEST(IoSim, CollectiveSlowerThanIndependentSameBytes) {
+  // The ExaHDF5 observation the paper leans on: identical payloads take
+  // longer through the collective path (derated bandwidth + syncs).
+  const Platform p = Platform::summit();
+  const int procs = 128;
+  std::vector<double> bytes(procs, 8e6);
+  const double t_coll = simulate_collective(p, 0.0, bytes);
+
+  std::vector<WriteJob> jobs(static_cast<std::size_t>(procs));
+  for (int i = 0; i < procs; ++i) {
+    jobs[static_cast<std::size_t>(i)] = {0.0, 8e6, 0.0, i, 0, i};
+  }
+  const double t_ind = simulate_independent(p, jobs).makespan;
+  EXPECT_GT(t_coll, t_ind);
+}
+
+TEST(IoSim, CollectiveEmptyReturnsStart) {
+  const Platform p = Platform::summit();
+  EXPECT_EQ(simulate_collective(p, 3.5, {}), 3.5);
+}
+
+TEST(IoSim, ByteConservationUnderContention) {
+  // Total bytes / makespan can never exceed the aggregate bandwidth.
+  const Platform p = flat_platform(1000.0, 400.0);
+  std::vector<WriteJob> jobs;
+  double total = 0.0;
+  for (int i = 0; i < 37; ++i) {
+    const double b = 100.0 + 13.0 * i;
+    jobs.push_back({0.1 * i, b, 0.0, i, 0, -1});
+    total += b;
+  }
+  const auto r = simulate_independent(p, jobs);
+  EXPECT_GE(r.makespan * p.aggregate_bw, total * (1 - 1e-9));
+  // And it must beat the trivial serial lower bound too.
+  EXPECT_LE(r.makespan, total / 100.0);
+}
+
+TEST(IoSim, SummitFasterThanBebop) {
+  std::vector<WriteJob> jobs(64);
+  for (int i = 0; i < 64; ++i) jobs[static_cast<std::size_t>(i)] = {0.0, 50e6, 0.0, i, 0, i};
+  const double t_summit = simulate_independent(Platform::summit(), jobs).makespan;
+  const double t_bebop = simulate_independent(Platform::bebop(), jobs).makespan;
+  EXPECT_LT(t_summit, t_bebop);
+}
+
+}  // namespace
+}  // namespace pcw::iosim

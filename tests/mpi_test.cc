@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpi/comm.h"
+
+namespace pcw::mpi {
+namespace {
+
+TEST(Mpi, RunSingleRank) {
+  std::atomic<int> calls{0};
+  Runtime::run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Mpi, AllRanksSeeDistinctIds) {
+  const int P = 16;
+  std::vector<std::atomic<int>> seen(P);
+  Runtime::run(P, [&](Comm& comm) { ++seen[static_cast<std::size_t>(comm.rank())]; });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(Mpi, RejectsBadRankCounts) {
+  EXPECT_THROW(Runtime::run(0, [](Comm&) {}), std::invalid_argument);
+  EXPECT_THROW(Runtime::run(-3, [](Comm&) {}), std::invalid_argument);
+  EXPECT_THROW(Runtime::run(5000, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(Mpi, BarrierSeparatesPhases) {
+  const int P = 8;
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  Runtime::run(P, [&](Comm& comm) {
+    ++phase1;
+    comm.barrier();
+    // After the barrier every rank must observe all P phase-1 increments.
+    if (phase1.load() != P) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Mpi, RepeatedBarriersDoNotDeadlock) {
+  Runtime::run(6, [](Comm& comm) {
+    for (int i = 0; i < 100; ++i) comm.barrier();
+  });
+}
+
+TEST(Mpi, AllgatherCollectsInRankOrder) {
+  const int P = 12;
+  Runtime::run(P, [&](Comm& comm) {
+    const auto all = comm.allgather<int>(comm.rank() * 10);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 10);
+  });
+}
+
+TEST(Mpi, AllgatherStructs) {
+  struct Pair {
+    double a;
+    std::uint64_t b;
+  };
+  Runtime::run(5, [&](Comm& comm) {
+    const Pair mine{comm.rank() * 1.5, static_cast<std::uint64_t>(comm.rank())};
+    const auto all = comm.allgather(mine);
+    for (int r = 0; r < 5; ++r) {
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)].a, r * 1.5);
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].b, static_cast<std::uint64_t>(r));
+    }
+  });
+}
+
+TEST(Mpi, AllgathervVariableLengths) {
+  const int P = 7;
+  Runtime::run(P, [&](Comm& comm) {
+    std::vector<std::uint32_t> mine(static_cast<std::size_t>(comm.rank()));
+    std::iota(mine.begin(), mine.end(), 100u * static_cast<std::uint32_t>(comm.rank()));
+    const auto all = comm.allgatherv<std::uint32_t>(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r)].size(), static_cast<std::size_t>(r));
+      for (std::size_t i = 0; i < all[static_cast<std::size_t>(r)].size(); ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)][i],
+                  100u * static_cast<std::uint32_t>(r) + i);
+      }
+    }
+  });
+}
+
+TEST(Mpi, BackToBackCollectivesKeepSlotsIsolated) {
+  // The slot-reuse protocol (write, barrier, read, barrier) must not leak
+  // one collective's payload into the next.
+  Runtime::run(6, [](Comm& comm) {
+    for (int round = 0; round < 50; ++round) {
+      const auto all = comm.allgather<int>(comm.rank() + round * 1000);
+      for (int r = 0; r < comm.size(); ++r) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r)], r + round * 1000);
+      }
+    }
+  });
+}
+
+TEST(Mpi, AllreduceMaxMinSum) {
+  const int P = 9;
+  Runtime::run(P, [&](Comm& comm) {
+    EXPECT_EQ(comm.allreduce_max(comm.rank()), P - 1);
+    EXPECT_EQ(comm.allreduce_min(comm.rank()), 0);
+    EXPECT_EQ(comm.allreduce_sum(comm.rank()), P * (P - 1) / 2);
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(0.5), 4.5);
+  });
+}
+
+TEST(Mpi, BcastFromEveryRoot) {
+  const int P = 4;
+  Runtime::run(P, [&](Comm& comm) {
+    for (int root = 0; root < P; ++root) {
+      const int got = comm.bcast(comm.rank() == root ? 777 + root : -1, root);
+      EXPECT_EQ(got, 777 + root);
+    }
+  });
+}
+
+TEST(Mpi, SendRecvPointToPoint) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<std::uint8_t> msg{1, 2, 3, 4};
+      comm.send(1, 7, msg);
+    } else {
+      const auto got = comm.recv(0, 7);
+      EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+    }
+  });
+}
+
+TEST(Mpi, SendRecvPreservesTagAndOrder) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<std::uint8_t>{10});
+      comm.send(1, 2, std::vector<std::uint8_t>{20});
+      comm.send(1, 1, std::vector<std::uint8_t>{11});
+    } else {
+      // Tag 2 can be taken before the second tag-1 message.
+      EXPECT_EQ(comm.recv(0, 2).at(0), 20);
+      EXPECT_EQ(comm.recv(0, 1).at(0), 10);
+      EXPECT_EQ(comm.recv(0, 1).at(0), 11);
+    }
+  });
+}
+
+TEST(Mpi, SendRejectsBadDestination) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send(5, 0, std::vector<std::uint8_t>{1}), std::invalid_argument);
+    }
+  });
+}
+
+TEST(Mpi, ExceptionInOneRankAbortsGroup) {
+  // Rank 1 throws while others sit in a barrier; run() must rethrow the
+  // original error instead of deadlocking.
+  EXPECT_THROW(
+      Runtime::run(4,
+                   [](Comm& comm) {
+                     if (comm.rank() == 1) throw std::logic_error("rank 1 failed");
+                     comm.barrier();
+                     comm.barrier();
+                   }),
+      std::logic_error);
+}
+
+TEST(Mpi, ExceptionDuringCollectiveAborts) {
+  EXPECT_THROW(Runtime::run(4,
+                            [](Comm& comm) {
+                              if (comm.rank() == 2) throw std::runtime_error("boom");
+                              (void)comm.allgather<int>(comm.rank());
+                              (void)comm.allgather<int>(comm.rank());
+                            }),
+               std::runtime_error);
+}
+
+TEST(Mpi, GroupIsReusableAfterFailure) {
+  // A failed run must not poison subsequent runs (fresh group each time).
+  EXPECT_THROW(Runtime::run(3,
+                            [](Comm&) { throw std::runtime_error("first"); }),
+               std::runtime_error);
+  Runtime::run(3, [](Comm& comm) { comm.barrier(); });
+}
+
+TEST(Mpi, LargeRankCountCollective) {
+  const int P = 128;
+  Runtime::run(P, [&](Comm& comm) {
+    const auto all = comm.allgather<std::uint64_t>(
+        static_cast<std::uint64_t>(comm.rank()) * 3 + 1);
+    std::uint64_t sum = 0;
+    for (const auto v : all) sum += v;
+    const auto p = static_cast<std::uint64_t>(P);
+    EXPECT_EQ(sum, 3 * p * (p - 1) / 2 + p);
+  });
+}
+
+}  // namespace
+}  // namespace pcw::mpi

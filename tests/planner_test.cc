@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+
+namespace pcw::core {
+namespace {
+
+TEST(Planner, SlotsAreDisjointAndOrdered) {
+  std::vector<std::vector<PartitionPrediction>> preds(3);
+  for (int f = 0; f < 3; ++f) {
+    for (int r = 0; r < 4; ++r) {
+      preds[static_cast<std::size_t>(f)].push_back(
+          {static_cast<std::uint64_t>(1000 + f * 100 + r * 10), 10.0});
+    }
+  }
+  const auto plan = plan_layout(preds, 1.25);
+  std::uint64_t cursor = 0;
+  for (const auto& field : plan.slots) {
+    for (const auto& slot : field) {
+      EXPECT_EQ(slot.offset, cursor);
+      EXPECT_GT(slot.reserved_bytes, 0u);
+      cursor += slot.reserved_bytes;
+    }
+  }
+  EXPECT_EQ(plan.total_bytes, cursor);
+}
+
+TEST(Planner, ReservedAppliesRspace) {
+  std::vector<std::vector<PartitionPrediction>> preds{{{1000, 10.0}}};
+  const auto plan = plan_layout(preds, 1.5, 1);
+  // 1000 * 1.5 = 1500, +1 guard.
+  EXPECT_EQ(plan.slots[0][0].reserved_bytes, 1501u);
+}
+
+TEST(Planner, Eq3BoostAboveRatio32) {
+  std::vector<std::vector<PartitionPrediction>> preds{{{1000, 64.0}}};
+  const auto plan = plan_layout(preds, 1.25, 1);
+  // Effective r = min(2, 1 + 0.25*4) = 2.0.
+  EXPECT_EQ(plan.slots[0][0].reserved_bytes, 2001u);
+}
+
+TEST(Planner, AlignmentRespected) {
+  std::vector<std::vector<PartitionPrediction>> preds{{{100, 5.0}, {77, 5.0}}};
+  const auto plan = plan_layout(preds, 1.1, 64);
+  for (const auto& slot : plan.slots[0]) {
+    EXPECT_EQ(slot.offset % 64, 0u);
+    EXPECT_EQ(slot.reserved_bytes % 64, 0u);
+  }
+}
+
+TEST(Planner, DeterministicAcrossCalls) {
+  std::vector<std::vector<PartitionPrediction>> preds(2,
+                                                      {{500, 8.0}, {700, 40.0}});
+  const auto a = plan_layout(preds, 1.25);
+  const auto b = plan_layout(preds, 1.25);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  for (std::size_t f = 0; f < a.slots.size(); ++f) {
+    for (std::size_t r = 0; r < a.slots[f].size(); ++r) {
+      EXPECT_EQ(a.slots[f][r].offset, b.slots[f][r].offset);
+      EXPECT_EQ(a.slots[f][r].reserved_bytes, b.slots[f][r].reserved_bytes);
+    }
+  }
+}
+
+TEST(Planner, FieldMajorLayout) {
+  // All of field 0's slots precede field 1's.
+  std::vector<std::vector<PartitionPrediction>> preds(2,
+                                                      std::vector<PartitionPrediction>(
+                                                          3, {100, 4.0}));
+  const auto plan = plan_layout(preds, 1.1);
+  EXPECT_LT(plan.slots[0][2].offset, plan.slots[1][0].offset);
+}
+
+TEST(Planner, RaggedMatrixRejected) {
+  std::vector<std::vector<PartitionPrediction>> preds{
+      {{100, 4.0}, {100, 4.0}},
+      {{100, 4.0}},
+  };
+  EXPECT_THROW(plan_layout(preds, 1.25), std::invalid_argument);
+}
+
+TEST(Planner, EmptyPlanIsEmpty) {
+  const auto plan = plan_layout({}, 1.25);
+  EXPECT_EQ(plan.total_bytes, 0u);
+  EXPECT_TRUE(plan.slots.empty());
+}
+
+TEST(Planner, HigherRspaceMoreStorage) {
+  std::vector<std::vector<PartitionPrediction>> preds(
+      4, std::vector<PartitionPrediction>(16, {10000, 12.0}));
+  const auto lo = plan_layout(preds, 1.1);
+  const auto hi = plan_layout(preds, 1.43);
+  EXPECT_GT(hi.total_bytes, lo.total_bytes);
+  EXPECT_NEAR(static_cast<double>(hi.total_bytes) / static_cast<double>(lo.total_bytes),
+              1.43 / 1.1, 0.02);
+}
+
+TEST(Planner, OverflowOffsetsSkipZeroEntries) {
+  std::vector<std::vector<std::uint64_t>> ovf{
+      {0, 100, 0},
+      {50, 0, 0},
+  };
+  std::uint64_t total = 0;
+  const auto offsets = assign_overflow_offsets(ovf, &total, 1);
+  // Rank-major: rank 0's tail (field 1, 50 B) precedes rank 1's (field 0).
+  EXPECT_EQ(offsets[1][0], 0u);
+  EXPECT_EQ(offsets[0][1], 50u);
+  EXPECT_EQ(total, 150u);
+  EXPECT_EQ(offsets[0][0], 0u);
+  EXPECT_EQ(offsets[0][2], 0u);
+}
+
+TEST(Planner, OverflowOffsetsRankTailsAreAdjacent) {
+  // Two fields overflowing on the same rank must land back to back so the
+  // rank can append them with one write.
+  std::vector<std::vector<std::uint64_t>> ovf{
+      {10, 0},
+      {20, 0},
+      {0, 30},
+  };
+  std::uint64_t total = 0;
+  const auto offsets = assign_overflow_offsets(ovf, &total, 1);
+  EXPECT_EQ(offsets[0][0], 0u);
+  EXPECT_EQ(offsets[1][0], 10u);   // adjacent to rank 0's first tail
+  EXPECT_EQ(offsets[2][1], 30u);
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(Planner, OverflowOffsetsAligned) {
+  std::vector<std::vector<std::uint64_t>> ovf{{10, 20}};
+  std::uint64_t total = 0;
+  const auto offsets = assign_overflow_offsets(ovf, &total, 64);
+  EXPECT_EQ(offsets[0][0], 0u);
+  EXPECT_EQ(offsets[0][1], 64u);
+  EXPECT_EQ(total, 128u);
+}
+
+TEST(Planner, OverflowNoEntries) {
+  std::uint64_t total = 99;
+  const auto offsets = assign_overflow_offsets({}, &total);
+  EXPECT_TRUE(offsets.empty());
+  EXPECT_EQ(total, 0u);
+}
+
+}  // namespace
+}  // namespace pcw::core

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/workloads.h"
+#include "model/ratio_model.h"
+#include "sz/compressor.h"
+
+namespace pcw::model {
+namespace {
+
+double actual_bit_rate(const std::vector<float>& data, const sz::Dims& dims,
+                       const sz::Params& p) {
+  const auto blob = sz::compress<float>(data, dims, p);
+  return sz::bit_rate(blob.size(), data.size());
+}
+
+TEST(RatioModel, MidRangeAccuracyAbove90Percent) {
+  // The paper cites [25]: ratio-estimation accuracy consistently above
+  // 90%. Check on a Nyx-like field at moderate ratios (4x..20x).
+  const sz::Dims dims = sz::Dims::make_3d(64, 64, 64);
+  const auto data = data::make_nyx_field(dims, data::NyxField::kBaryonDensity, 42);
+  for (const double eb : {0.05, 0.2, 1.0}) {
+    sz::Params p;
+    p.error_bound = eb;
+    const auto est = estimate_ratio<float>(data, dims, p);
+    const double actual = actual_bit_rate(data, dims, p);
+    if (actual >= 1.0) {  // the model's stated validity region
+      EXPECT_NEAR(est.bit_rate, actual, 0.30 * actual)
+          << "eb=" << eb << " actual=" << actual;
+    }
+  }
+}
+
+TEST(RatioModel, PredictionIsMonotoneInErrorBound) {
+  const sz::Dims dims = sz::Dims::make_3d(48, 48, 48);
+  const auto data = data::make_nyx_field(dims, data::NyxField::kTemperature, 7);
+  double prev = 0.0;
+  for (const double eb : {1e4, 1e3, 1e2, 1e1}) {
+    sz::Params p;
+    p.error_bound = eb;
+    const auto est = estimate_ratio<float>(data, dims, p);
+    EXPECT_GT(est.bit_rate, prev) << "eb=" << eb;
+    prev = est.bit_rate;
+  }
+}
+
+TEST(RatioModel, SamplesOnlyRequestedFraction) {
+  const sz::Dims dims = sz::Dims::make_3d(64, 64, 64);
+  const auto data = data::make_nyx_field(dims, data::NyxField::kVelocityX, 9);
+  RatioModelConfig cfg;
+  cfg.sample_fraction = 0.02;
+  sz::Params p;
+  p.error_bound = 1e5;
+  const auto est = estimate_ratio<float>(data, dims, p, cfg);
+  EXPECT_GT(est.sampled_points, 0u);
+  EXPECT_LT(static_cast<double>(est.sampled_points),
+            0.10 * static_cast<double>(dims.count()));
+}
+
+TEST(RatioModel, OutlierFractionReflectsData) {
+  // White noise with a tight bound and tiny radius-equivalent ratio: many
+  // unpredictable points expected.
+  const sz::Dims dims = sz::Dims::make_3d(32, 32, 32);
+  std::vector<float> noise(dims.count());
+  std::uint64_t state = 99;
+  for (auto& x : noise) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    x = static_cast<float>(static_cast<double>(state >> 11) * 0x1.0p-53 * 2e6 - 1e6);
+  }
+  sz::Params p;
+  p.error_bound = 1e-6;
+  p.radius = 8;
+  const auto est = estimate_ratio<float>(noise, dims, p);
+  EXPECT_GT(est.outlier_fraction, 0.3);
+
+  const auto smooth = data::make_nyx_field(dims, data::NyxField::kVelocityY, 3);
+  sz::Params p2;
+  p2.error_bound = 2e5;
+  const auto est2 = estimate_ratio<float>(smooth, dims, p2);
+  EXPECT_LT(est2.outlier_fraction, 0.05);
+}
+
+TEST(RatioModel, LzGainOnlyClaimedWhenRunsExist) {
+  const sz::Dims dims = sz::Dims::make_3d(32, 32, 32);
+  // Constant field: everything is one long zero-residual run.
+  const std::vector<float> constant(dims.count(), 2.0f);
+  sz::Params p;
+  p.error_bound = 1e-3;
+  const auto est = estimate_ratio<float>(constant, dims, p);
+  EXPECT_LT(est.lz_gain, 0.5);
+
+  // Rough field: runs are rare; predicted gain should be near 1.
+  std::vector<float> rough(dims.count());
+  std::uint64_t state = 5;
+  for (auto& x : rough) {
+    state = state * 2862933555777941757ull + 3037000493ull;
+    x = static_cast<float>(static_cast<double>(state >> 11) * 0x1.0p-53);
+  }
+  sz::Params p2;
+  p2.error_bound = 1e-5;
+  const auto est2 = estimate_ratio<float>(rough, dims, p2);
+  EXPECT_GT(est2.lz_gain, 0.9);
+}
+
+TEST(RatioModel, HighRatioRegimeKnownToDegrade) {
+  // The paper's §III-D: above ~32x the model underestimates reality less
+  // reliably. We only assert the estimate stays within a loose 2x band —
+  // the extra-space policy (Eq. 3) owns this regime.
+  const sz::Dims dims = sz::Dims::make_3d(64, 64, 64);
+  const auto data = data::make_nyx_field(dims, data::NyxField::kVelocityZ, 11);
+  sz::Params p;
+  p.error_bound = 5e5;  // very loose
+  const auto est = estimate_ratio<float>(data, dims, p);
+  const double actual = actual_bit_rate(data, dims, p);
+  EXPECT_GT(est.bit_rate, actual * 0.4);
+  EXPECT_LT(est.bit_rate, actual * 2.5);
+}
+
+TEST(RatioModel, WorksOn1DParticleData) {
+  const auto data = data::make_vpic_field(1 << 18, data::VpicField::kUx, 4);
+  const sz::Dims dims = sz::Dims::make_1d(data.size());
+  sz::Params p;
+  p.error_bound = data::vpic_field_info(data::VpicField::kUx).abs_error_bound;
+  const auto est = estimate_ratio<float>(data, dims, p);
+  const double actual = actual_bit_rate(data, dims, p);
+  EXPECT_NEAR(est.bit_rate, actual, 0.35 * actual);
+}
+
+TEST(RatioModel, RatioAndBitRateConsistent) {
+  const sz::Dims dims = sz::Dims::make_3d(32, 32, 32);
+  const auto data = data::make_nyx_field(dims, data::NyxField::kBaryonDensity, 17);
+  sz::Params p;
+  p.error_bound = 0.2;
+  const auto est = estimate_ratio<float>(data, dims, p);
+  EXPECT_NEAR(est.ratio * est.bit_rate, 32.0, 1e-9);
+}
+
+TEST(RatioModel, DeterministicEstimates) {
+  const sz::Dims dims = sz::Dims::make_3d(32, 32, 32);
+  const auto data = data::make_nyx_field(dims, data::NyxField::kTemperature, 23);
+  sz::Params p;
+  p.error_bound = 1e3;
+  const auto a = estimate_ratio<float>(data, dims, p);
+  const auto b = estimate_ratio<float>(data, dims, p);
+  EXPECT_DOUBLE_EQ(a.bit_rate, b.bit_rate);
+}
+
+class RatioModelFieldSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RatioModelFieldSweep, PaperBoundsAccuracyAcrossNyxFields) {
+  // The engine relies on the model for offsets on all 6 primary fields at
+  // the paper's bounds; each must land within the extra-space margin the
+  // planner applies (r_space up to 2.0 in the boosted regime).
+  const auto field = static_cast<data::NyxField>(GetParam());
+  const sz::Dims dims = sz::Dims::make_3d(48, 48, 48);
+  const auto data = data::make_nyx_field(dims, field, 1234);
+  sz::Params p;
+  p.error_bound = data::nyx_field_info(field).abs_error_bound;
+  const auto est = estimate_ratio<float>(data, dims, p);
+  const double actual = actual_bit_rate(data, dims, p);
+  // Reserved = predicted * r_space must cover the actual size for most
+  // partitions: require predicted >= 0.5 * actual (Eq. 3 doubles the rest).
+  EXPECT_GT(est.bit_rate, 0.5 * actual) << data::nyx_field_info(field).name;
+  EXPECT_LT(est.bit_rate, 2.0 * actual) << data::nyx_field_info(field).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(NyxFields, RatioModelFieldSweep,
+                         ::testing::Range(0, data::kNyxPrimaryFields));
+
+}  // namespace
+}  // namespace pcw::model

@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <thread>
+
+#include "util/bitstream.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace pcw::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUnbiased) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(17);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.normal(10.0, 2.0);
+  EXPECT_NEAR(mean(xs), 10.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng c = a.fork(1);
+  Rng a2(42);
+  // Fork consumed one draw from a; c must not replay a's stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (c.next_u64() == a2.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+// ---------------------------------------------------------- BitStream ----
+
+TEST(BitStream, RoundTripSingleBits) {
+  BitWriter w;
+  for (int i = 0; i < 64; ++i) w.put(static_cast<std::uint64_t>(i % 2), 1);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(r.get(1), static_cast<std::uint64_t>(i % 2));
+}
+
+TEST(BitStream, RoundTripMixedWidths) {
+  Rng rng(5);
+  std::vector<std::pair<std::uint64_t, int>> fields;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const int nbits = 1 + static_cast<int>(rng.uniform_index(57));
+    const std::uint64_t v = rng.next_u64() & (~0ull >> (64 - nbits));
+    fields.emplace_back(v, nbits);
+    w.put(v, nbits);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto& [v, nbits] : fields) EXPECT_EQ(r.get(nbits), v);
+}
+
+TEST(BitStream, BitCountTracksExactly) {
+  BitWriter w;
+  w.put(0b101, 3);
+  EXPECT_EQ(w.bit_count(), 3u);
+  w.put(0xffff, 16);
+  EXPECT_EQ(w.bit_count(), 19u);
+}
+
+TEST(BitStream, PeekDoesNotConsume) {
+  BitWriter w;
+  w.put(0b1011001, 7);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.peek(7), 0b1011001u);
+  EXPECT_EQ(r.peek(7), 0b1011001u);
+  EXPECT_EQ(r.get(7), 0b1011001u);
+}
+
+TEST(BitStream, SkipAfterPeekAdvances) {
+  BitWriter w;
+  w.put(0b11, 2);
+  w.put(0b01, 2);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  r.peek(2);
+  r.skip(2);
+  EXPECT_EQ(r.get(2), 0b01u);
+}
+
+TEST(BitStream, PeekPastEndReadsZero) {
+  BitWriter w;
+  w.put(1, 1);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(1), 1u);
+  // Remaining padding bits are zero.
+  EXPECT_EQ(r.peek(7), 0u);
+}
+
+TEST(BitStream, FinishResetsWriter) {
+  BitWriter w;
+  w.put(0xff, 8);
+  auto first = w.finish();
+  EXPECT_EQ(first.size(), 1u);
+  w.put(0x0f, 4);
+  auto second = w.finish();
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 0x0f);
+}
+
+// -------------------------------------------------------------- Stats ----
+
+TEST(Stats, MeanMedianBasics) {
+  const std::vector<double> xs{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(xs), 22.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  const std::vector<double> xs;
+  EXPECT_EQ(mean(xs), 0.0);
+  EXPECT_EQ(variance(xs), 0.0);
+  EXPECT_EQ(quantile(xs, 0.5), 0.0);
+  EXPECT_EQ(geomean(xs), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, MapeSkipsZeroActuals) {
+  const std::vector<double> pred{1.1, 5.0};
+  const std::vector<double> act{1.0, 0.0};
+  EXPECT_NEAR(mape(pred, act), 0.1, 1e-12);
+}
+
+TEST(Stats, GeomeanMatchesHandComputation) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+// -------------------------------------------------------------- Table ----
+
+TEST(Table, AlignsColumnsAndPrintsAllRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);  // header+rule+2 rows
+}
+
+TEST(Table, FmtRespectsPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, FmtBytesPicksUnits) {
+  EXPECT_EQ(Table::fmt_bytes(512), "512.00 B");
+  EXPECT_EQ(Table::fmt_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(Table::fmt_bytes(3.5 * 1024 * 1024), "3.50 MiB");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+// --------------------------------------------------------- ThreadPool ----
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&count] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++count;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto fut = pool.submit([] {});
+  fut.get();
+}
+
+// ---------------------------------------------------------- Histogram ----
+
+TEST(Histogram, BinsAndClampsOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.5);    // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, FractionSumsToOne) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) sum += h.fraction(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, BinEdgesAreUniform) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.5);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0, 1, 5);
+  h.add(0.1);
+  const std::string art = h.ascii(20);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 5);
+}
+
+// -------------------------------------------------------------- Timer ----
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.01);
+}
+
+}  // namespace
+}  // namespace pcw::util

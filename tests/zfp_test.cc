@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/workloads.h"
+#include "zfp/zfp.h"
+
+namespace pcw::zfp {
+namespace {
+
+std::vector<float> smooth_field(const sz::Dims& dims, std::uint64_t seed) {
+  return data::make_nyx_field(dims, data::NyxField::kBaryonDensity, seed);
+}
+
+double max_abs_err(const std::vector<float>& a, const std::vector<float>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+double value_range(const std::vector<float>& a) {
+  float lo = a[0], hi = a[0];
+  for (const float v : a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return static_cast<double>(hi) - static_cast<double>(lo);
+}
+
+TEST(Zfp, CompressedSizeIsExact) {
+  const sz::Dims dims = sz::Dims::make_3d(32, 32, 32);
+  const auto field = smooth_field(dims, 1);
+  for (const int rate : {2, 4, 8, 16, 32}) {
+    Params p;
+    p.rate_bits = rate;
+    const auto blob = compress(field, dims, p);
+    EXPECT_EQ(blob.size(), compressed_size(dims, p)) << "rate=" << rate;
+  }
+}
+
+TEST(Zfp, SizeIndependentOfContent) {
+  // The fixed-rate property: two totally different fields of the same
+  // extents produce byte-identical sizes.
+  const sz::Dims dims = sz::Dims::make_3d(20, 24, 28);
+  Params p;
+  p.rate_bits = 8;
+  const auto a = compress(smooth_field(dims, 1), dims, p);
+  const auto b = compress(data::make_rtm_field(dims, 9), dims, p);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(Zfp, RoundTripRecoversDims) {
+  const sz::Dims dims = sz::Dims::make_3d(17, 5, 9);
+  const auto field = smooth_field(dims, 2);
+  Params p;
+  p.rate_bits = 16;
+  sz::Dims parsed;
+  const auto rec = decompress(compress(field, dims, p), &parsed);
+  EXPECT_EQ(parsed, dims);
+  EXPECT_EQ(rec.size(), field.size());
+}
+
+TEST(Zfp, ErrorDecaysWithRate) {
+  const sz::Dims dims = sz::Dims::make_3d(32, 32, 32);
+  const auto field = smooth_field(dims, 3);
+  double prev = 1e300;
+  for (const int rate : {4, 8, 12, 16, 20}) {
+    Params p;
+    p.rate_bits = rate;
+    const double err = max_abs_err(field, decompress(compress(field, dims, p)));
+    EXPECT_LT(err, prev) << "rate=" << rate;
+    prev = err;
+  }
+  // At 20 bits/value a smooth field reconstructs to < 0.1% of range.
+  EXPECT_LT(prev, 1e-3 * value_range(field));
+}
+
+TEST(Zfp, HighRateNearLossless) {
+  const sz::Dims dims = sz::Dims::make_3d(16, 16, 16);
+  const auto field = smooth_field(dims, 4);
+  Params p;
+  p.rate_bits = 32;
+  const double err = max_abs_err(field, decompress(compress(field, dims, p)));
+  EXPECT_LT(err, 1e-5 * value_range(field));
+}
+
+TEST(Zfp, ConstantBlockExact) {
+  const std::vector<float> field(64, 7.25f);
+  Params p;
+  p.rate_bits = 8;
+  const auto rec = decompress(compress(field, sz::Dims::make_3d(4, 4, 4), p));
+  for (const float v : rec) EXPECT_NEAR(v, 7.25f, 1e-4f);
+}
+
+TEST(Zfp, AllZeroBlocksAreFlagged) {
+  const std::vector<float> field(4 * 4 * 4 * 8, 0.0f);
+  Params p;
+  p.rate_bits = 16;
+  const auto rec = decompress(compress(field, sz::Dims::make_3d(8, 8, 8), p));
+  for (const float v : rec) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Zfp, NonMultipleOfFourExtents) {
+  const sz::Dims dims = sz::Dims::make_3d(5, 7, 3);
+  std::vector<float> field(dims.count());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = static_cast<float>(std::sin(0.3 * static_cast<double>(i)));
+  }
+  Params p;
+  p.rate_bits = 24;
+  const auto rec = decompress(compress(field, dims, p));
+  ASSERT_EQ(rec.size(), field.size());
+  EXPECT_LT(max_abs_err(field, rec), 0.01);
+}
+
+TEST(Zfp, OneAndTwoDimensionalInputs) {
+  Params p;
+  p.rate_bits = 16;
+  std::vector<float> line(1000);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    line[i] = static_cast<float>(std::cos(0.01 * static_cast<double>(i)));
+  }
+  const auto rec1 = decompress(compress(line, sz::Dims::make_1d(1000), p));
+  EXPECT_LT(max_abs_err(line, rec1), 0.02);
+
+  std::vector<float> plane(64 * 64);
+  for (std::size_t r = 0; r < 64; ++r) {
+    for (std::size_t c = 0; c < 64; ++c) {
+      plane[r * 64 + c] = static_cast<float>(std::sin(0.1 * static_cast<double>(r)) +
+                                             std::cos(0.2 * static_cast<double>(c)));
+    }
+  }
+  const auto rec2 = decompress(compress(plane, sz::Dims::make_2d(64, 64), p));
+  EXPECT_LT(max_abs_err(plane, rec2), 0.02);
+}
+
+TEST(Zfp, DeterministicOutput) {
+  const sz::Dims dims = sz::Dims::make_3d(16, 16, 16);
+  const auto field = smooth_field(dims, 5);
+  Params p;
+  p.rate_bits = 10;
+  EXPECT_EQ(compress(field, dims, p), compress(field, dims, p));
+}
+
+TEST(Zfp, RejectsBadInputs) {
+  const std::vector<float> field(64);
+  Params bad;
+  bad.rate_bits = 1;
+  EXPECT_THROW(compress(field, sz::Dims::make_3d(4, 4, 4), bad), std::invalid_argument);
+  bad.rate_bits = 33;
+  EXPECT_THROW(compress(field, sz::Dims::make_3d(4, 4, 4), bad), std::invalid_argument);
+  Params p;
+  EXPECT_THROW(compress(field, sz::Dims::make_3d(5, 4, 4), p), std::invalid_argument);
+  EXPECT_THROW(compress(std::vector<float>{}, sz::Dims::make_1d(0), p),
+               std::invalid_argument);
+}
+
+TEST(Zfp, RejectsCorruptBlobs) {
+  const sz::Dims dims = sz::Dims::make_3d(8, 8, 8);
+  const auto field = smooth_field(dims, 6);
+  Params p;
+  p.rate_bits = 8;
+  auto blob = compress(field, dims, p);
+  auto truncated = blob;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(decompress(truncated), std::runtime_error);
+  auto bad_magic = blob;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(decompress(bad_magic), std::runtime_error);
+  std::vector<std::uint8_t> tiny(10);
+  EXPECT_THROW(decompress(tiny), std::runtime_error);
+}
+
+TEST(Zfp, ExtremeValuesSurvive) {
+  std::vector<float> field(64, 0.0f);
+  field[0] = 3e38f;
+  field[63] = -3e38f;
+  Params p;
+  p.rate_bits = 32;
+  const auto rec = decompress(compress(field, sz::Dims::make_3d(4, 4, 4), p));
+  EXPECT_TRUE(std::isfinite(static_cast<double>(rec[0])));
+  EXPECT_TRUE(std::isfinite(static_cast<double>(rec[63])));
+}
+
+class ZfpRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZfpRateSweep, RoundTripInvariants) {
+  const int rate = GetParam();
+  const sz::Dims dims = sz::Dims::make_3d(24, 24, 24);
+  const auto field = smooth_field(dims, 7);
+  Params p;
+  p.rate_bits = rate;
+  const auto blob = compress(field, dims, p);
+  EXPECT_EQ(blob.size(), compressed_size(dims, p));
+  const auto rec = decompress(blob);
+  ASSERT_EQ(rec.size(), field.size());
+  for (const float v : rec) ASSERT_TRUE(std::isfinite(static_cast<double>(v)));
+  // Re-compressing the reconstruction at the same rate must be stable
+  // (error does not blow up on iteration).
+  const auto rec2 = decompress(compress(rec, dims, p));
+  EXPECT_LE(max_abs_err(field, rec2), 3.0 * max_abs_err(field, rec) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ZfpRateSweep, ::testing::Values(2, 4, 6, 8, 12, 16, 24, 32));
+
+}  // namespace
+}  // namespace pcw::zfp

@@ -1,0 +1,124 @@
+// pcw5ls — inspect a .pcw5 shared file: dataset table, per-partition
+// layout, storage accounting, and optional full decode verification.
+//
+//   pcw5ls <file.pcw5> [--partitions] [--verify]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "h5/dataset_io.h"
+#include "h5/file.h"
+#include "util/table.h"
+
+namespace {
+
+const char* filter_name(pcw::h5::FilterId id) {
+  switch (id) {
+    case pcw::h5::FilterId::kNone: return "none";
+    case pcw::h5::FilterId::kSz: return "sz";
+    case pcw::h5::FilterId::kZfp: return "zfp";
+  }
+  return "?";
+}
+
+const char* dtype_name(pcw::h5::DataType t) {
+  switch (t) {
+    case pcw::h5::DataType::kFloat32: return "float32";
+    case pcw::h5::DataType::kFloat64: return "float64";
+    case pcw::h5::DataType::kBytes: return "bytes";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: pcw5ls <file.pcw5> [--partitions] [--verify]\n");
+    return 2;
+  }
+  bool show_partitions = false, verify = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--partitions") == 0) show_partitions = true;
+    if (std::strcmp(argv[i], "--verify") == 0) verify = true;
+  }
+
+  try {
+    auto file = pcw::h5::File::open(argv[1]);
+    std::printf("%s: %llu bytes, %zu dataset(s)\n\n", argv[1],
+                static_cast<unsigned long long>(file->file_bytes()),
+                file->datasets().size());
+
+    pcw::util::Table table({"dataset", "dtype", "dims", "filter", "parts", "stored",
+                            "reserved", "ratio", "overflows"});
+    for (const auto& desc : file->datasets()) {
+      std::uint64_t stored = 0, reserved = 0, elems = desc.global_dims.count();
+      int overflows = 0;
+      if (desc.layout == pcw::h5::Layout::kContiguous) {
+        stored = reserved = desc.nbytes;
+      } else {
+        for (const auto& part : desc.partitions) {
+          stored += part.actual_bytes;
+          reserved += std::max(part.reserved_bytes, part.actual_bytes);
+          overflows += part.overflow_bytes > 0;
+        }
+      }
+      const double raw =
+          static_cast<double>(elems * pcw::h5::element_size(desc.dtype));
+      char dims_str[64];
+      std::snprintf(dims_str, sizeof(dims_str), "%zux%zux%zu", desc.global_dims.d0,
+                    desc.global_dims.d1, desc.global_dims.d2);
+      table.add_row({desc.name, dtype_name(desc.dtype), dims_str,
+                     filter_name(desc.filter), std::to_string(desc.partitions.size()),
+                     pcw::util::Table::fmt_bytes(static_cast<double>(stored)),
+                     pcw::util::Table::fmt_bytes(static_cast<double>(reserved)),
+                     pcw::util::Table::fmt(raw / static_cast<double>(stored), 1) + "x",
+                     std::to_string(overflows)});
+    }
+    table.print(std::cout);
+
+    if (show_partitions) {
+      for (const auto& desc : file->datasets()) {
+        if (desc.layout != pcw::h5::Layout::kPartitioned) continue;
+        std::printf("\n%s partitions:\n", desc.name.c_str());
+        pcw::util::Table pt({"rank", "elems", "offset", "reserved", "actual", "overflow"});
+        for (const auto& part : desc.partitions) {
+          pt.add_row({std::to_string(part.rank), std::to_string(part.elem_count),
+                      std::to_string(part.file_offset),
+                      std::to_string(part.reserved_bytes),
+                      std::to_string(part.actual_bytes),
+                      part.overflow_bytes > 0
+                          ? std::to_string(part.overflow_bytes) + "@" +
+                                std::to_string(part.overflow_offset)
+                          : "-"});
+        }
+        pt.print(std::cout);
+      }
+    }
+
+    if (verify) {
+      std::printf("\nverifying (full decode of every dataset)...\n");
+      for (const auto& desc : file->datasets()) {
+        try {
+          if (desc.dtype == pcw::h5::DataType::kFloat32) {
+            const auto v = pcw::h5::read_dataset<float>(*file, desc.name);
+            std::printf("  %-24s OK (%zu values)\n", desc.name.c_str(), v.size());
+          } else if (desc.dtype == pcw::h5::DataType::kFloat64) {
+            const auto v = pcw::h5::read_dataset<double>(*file, desc.name);
+            std::printf("  %-24s OK (%zu values)\n", desc.name.c_str(), v.size());
+          } else {
+            std::printf("  %-24s skipped (raw bytes)\n", desc.name.c_str());
+          }
+        } catch (const std::exception& e) {
+          std::printf("  %-24s FAILED: %s\n", desc.name.c_str(), e.what());
+          return 1;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
