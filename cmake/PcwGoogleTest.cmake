@@ -1,0 +1,104 @@
+# Resolve a GoogleTest to link the suites against, without assuming network
+# access. Produces the interface target `pcw::gtest_main` and sets
+# PCW_GTEST_KIND to one of: fetchcontent, system, shim.
+#
+# Resolution order (PCW_GTEST_PROVIDER=auto):
+#   1. FetchContent — honours FETCHCONTENT_SOURCE_DIR_GOOGLETEST; when unset
+#      we point it at /usr/src/googletest if the distro ships sources, and
+#      otherwise probe the release tarball with file(DOWNLOAD) first so a
+#      failed fetch degrades instead of aborting the configure.
+#   2. An installed libgtest (find_package(GTest)).
+#   3. The vendored single-header shim under tests/support/ — a minimal
+#      gtest-compatible implementation so air-gapped runners still get a
+#      working `ctest`.
+#
+# Force a specific provider with -DPCW_GTEST_PROVIDER=fetch|system|shim.
+
+include(FetchContent)
+
+if(POLICY CMP0135)
+  # Stamp extracted FetchContent trees with extraction time (silences the
+  # CMake >= 3.24 dev warning and rebuilds correctly if the URL changes).
+  cmake_policy(SET CMP0135 NEW)
+endif()
+
+set(PCW_GTEST_PROVIDER "auto" CACHE STRING
+    "GoogleTest provider: auto, fetch, system, or shim")
+set_property(CACHE PCW_GTEST_PROVIDER PROPERTY STRINGS auto fetch system shim)
+
+set(PCW_GTEST_KIND "")
+set(_pcw_gtest_url
+    "https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz")
+set(_pcw_gtest_sha256
+    "8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7")
+
+if(PCW_GTEST_PROVIDER MATCHES "^(auto|fetch)$")
+  if(NOT DEFINED FETCHCONTENT_SOURCE_DIR_GOOGLETEST
+     AND EXISTS "/usr/src/googletest/CMakeLists.txt")
+    set(FETCHCONTENT_SOURCE_DIR_GOOGLETEST "/usr/src/googletest"
+        CACHE PATH "Local googletest sources (offline FetchContent)")
+  endif()
+
+  set(_pcw_gtest_fetchable FALSE)
+  if(DEFINED FETCHCONTENT_SOURCE_DIR_GOOGLETEST)
+    set(_pcw_gtest_fetchable TRUE)
+    FetchContent_Declare(googletest URL "${_pcw_gtest_url}")
+  else()
+    # Probe the download ourselves: file(DOWNLOAD) reports failure in STATUS
+    # instead of aborting the configure the way a failed FetchContent does.
+    # EXPECTED_HASH both pins the archive (supply-chain) and revalidates a
+    # previously cached file, so a corrupt download (captive portal, cut
+    # connection) is re-fetched instead of poisoning every later configure.
+    set(_pcw_gtest_tarball "${CMAKE_BINARY_DIR}/_deps/googletest-src.tar.gz")
+    file(DOWNLOAD "${_pcw_gtest_url}" "${_pcw_gtest_tarball}"
+         STATUS _pcw_dl_status TIMEOUT 30
+         EXPECTED_HASH SHA256=${_pcw_gtest_sha256})
+    list(GET _pcw_dl_status 0 _pcw_dl_code)
+    if(NOT _pcw_dl_code EQUAL 0)
+      file(REMOVE "${_pcw_gtest_tarball}")
+    endif()
+    if(EXISTS "${_pcw_gtest_tarball}")
+      set(_pcw_gtest_fetchable TRUE)
+      FetchContent_Declare(googletest URL "${_pcw_gtest_tarball}"
+                           URL_HASH SHA256=${_pcw_gtest_sha256})
+    endif()
+  endif()
+
+  if(_pcw_gtest_fetchable)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+    add_library(pcw_gtest_main INTERFACE)
+    target_link_libraries(pcw_gtest_main INTERFACE gtest gtest_main)
+    set(PCW_GTEST_KIND "fetchcontent")
+  elseif(PCW_GTEST_PROVIDER STREQUAL "fetch")
+    message(FATAL_ERROR
+      "PCW_GTEST_PROVIDER=fetch but googletest could not be fetched "
+      "(no network, no FETCHCONTENT_SOURCE_DIR_GOOGLETEST, no /usr/src/googletest)")
+  endif()
+endif()
+
+if(NOT PCW_GTEST_KIND AND PCW_GTEST_PROVIDER MATCHES "^(auto|system)$")
+  find_package(GTest QUIET)
+  if(GTest_FOUND)
+    add_library(pcw_gtest_main INTERFACE)
+    target_link_libraries(pcw_gtest_main INTERFACE GTest::gtest GTest::gtest_main)
+    set(PCW_GTEST_KIND "system")
+  elseif(PCW_GTEST_PROVIDER STREQUAL "system")
+    message(FATAL_ERROR "PCW_GTEST_PROVIDER=system but no installed GTest found")
+  endif()
+endif()
+
+if(NOT PCW_GTEST_KIND)
+  # Vendored fallback: minimal gtest-compatible shim, always available.
+  add_library(pcw_gtest_main STATIC
+    "${CMAKE_SOURCE_DIR}/tests/support/gtest_shim_runtime.cc"
+    "${CMAKE_SOURCE_DIR}/tests/support/gtest_shim_main.cc")
+  target_include_directories(pcw_gtest_main PUBLIC
+    "${CMAKE_SOURCE_DIR}/tests/support")
+  set(PCW_GTEST_KIND "shim")
+endif()
+
+add_library(pcw::gtest_main ALIAS pcw_gtest_main)
+message(STATUS "pcw: GoogleTest provider = ${PCW_GTEST_KIND}")

@@ -1,0 +1,18 @@
+# Shared warning/sanitizer interface target; every pcw target links
+# pcw_options so the gate applies uniformly (third-party code — fetched
+# googletest, system benchmark — stays outside it).
+#
+# Controlled by the cache options defined in the root CMakeLists.txt:
+#   PCW_WERROR    promote warnings to errors (default ON)
+#   PCW_SANITIZE  AddressSanitizer + UndefinedBehaviorSanitizer (default OFF)
+
+add_library(pcw_options INTERFACE)
+target_compile_options(pcw_options INTERFACE -Wall -Wextra)
+if(PCW_WERROR)
+  target_compile_options(pcw_options INTERFACE -Werror)
+endif()
+if(PCW_SANITIZE)
+  target_compile_options(pcw_options INTERFACE
+    -fsanitize=address,undefined -fno-omit-frame-pointer)
+  target_link_options(pcw_options INTERFACE -fsanitize=address,undefined)
+endif()

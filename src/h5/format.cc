@@ -3,14 +3,14 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/pod_io.h"
+
 namespace pcw::h5 {
 namespace {
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
+  util::append_pod(out, v);
 }
 
 void put_string(std::vector<std::uint8_t>& out, const std::string& s) {

@@ -9,6 +9,7 @@
 #include "sz/lorenzo.h"
 #include "sz/lossless.h"
 #include "util/bitstream.h"
+#include "util/pod_io.h"
 
 namespace pcw::sz {
 namespace {
@@ -17,11 +18,7 @@ constexpr std::uint32_t kMagic = 0x5A574350;  // "PCWZ"
 constexpr std::uint8_t kVersion = 1;
 constexpr std::uint8_t kFlagLz = 0x01;
 
-template <typename T>
-void append_pod(std::vector<std::uint8_t>& out, const T& v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
-}
+using util::append_pod;
 
 template <typename T>
 T read_pod(std::span<const std::uint8_t> in, std::size_t& pos) {

@@ -1,0 +1,23 @@
+// Appending trivially-copyable values to byte buffers, shared by the
+// serializers (sz container header, h5lite footer).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace pcw::util {
+
+/// Appends the object representation of `v` (native endianness) to `out`.
+/// resize+memcpy instead of insert(end, p, p+sizeof(T)): inserting from a
+/// stack scalar trips GCC 12's -Wstringop-overflow at -O3.
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &v, sizeof(T));
+}
+
+}  // namespace pcw::util

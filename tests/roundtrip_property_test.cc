@@ -1,0 +1,174 @@
+// Round-trip property suite: for Lorenzo-predictable (smooth) fields of any
+// rank, sz::compress -> sz::decompress must stay inside the configured error
+// bound, preserve extents, and agree with what inspect() reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/noise.h"
+#include "sz/compressor.h"
+#include "sz/dims.h"
+#include "util/rng.h"
+
+namespace pcw {
+namespace {
+
+// Smooth fractal field: exactly the kind of spatially-correlated data the
+// Lorenzo predictor is built for.
+template <typename T>
+std::vector<T> smooth_field(const sz::Dims& dims, std::uint64_t seed) {
+  const data::ValueNoise3D noise(seed);
+  std::vector<T> out(dims.count());
+  std::size_t i = 0;
+  for (std::size_t x = 0; x < dims.d0; ++x) {
+    for (std::size_t y = 0; y < dims.d1; ++y) {
+      for (std::size_t z = 0; z < dims.d2; ++z) {
+        const double v = noise.fbm(0.07 * static_cast<double>(x),
+                                   0.07 * static_cast<double>(y),
+                                   0.07 * static_cast<double>(z), 4);
+        out[i++] = static_cast<T>(100.0 * v);
+      }
+    }
+  }
+  return out;
+}
+
+// Same field with uncorrelated jitter mixed in, so a fraction of points
+// falls outside the predictor's reach (exercises the outlier path).
+template <typename T>
+std::vector<T> jittered_field(const sz::Dims& dims, std::uint64_t seed,
+                              double jitter) {
+  std::vector<T> out = smooth_field<T>(dims, seed);
+  util::Rng rng(seed ^ 0xfeedface);
+  for (auto& v : out) {
+    if (rng.uniform() < 0.05) {
+      v += static_cast<T>(jitter * rng.normal());
+    }
+  }
+  return out;
+}
+
+template <typename T>
+double max_abs_err(std::span<const T> a, std::span<const T> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(static_cast<double>(a[i]) -
+                                      static_cast<double>(b[i])));
+  }
+  return worst;
+}
+
+struct RoundTripCase {
+  sz::Dims dims;
+  double error_bound;
+  sz::ErrorBoundMode mode;
+};
+
+class RoundTripSweep : public ::testing::TestWithParam<RoundTripCase> {};
+
+template <typename T>
+void check_round_trip(const RoundTripCase& c, std::uint64_t seed,
+                      double jitter) {
+  const std::vector<T> orig =
+      jitter > 0.0 ? jittered_field<T>(c.dims, seed, jitter)
+                   : smooth_field<T>(c.dims, seed);
+  sz::Params params;
+  params.mode = c.mode;
+  params.error_bound = c.error_bound;
+
+  const std::span<const T> orig_span(orig);
+  const auto blob = sz::compress<T>(orig_span, c.dims, params);
+  const double bound = sz::resolve_error_bound<T>(orig_span, params);
+
+  sz::Dims dims_out;
+  const std::vector<T> recon = sz::decompress<T>(blob, &dims_out);
+  ASSERT_EQ(recon.size(), orig.size());
+  EXPECT_EQ(dims_out, c.dims);
+
+  // The bound certified by the container header must match the resolved
+  // one, and the reconstruction must honour it.
+  const auto info = sz::inspect(blob);
+  EXPECT_NEAR(info.abs_error_bound, bound, 1e-12 * std::max(1.0, bound));
+  EXPECT_LE(max_abs_err(std::span<const T>(recon), orig_span), bound)
+      << "dims " << c.dims.d0 << "x" << c.dims.d1 << "x" << c.dims.d2
+      << " eb=" << c.error_bound;
+}
+
+TEST_P(RoundTripSweep, Float32WithinBound) {
+  check_round_trip<float>(GetParam(), 1234, 0.0);
+}
+
+TEST_P(RoundTripSweep, Float64WithinBound) {
+  check_round_trip<double>(GetParam(), 1234, 0.0);
+}
+
+TEST_P(RoundTripSweep, Float32WithOutliersWithinBound) {
+  check_round_trip<float>(GetParam(), 987, 50.0);
+}
+
+TEST_P(RoundTripSweep, Float64WithOutliersWithinBound) {
+  check_round_trip<double>(GetParam(), 987, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndBounds, RoundTripSweep,
+    ::testing::Values(
+        // 1-D
+        RoundTripCase{sz::Dims::make_1d(10000), 1e-1,
+                      sz::ErrorBoundMode::kAbsolute},
+        RoundTripCase{sz::Dims::make_1d(10000), 1e-3,
+                      sz::ErrorBoundMode::kAbsolute},
+        RoundTripCase{sz::Dims::make_1d(8191), 1e-3,
+                      sz::ErrorBoundMode::kRelative},
+        // 2-D
+        RoundTripCase{sz::Dims::make_2d(96, 128), 1e-1,
+                      sz::ErrorBoundMode::kAbsolute},
+        RoundTripCase{sz::Dims::make_2d(96, 128), 1e-4,
+                      sz::ErrorBoundMode::kAbsolute},
+        RoundTripCase{sz::Dims::make_2d(61, 67), 1e-3,
+                      sz::ErrorBoundMode::kRelative},
+        // 3-D
+        RoundTripCase{sz::Dims::make_3d(24, 32, 40), 1e-2,
+                      sz::ErrorBoundMode::kAbsolute},
+        RoundTripCase{sz::Dims::make_3d(24, 32, 40), 1e-5,
+                      sz::ErrorBoundMode::kAbsolute},
+        RoundTripCase{sz::Dims::make_3d(17, 19, 23), 1e-2,
+                      sz::ErrorBoundMode::kRelative}));
+
+// Compression on smooth data must actually compress: the whole paper is
+// moot if predictable fields don't shrink.
+TEST(RoundTripProperty, SmoothFieldCompresses) {
+  const auto dims = sz::Dims::make_3d(32, 32, 32);
+  const auto orig = smooth_field<float>(dims, 7);
+  sz::Params params;
+  params.error_bound = 1e-2;
+  const auto blob =
+      sz::compress<float>(std::span<const float>(orig), dims, params);
+  EXPECT_LT(blob.size(), orig.size() * sizeof(float) / 2);
+}
+
+// Degenerate extents: single point and single row still round-trip.
+TEST(RoundTripProperty, DegenerateExtents) {
+  for (const auto& dims :
+       {sz::Dims::make_1d(1), sz::Dims::make_1d(2), sz::Dims::make_2d(1, 33),
+        sz::Dims::make_3d(1, 1, 5)}) {
+    const auto orig = smooth_field<double>(dims, 3);
+    sz::Params params;
+    params.error_bound = 1e-3;
+    const auto blob =
+        sz::compress<double>(std::span<const double>(orig), dims, params);
+    sz::Dims dims_out;
+    const auto recon = sz::decompress<double>(blob, &dims_out);
+    ASSERT_EQ(recon.size(), orig.size());
+    EXPECT_EQ(dims_out, dims);
+    EXPECT_LE(max_abs_err(std::span<const double>(recon),
+                          std::span<const double>(orig)),
+              params.error_bound);
+  }
+}
+
+}  // namespace
+}  // namespace pcw

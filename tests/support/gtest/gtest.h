@@ -1,0 +1,487 @@
+// Minimal GoogleTest-compatible shim for air-gapped builds.
+//
+// Selected automatically by cmake/PcwGoogleTest.cmake when neither a
+// FetchContent-able googletest nor an installed libgtest is available.
+// Implements exactly the API surface the pcw suites use: TEST / TEST_F /
+// TEST_P + INSTANTIATE_TEST_SUITE_P (Values, Range), fixtures with
+// SetUp/TearDown, the EXPECT_* / ASSERT_* comparison, NEAR, DOUBLE_EQ,
+// STREQ and THROW macros (all streamable with <<), SUCCEED(), and
+// UnitTest::GetInstance()->current_test_info()->name().
+//
+// Not a general replacement: no death tests, no matchers, no gmock.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+};
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  const T& GetParam() const { return param_; }
+  void SetParam(T p) { param_ = std::move(p); }
+
+ private:
+  T param_{};
+};
+
+class TestInfo {
+ public:
+  const char* name() const { return name_.c_str(); }
+  const char* test_suite_name() const { return suite_.c_str(); }
+  std::string suite_;
+  std::string name_;
+};
+
+class UnitTest {
+ public:
+  static UnitTest* GetInstance() {
+    static UnitTest instance;
+    return &instance;
+  }
+  const TestInfo* current_test_info() const { return &info_; }
+  TestInfo info_;
+};
+
+namespace shim {
+
+struct RegisteredTest {
+  std::string suite;
+  std::string name;
+  std::function<std::unique_ptr<Test>()> factory;
+};
+
+inline std::vector<RegisteredTest>& registry() {
+  static std::vector<RegisteredTest> tests;
+  return tests;
+}
+
+inline int& failure_count() {
+  static int n = 0;
+  return n;
+}
+
+inline bool& current_test_failed() {
+  static bool failed = false;
+  return failed;
+}
+
+// Set by fatal (ASSERT_*) failures; the runner skips TestBody when SetUp
+// failed fatally, matching real gtest.
+inline bool& current_test_fatal() {
+  static bool fatal = false;
+  return fatal;
+}
+
+struct Registrar {
+  Registrar(std::string suite, std::string name,
+            std::function<std::unique_ptr<Test>()> factory) {
+    registry().push_back({std::move(suite), std::move(name), std::move(factory)});
+  }
+};
+
+// Streamed user message appended to a failure, as in
+// EXPECT_EQ(a, b) << "context " << i.
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& value) {
+    ss_ << value;
+    return *this;
+  }
+  std::string str() const { return ss_.str(); }
+
+ private:
+  std::ostringstream ss_;
+};
+
+void report_failure(const char* file, int line, const std::string& summary,
+                    const std::string& user_message, bool fatal = false);
+
+// `return AssertHelper(...) = Message() << ...;` gives ASSERT_* macros a
+// void return value while still accepting a streamed message.
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, std::string summary, bool fatal)
+      : file_(file), line_(line), summary_(std::move(summary)), fatal_(fatal) {}
+  void operator=(const Message& message) const {
+    report_failure(file_, line_, summary_, message.str(), fatal_);
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string summary_;
+  bool fatal_;
+};
+
+template <typename T, typename = void>
+struct is_streamable : std::false_type {};
+template <typename T>
+struct is_streamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                             << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string describe(const T& value) {
+  if constexpr (is_streamable<T>::value) {
+    std::ostringstream ss;
+    ss << value;
+    return ss.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+// Integer comparisons go through std::cmp_* so EXPECT_EQ(int, size_t)
+// neither warns under -Wsign-compare nor mis-compares.
+template <typename T>
+inline constexpr bool is_cmp_integer =
+    std::is_integral_v<T> && !std::is_same_v<std::remove_cv_t<T>, bool> &&
+    !std::is_same_v<std::remove_cv_t<T>, char> &&
+    !std::is_same_v<std::remove_cv_t<T>, wchar_t> &&
+    !std::is_same_v<std::remove_cv_t<T>, char8_t> &&
+    !std::is_same_v<std::remove_cv_t<T>, char16_t> &&
+    !std::is_same_v<std::remove_cv_t<T>, char32_t>;
+
+#define PCW_SHIM_DEFINE_CMP(fn, op, cmpfn)                      \
+  template <typename A, typename B>                             \
+  bool fn(const A& a, const B& b) {                             \
+    if constexpr (is_cmp_integer<A> && is_cmp_integer<B>) {     \
+      return std::cmpfn(a, b);                                  \
+    } else {                                                    \
+      return a op b;                                            \
+    }                                                           \
+  }
+
+PCW_SHIM_DEFINE_CMP(cmp_eq, ==, cmp_equal)
+PCW_SHIM_DEFINE_CMP(cmp_ne, !=, cmp_not_equal)
+PCW_SHIM_DEFINE_CMP(cmp_lt, <, cmp_less)
+PCW_SHIM_DEFINE_CMP(cmp_le, <=, cmp_less_equal)
+PCW_SHIM_DEFINE_CMP(cmp_gt, >, cmp_greater)
+PCW_SHIM_DEFINE_CMP(cmp_ge, >=, cmp_greater_equal)
+#undef PCW_SHIM_DEFINE_CMP
+
+// Evaluates both operands exactly once (the macros pass the already-computed
+// values here): a side-effecting assertion argument is never re-evaluated to
+// build the failure message, matching real gtest's contract.
+template <typename A, typename B, typename Pred>
+std::optional<std::string> cmp_failure(const A& a, const B& b, Pred pred,
+                                       const char* a_expr, const char* b_expr,
+                                       const char* opname) {
+  if (pred(a, b)) return std::nullopt;
+  return std::string("expected: ") + a_expr + " " + opname + " " + b_expr +
+         " (" + describe(a) + " vs " + describe(b) + ")";
+}
+
+inline std::optional<std::string> near_failure(double a, double b, double tol,
+                                               const char* a_expr,
+                                               const char* b_expr) {
+  if (std::fabs(a - b) <= tol) return std::nullopt;
+  return std::string("expected: ") + a_expr + " ~= " + b_expr + " (" +
+         describe(a) + " vs " + describe(b) + ", tol " + describe(tol) + ")";
+}
+
+inline std::optional<std::string> streq_failure(const char* a, const char* b,
+                                                const char* a_expr,
+                                                const char* b_expr) {
+  if (std::strcmp(a, b) == 0) return std::nullopt;
+  return std::string("expected: ") + a_expr + " streq " + b_expr + " (\"" + a +
+         "\" vs \"" + b + "\")";
+}
+
+inline bool double_ulp_eq(double a, double b) {
+  if (a == b) return true;
+  if (std::isnan(a) || std::isnan(b)) return false;
+  std::int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof a);
+  std::memcpy(&ib, &b, sizeof b);
+  // Map the sign-magnitude double encoding onto a monotone integer line.
+  if (ia < 0) ia = std::numeric_limits<std::int64_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<std::int64_t>::min() - ib;
+  const std::int64_t dist = ia > ib ? ia - ib : ib - ia;
+  return dist <= 4;
+}
+
+// Param-suite machinery. TEST_P pushes a pattern at static-init time;
+// INSTANTIATE_TEST_SUITE_P materializes the generator immediately but
+// defers the pattern x value cross-product to run_all_tests(), so the
+// (legal, in real gtest) ordering of INSTANTIATE before its TEST_Ps still
+// registers every case. An instantiation whose suite ends up with no
+// patterns registers a synthetic failing test instead of passing
+// vacuously.
+template <typename Suite>
+struct ParamSuite {
+  struct Pattern {
+    std::string name;
+    std::function<std::unique_ptr<Test>(const typename Suite::ParamType&)> make;
+  };
+  static std::vector<Pattern>& patterns() {
+    static std::vector<Pattern> v;
+    return v;
+  }
+};
+
+template <typename... Ts>
+struct ValuesGen {
+  std::tuple<Ts...> values;
+  template <typename T>
+  std::vector<T> materialize() const {
+    std::vector<T> out;
+    std::apply([&out](const auto&... v) { (out.push_back(static_cast<T>(v)), ...); },
+               values);
+    return out;
+  }
+};
+
+struct RangeGen {
+  long long lo;
+  long long hi;
+  long long step;
+  template <typename T>
+  std::vector<T> materialize() const {
+    std::vector<T> out;
+    for (long long v = lo; v < hi; v += step) out.push_back(static_cast<T>(v));
+    return out;
+  }
+};
+
+// Deferred instantiations, expanded (once) at the top of run_all_tests.
+inline std::vector<std::function<void()>>& param_expanders() {
+  static std::vector<std::function<void()>> v;
+  return v;
+}
+
+template <typename Suite, typename Gen>
+int instantiate_param_suite(const char* prefix, const char* suite_name,
+                            const Gen& gen) {
+  using Param = typename Suite::ParamType;
+  std::vector<Param> params = gen.template materialize<Param>();
+  param_expanders().push_back(
+      [prefix, suite_name, params = std::move(params)]() {
+        const std::string suite = std::string(prefix) + "/" + suite_name;
+        if (ParamSuite<Suite>::patterns().empty()) {
+          registry().push_back(
+              {suite, "NoTestPatterns", [suite]() -> std::unique_ptr<Test> {
+                 struct Failing : Test {
+                   std::string suite;
+                   void TestBody() override {
+                     report_failure(
+                         "<instantiation>", 0,
+                         "INSTANTIATE_TEST_SUITE_P(" + suite +
+                             ") matched no TEST_P patterns",
+                         "", false);
+                   }
+                 };
+                 auto t = std::make_unique<Failing>();
+                 t->suite = suite;
+                 return t;
+               }});
+          return;
+        }
+        for (const auto& pattern : ParamSuite<Suite>::patterns()) {
+          for (std::size_t i = 0; i < params.size(); ++i) {
+            const Param param = params[i];
+            auto make = pattern.make;
+            registry().push_back({suite,
+                                  pattern.name + "/" + std::to_string(i),
+                                  [make, param]() { return make(param); }});
+          }
+        }
+      });
+  return 0;
+}
+
+int run_all_tests(int argc, char** argv);
+
+}  // namespace shim
+
+template <typename... Ts>
+shim::ValuesGen<std::decay_t<Ts>...> Values(Ts&&... values) {
+  return {std::tuple<std::decay_t<Ts>...>(std::forward<Ts>(values)...)};
+}
+
+inline shim::RangeGen Range(long long lo, long long hi, long long step = 1) {
+  return {lo, hi, step};
+}
+
+inline void InitGoogleTest(int*, char**) {}
+inline void InitGoogleTest() {}
+
+}  // namespace testing
+
+#define PCW_SHIM_CLASS_(suite, name) suite##_##name##_ShimTest
+
+#define PCW_SHIM_TEST_(suite, name, base)                                      \
+  class PCW_SHIM_CLASS_(suite, name) : public base {                           \
+   public:                                                                     \
+    void TestBody() override;                                                  \
+  };                                                                           \
+  static const ::testing::shim::Registrar pcw_shim_reg_##suite##_##name(       \
+      #suite, #name, []() -> std::unique_ptr<::testing::Test> {                \
+        return std::make_unique<PCW_SHIM_CLASS_(suite, name)>();               \
+      });                                                                      \
+  void PCW_SHIM_CLASS_(suite, name)::TestBody()
+
+#define TEST(suite, name) PCW_SHIM_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) PCW_SHIM_TEST_(fixture, name, fixture)
+
+#define TEST_P(suite, name)                                                    \
+  class PCW_SHIM_CLASS_(suite, name) : public suite {                          \
+   public:                                                                     \
+    void TestBody() override;                                                  \
+  };                                                                           \
+  [[maybe_unused]] static const int pcw_shim_preg_##suite##_##name =                         \
+      (::testing::shim::ParamSuite<suite>::patterns().push_back(               \
+           {#name,                                                             \
+            [](const typename suite::ParamType& p)                             \
+                -> std::unique_ptr<::testing::Test> {                          \
+              auto t = std::make_unique<PCW_SHIM_CLASS_(suite, name)>();       \
+              t->SetParam(p);                                                  \
+              return t;                                                        \
+            }}),                                                               \
+       0);                                                                     \
+  void PCW_SHIM_CLASS_(suite, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, suite, ...)                           \
+  [[maybe_unused]] static const int pcw_shim_inst_##prefix##_##suite =                       \
+      ::testing::shim::instantiate_param_suite<suite>(#prefix, #suite,         \
+                                                      (__VA_ARGS__))
+
+// --- assertion macros ------------------------------------------------------
+
+#define PCW_SHIM_NONFATAL_(summary)                                            \
+  ::testing::shim::AssertHelper(__FILE__, __LINE__, summary, false) =          \
+      ::testing::shim::Message()
+
+#define PCW_SHIM_FATAL_(summary)                                               \
+  return ::testing::shim::AssertHelper(__FILE__, __LINE__, summary, true) =    \
+      ::testing::shim::Message()
+
+#define PCW_SHIM_EXPECT_(ok, summary)                                          \
+  if (ok)                                                                      \
+    ;                                                                          \
+  else                                                                         \
+    PCW_SHIM_NONFATAL_(summary)
+
+#define PCW_SHIM_ASSERT_(ok, summary)                                          \
+  if (ok)                                                                      \
+    ;                                                                          \
+  else                                                                         \
+    PCW_SHIM_FATAL_(summary)
+
+#define PCW_SHIM_CMP_FAILURE_(fn, opname, a, b)                                \
+  ::testing::shim::cmp_failure(                                                \
+      (a), (b),                                                                \
+      [](const auto& pcw_x, const auto& pcw_y) {                               \
+        return ::testing::shim::fn(pcw_x, pcw_y);                              \
+      },                                                                       \
+      #a, #b, opname)
+
+#define PCW_SHIM_FAIL_EXPECT_(failure_expr)                                    \
+  if (auto pcw_shim_fail_ = (failure_expr); !pcw_shim_fail_)                   \
+    ;                                                                          \
+  else                                                                         \
+    PCW_SHIM_NONFATAL_(*pcw_shim_fail_)
+
+#define PCW_SHIM_FAIL_ASSERT_(failure_expr)                                    \
+  if (auto pcw_shim_fail_ = (failure_expr); !pcw_shim_fail_)                   \
+    ;                                                                          \
+  else                                                                         \
+    PCW_SHIM_FATAL_(*pcw_shim_fail_)
+
+#define PCW_SHIM_CMP_EXPECT_(fn, opname, a, b)                                 \
+  PCW_SHIM_FAIL_EXPECT_(PCW_SHIM_CMP_FAILURE_(fn, opname, a, b))
+#define PCW_SHIM_CMP_ASSERT_(fn, opname, a, b)                                 \
+  PCW_SHIM_FAIL_ASSERT_(PCW_SHIM_CMP_FAILURE_(fn, opname, a, b))
+
+#define EXPECT_EQ(a, b) PCW_SHIM_CMP_EXPECT_(cmp_eq, "==", a, b)
+#define EXPECT_NE(a, b) PCW_SHIM_CMP_EXPECT_(cmp_ne, "!=", a, b)
+#define EXPECT_LT(a, b) PCW_SHIM_CMP_EXPECT_(cmp_lt, "<", a, b)
+#define EXPECT_LE(a, b) PCW_SHIM_CMP_EXPECT_(cmp_le, "<=", a, b)
+#define EXPECT_GT(a, b) PCW_SHIM_CMP_EXPECT_(cmp_gt, ">", a, b)
+#define EXPECT_GE(a, b) PCW_SHIM_CMP_EXPECT_(cmp_ge, ">=", a, b)
+#define ASSERT_EQ(a, b) PCW_SHIM_CMP_ASSERT_(cmp_eq, "==", a, b)
+#define ASSERT_NE(a, b) PCW_SHIM_CMP_ASSERT_(cmp_ne, "!=", a, b)
+#define ASSERT_LT(a, b) PCW_SHIM_CMP_ASSERT_(cmp_lt, "<", a, b)
+#define ASSERT_LE(a, b) PCW_SHIM_CMP_ASSERT_(cmp_le, "<=", a, b)
+#define ASSERT_GT(a, b) PCW_SHIM_CMP_ASSERT_(cmp_gt, ">", a, b)
+#define ASSERT_GE(a, b) PCW_SHIM_CMP_ASSERT_(cmp_ge, ">=", a, b)
+
+#define EXPECT_TRUE(cond) \
+  PCW_SHIM_EXPECT_(static_cast<bool>(cond), "expected true: " #cond)
+#define EXPECT_FALSE(cond) \
+  PCW_SHIM_EXPECT_(!static_cast<bool>(cond), "expected false: " #cond)
+#define ASSERT_TRUE(cond) \
+  PCW_SHIM_ASSERT_(static_cast<bool>(cond), "expected true: " #cond)
+#define ASSERT_FALSE(cond) \
+  PCW_SHIM_ASSERT_(!static_cast<bool>(cond), "expected false: " #cond)
+
+#define EXPECT_NEAR(a, b, tol)                                                 \
+  PCW_SHIM_FAIL_EXPECT_(::testing::shim::near_failure((a), (b), (tol), #a, #b))
+#define ASSERT_NEAR(a, b, tol)                                                 \
+  PCW_SHIM_FAIL_ASSERT_(::testing::shim::near_failure((a), (b), (tol), #a, #b))
+
+#define EXPECT_DOUBLE_EQ(a, b)                                                 \
+  PCW_SHIM_FAIL_EXPECT_(::testing::shim::cmp_failure(                          \
+      (a), (b), [](double pcw_x, double pcw_y) {                               \
+        return ::testing::shim::double_ulp_eq(pcw_x, pcw_y);                   \
+      },                                                                       \
+      #a, #b, "=="))
+#define ASSERT_DOUBLE_EQ(a, b)                                                 \
+  PCW_SHIM_FAIL_ASSERT_(::testing::shim::cmp_failure(                          \
+      (a), (b), [](double pcw_x, double pcw_y) {                               \
+        return ::testing::shim::double_ulp_eq(pcw_x, pcw_y);                   \
+      },                                                                       \
+      #a, #b, "=="))
+
+#define EXPECT_STREQ(a, b)                                                     \
+  PCW_SHIM_FAIL_EXPECT_(::testing::shim::streq_failure((a), (b), #a, #b))
+#define ASSERT_STREQ(a, b)                                                     \
+  PCW_SHIM_FAIL_ASSERT_(::testing::shim::streq_failure((a), (b), #a, #b))
+
+#define PCW_SHIM_THROW_PROBE_(stmt, extype)                                    \
+  [&]() -> bool {                                                              \
+    try {                                                                      \
+      stmt;                                                                    \
+    } catch (const extype&) {                                                  \
+      return true;                                                             \
+    } catch (...) {                                                            \
+      return false;                                                            \
+    }                                                                          \
+    return false;                                                              \
+  }()
+
+#define EXPECT_THROW(stmt, extype)                                             \
+  PCW_SHIM_EXPECT_(PCW_SHIM_THROW_PROBE_(stmt, extype),                        \
+                   "expected " #stmt " to throw " #extype)
+#define ASSERT_THROW(stmt, extype)                                             \
+  PCW_SHIM_ASSERT_(PCW_SHIM_THROW_PROBE_(stmt, extype),                        \
+                   "expected " #stmt " to throw " #extype)
+
+#define SUCCEED() \
+  do {            \
+  } while (0)
+#define FAIL() PCW_SHIM_FATAL_("explicit FAIL()")
+#define ADD_FAILURE() PCW_SHIM_NONFATAL_("explicit ADD_FAILURE()")

@@ -1,0 +1,9 @@
+// gtest_main equivalent for the vendored shim: run every registered test,
+// exit non-zero on failure. The runner itself lives in
+// gtest_shim_runtime.cc.
+
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  return testing::shim::run_all_tests(argc, argv);
+}

@@ -1,0 +1,110 @@
+// Runtime for the vendored gtest shim (see gtest/gtest.h in this
+// directory): the failure reporter and the test runner. main() lives in
+// gtest_shim_main.cc so the self-test can link this runtime under its own
+// main and inspect run_all_tests() results.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <exception>
+
+namespace testing::shim {
+
+void report_failure(const char* file, int line, const std::string& summary,
+                    const std::string& user_message, bool fatal) {
+  current_test_failed() = true;
+  if (fatal) current_test_fatal() = true;
+  std::fprintf(stderr, "%s:%d: Failure\n  %s\n", file, line, summary.c_str());
+  if (!user_message.empty()) {
+    std::fprintf(stderr, "  %s\n", user_message.c_str());
+  }
+}
+
+namespace {
+
+// Match a --gtest_filter pattern ('*' and '?' wildcards, no negative
+// patterns) against "Suite.Name".
+bool glob_match(const char* pattern, const char* text) {
+  if (*pattern == '\0') return *text == '\0';
+  if (*pattern == '*') {
+    return glob_match(pattern + 1, text) ||
+           (*text != '\0' && glob_match(pattern, text + 1));
+  }
+  if (*text == '\0') return false;
+  if (*pattern == '?' || *pattern == *text) {
+    return glob_match(pattern + 1, text + 1);
+  }
+  return false;
+}
+
+}  // namespace
+
+int run_all_tests(int argc, char** argv) {
+  std::string filter = "*";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--gtest_filter=", 0) == 0) {
+      filter = arg.substr(std::string("--gtest_filter=").size());
+    }
+    // Other --gtest_* flags are accepted and ignored.
+  }
+
+  // Expand deferred INSTANTIATE_TEST_SUITE_P registrations now that every
+  // TEST_P pattern has been through static init, whatever their in-TU order.
+  for (const auto& expand : param_expanders()) expand();
+  param_expanders().clear();
+
+  int ran = 0;
+  int failed = 0;
+  std::vector<std::string> failed_names;
+  for (const auto& test : registry()) {
+    const std::string full = test.suite + "." + test.name;
+    if (!glob_match(filter.c_str(), full.c_str())) continue;
+    ++ran;
+    auto& info = UnitTest::GetInstance()->info_;
+    info.suite_ = test.suite;
+    info.name_ = test.name;
+    current_test_failed() = false;
+    current_test_fatal() = false;
+    std::fprintf(stderr, "[ RUN      ] %s\n", full.c_str());
+    try {
+      auto t = test.factory();
+      // Real gtest semantics: a fatal SetUp failure skips the body, a
+      // throwing SetUp/TestBody still gets its TearDown.
+      try {
+        t->SetUp();
+        if (!current_test_fatal()) t->TestBody();
+      } catch (const std::exception& e) {
+        report_failure("<unknown>", 0, "uncaught exception", e.what());
+      } catch (...) {
+        report_failure("<unknown>", 0, "uncaught exception", "");
+      }
+      t->TearDown();
+    } catch (const std::exception& e) {
+      report_failure("<unknown>", 0, "uncaught exception", e.what());
+    } catch (...) {
+      report_failure("<unknown>", 0, "uncaught exception", "");
+    }
+    if (current_test_failed()) {
+      ++failed;
+      failed_names.push_back(full);
+      std::fprintf(stderr, "[  FAILED  ] %s\n", full.c_str());
+    } else {
+      std::fprintf(stderr, "[       OK ] %s\n", full.c_str());
+    }
+  }
+
+  std::fprintf(stderr, "[==========] %d tests ran (gtest shim).\n", ran);
+  if (failed > 0) {
+    std::fprintf(stderr, "[  FAILED  ] %d tests:\n", failed);
+    for (const auto& name : failed_names) {
+      std::fprintf(stderr, "[  FAILED  ] %s\n", name.c_str());
+    }
+    failure_count() += failed;
+    return 1;
+  }
+  std::fprintf(stderr, "[  PASSED  ] %d tests.\n", ran);
+  return 0;
+}
+
+}  // namespace testing::shim

@@ -1,0 +1,131 @@
+// Self-test for the vendored gtest shim: a fallback test framework that
+// passed everything vacuously would be worse than none, so this binary
+// registers deliberately failing tests and verifies the shim reports them.
+//
+// Always compiled against the shim (its include path is forced ahead of any
+// real gtest), with its own main() instead of gtest_shim_main.cc. Runs in
+// every configuration, whichever provider the suites themselves use. The
+// [ RUN ]/[ FAILED ] lines it prints come from the nested shim run and are
+// expected; only this binary's exit code matters to CTest.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+bool unreachable_after_fatal = false;
+bool body_ran_after_fatal_setup = false;
+int teardown_calls = 0;
+int throwing_body_teardown_calls = 0;
+int side_effect_evals = 0;
+
+}  // namespace
+
+// --- deliberately failing / passing tests the self-test inspects ---------
+
+TEST(ShimProbe, PassingCompare) {
+  EXPECT_EQ(2, 2);
+  EXPECT_NEAR(1.0, 1.0 + 1e-12, 1e-9);
+  EXPECT_LT(std::size_t{3}, 4);  // mixed-sign comparison must compile clean
+}
+
+TEST(ShimProbe, FailingCompare) { EXPECT_EQ(1, 2) << "streamed context"; }
+
+TEST(ShimProbe, FatalStopsExecution) {
+  ASSERT_EQ(1, 2);
+  unreachable_after_fatal = true;
+}
+
+TEST(ShimProbe, ThrowDetected) {
+  EXPECT_THROW(throw std::runtime_error("x"), std::runtime_error);
+}
+
+TEST(ShimProbe, MissingThrowIsFailure) {
+  EXPECT_THROW(static_cast<void>(0), std::runtime_error);
+}
+
+TEST(ShimProbe, UncaughtExceptionIsFailure) {
+  throw std::logic_error("boom");
+}
+
+// Real gtest evaluates assertion operands exactly once, failure or not.
+TEST(ShimProbe, OperandsEvaluatedOnceOnFailure) {
+  EXPECT_EQ(++side_effect_evals, 999);
+}
+
+class ShimProbeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { value_ = 41; }
+  void TearDown() override { ++teardown_calls; }
+  int value_ = 0;
+};
+
+TEST_F(ShimProbeFixture, SetUpRan) { EXPECT_EQ(value_ + 1, 42); }
+
+// TearDown must run even when the body throws (real gtest semantics).
+class ShimProbeThrowingFixture : public ::testing::Test {
+ protected:
+  void TearDown() override { ++throwing_body_teardown_calls; }
+};
+
+TEST_F(ShimProbeThrowingFixture, BodyThrows) {
+  throw std::runtime_error("body boom");
+}
+
+// A fatal failure in SetUp must skip the body (real gtest semantics).
+class ShimProbeFatalSetUpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_EQ(1, 2); }
+};
+
+TEST_F(ShimProbeFatalSetUpFixture, BodySkipped) {
+  body_ran_after_fatal_setup = true;
+}
+
+class ShimProbeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShimProbeSweep, ParamIsOdd) { EXPECT_EQ(GetParam() % 2, 1); }
+
+INSTANTIATE_TEST_SUITE_P(Odds, ShimProbeSweep, ::testing::Values(1, 3, 5));
+
+// INSTANTIATE before TEST_P is legal in real gtest; the shim's deferred
+// expansion must register these cases too.
+class ShimProbePreInstantiated : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Evens, ShimProbePreInstantiated,
+                         ::testing::Values(2, 4));
+
+TEST_P(ShimProbePreInstantiated, ParamIsEven) { EXPECT_EQ(GetParam() % 2, 0); }
+
+// --- the actual self-test ------------------------------------------------
+
+int check(bool ok, const char* what, int& rc) {
+  std::printf("%s: %s\n", ok ? "ok" : "SELFTEST FAILURE", what);
+  if (!ok) rc = 1;
+  return rc;
+}
+
+int main() {
+  int rc = 0;
+
+  const int run_rc = testing::shim::run_all_tests(0, nullptr);
+
+  // 15 tests: 7 TEST + 3 TEST_F + 3 + 2 instantiated param cases.
+  check(testing::shim::registry().size() == 15, "registry holds 15 tests", rc);
+  check(run_rc == 1, "run_all_tests returns 1 when failures exist", rc);
+  check(testing::shim::failure_count() == 7,
+        "exactly the 7 deliberate failures are counted", rc);
+  check(!unreachable_after_fatal, "ASSERT_* stops the failing test body", rc);
+  check(teardown_calls == 1, "fixture TearDown ran", rc);
+  check(throwing_body_teardown_calls == 1,
+        "TearDown ran even though the body threw", rc);
+  check(!body_ran_after_fatal_setup, "fatal SetUp failure skips the body", rc);
+  check(side_effect_evals == 1,
+        "failing EXPECT_EQ evaluated its operand exactly once", rc);
+
+  std::printf(rc == 0 ? "shim selftest PASSED\n" : "shim selftest FAILED\n");
+  return rc;
+}
