@@ -76,11 +76,14 @@ inline model::CompressionThroughputModel calibrate_comp_model(
 
 /// Measures `n_samples` partitions of every primary Nyx field. Each
 /// sample is a distinct `part_dims` block of a larger logical volume.
-/// `eb_scale` scales the paper bounds (1.0 = paper config).
+/// `eb_scale` scales the paper bounds (1.0 = paper config). `threads`
+/// feeds sz::Params::threads for each measured compression (0 = all
+/// hardware threads).
 inline std::vector<FieldSamples> collect_nyx_samples(int n_fields,
                                                      const sz::Dims& part_dims,
                                                      int n_samples, std::uint64_t seed,
-                                                     double eb_scale = 1.0) {
+                                                     double eb_scale = 1.0,
+                                                     unsigned threads = 1) {
   std::vector<FieldSamples> out;
   const sz::Dims volume = sz::Dims::make_3d(
       part_dims.d0, part_dims.d1, part_dims.d2 * static_cast<std::size_t>(n_samples));
@@ -92,6 +95,7 @@ inline std::vector<FieldSamples> collect_nyx_samples(int n_fields,
     fs.abs_error_bound = info.abs_error_bound * eb_scale;
     sz::Params params;
     params.error_bound = fs.abs_error_bound;
+    params.threads = threads;
     for (int s = 0; s < n_samples; ++s) {
       std::vector<float> block(part_dims.count());
       data::fill_nyx_field(block, part_dims,
@@ -104,10 +108,12 @@ inline std::vector<FieldSamples> collect_nyx_samples(int n_fields,
   return out;
 }
 
-/// Measures `n_samples` slices of every VPIC field.
+/// Measures `n_samples` slices of every VPIC field. `threads` feeds
+/// sz::Params::threads for each measured compression.
 inline std::vector<FieldSamples> collect_vpic_samples(std::size_t particles_per_sample,
                                                       int n_samples, std::uint64_t seed,
-                                                      double eb_scale = 1.0) {
+                                                      double eb_scale = 1.0,
+                                                      unsigned threads = 1) {
   std::vector<FieldSamples> out;
   const std::uint64_t total =
       particles_per_sample * static_cast<std::uint64_t>(n_samples);
@@ -119,6 +125,7 @@ inline std::vector<FieldSamples> collect_vpic_samples(std::size_t particles_per_
     fs.abs_error_bound = info.abs_error_bound * eb_scale;
     sz::Params params;
     params.error_bound = fs.abs_error_bound;
+    params.threads = threads;
     for (int s = 0; s < n_samples; ++s) {
       std::vector<float> slice(particles_per_sample);
       data::fill_vpic_field(slice, static_cast<std::uint64_t>(s) * particles_per_sample,

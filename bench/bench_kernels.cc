@@ -1,112 +1,259 @@
-// Engineering microbenchmarks (google-benchmark): per-stage costs of the
-// pcw::sz pipeline and the prediction models. Not a paper figure; used to
-// keep the compressor in the throughput band Eq. (1) assumes.
-#include <benchmark/benchmark.h>
-
-#include <cmath>
+// Engineering microbenchmarks: per-stage throughput of the pcw::sz
+// pipeline (quantize, Huffman encode, end-to-end compress/decompress) at
+// 1..N threads. Not a paper figure; this is the measured perf baseline
+// every perf PR must beat, emitted as machine-readable JSON with
+// `--json` (schema pcw.bench_kernels.v1 -> BENCH_kernels.json).
+//
+// Standalone on purpose (no google-benchmark): CI runs
+// `bench_kernels --json --smoke` so the perf path can never silently
+// stop compiling.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "data/workloads.h"
-#include "model/ratio_model.h"
+#include "sz/blocks.h"
 #include "sz/compressor.h"
 #include "sz/huffman.h"
 #include "sz/lorenzo.h"
-#include "sz/lossless.h"
 #include "util/bitstream.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace {
 
 using namespace pcw;
 
-const sz::Dims kDims = sz::Dims::make_3d(64, 64, 64);
+struct Options {
+  sz::Dims dims = sz::Dims::make_3d(256, 256, 256);
+  double eb = 0.2;
+  int reps = 3;
+  std::vector<unsigned> threads{1, 2, 4, 8};
+  bool smoke = false;
+  bool json = false;
+  std::string json_path = "BENCH_kernels.json";
+};
 
-const std::vector<float>& field() {
-  static const std::vector<float> f =
-      data::make_nyx_field(kDims, data::NyxField::kBaryonDensity, 9);
-  return f;
+struct Result {
+  std::string stage;
+  unsigned threads = 0;
+  double seconds = 0.0;
+  double mb_per_s = 0.0;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: bench_kernels [--json [PATH]] [--smoke] [--dims X,Y,Z]\n"
+               "                     [--eb EB] [--reps N] [--threads LIST]\n"
+               "  --json [PATH]   write pcw.bench_kernels.v1 JSON (default %s)\n"
+               "  --smoke         small field, 1 rep, threads 1,2 (CI compile+run gate)\n"
+               "  --threads LIST  comma-separated thread counts (0 = all hardware)\n",
+               "BENCH_kernels.json");
+  std::exit(code);
 }
 
-void BM_LorenzoQuantize(benchmark::State& state) {
-  const double eb = 0.2;
-  for (auto _ : state) {
-    auto q = sz::lorenzo_quantize<float>(field(), kDims, eb, 32768);
-    benchmark::DoNotOptimize(q.codes.data());
+std::vector<std::size_t> parse_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(static_cast<std::size_t>(std::stoull(s.substr(pos, next - pos))));
+    pos = next + 1;
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(field().size() * 4));
+  return out;
 }
-BENCHMARK(BM_LorenzoQuantize);
 
-void BM_HuffmanEncode(benchmark::State& state) {
-  const auto q = sz::lorenzo_quantize<float>(field(), kDims, 0.2, 32768);
-  std::vector<std::uint64_t> counts(65536, 0);
-  for (const auto c : q.codes) ++counts[c];
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') opt.json_path = argv[++i];
+    } else if (arg == "--dims") {
+      const auto v = parse_list(next_value("--dims"));
+      if (v.size() != 3 || v[0] == 0 || v[1] == 0 || v[2] == 0) {
+        std::fprintf(stderr, "error: --dims expects X,Y,Z > 0\n");
+        usage(2);
+      }
+      opt.dims = sz::Dims::make_3d(v[0], v[1], v[2]);
+    } else if (arg == "--eb") {
+      opt.eb = std::stod(next_value("--eb"));
+    } else if (arg == "--reps") {
+      opt.reps = static_cast<int>(std::stoull(next_value("--reps")));
+    } else if (arg == "--threads") {
+      opt.threads.clear();
+      for (const auto t : parse_list(next_value("--threads"))) {
+        opt.threads.push_back(static_cast<unsigned>(t));
+      }
+      if (opt.threads.empty()) usage(2);
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (opt.smoke) {
+    opt.dims = sz::Dims::make_3d(64, 64, 64);
+    opt.reps = 1;
+    opt.threads = {1, 2};
+  }
+  return opt;
+}
+
+/// Best-of-reps wall time for one timed closure.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+void emit_json(const Options& opt, const std::vector<Result>& results,
+               std::size_t raw_bytes, std::size_t blob_bytes) {
+  std::ofstream out(opt.json_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.json_path.c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"schema\": \"pcw.bench_kernels.v1\",\n";
+  out << "  \"case\": {\n";
+  out << "    \"dims\": [" << opt.dims.d0 << ", " << opt.dims.d1 << ", "
+      << opt.dims.d2 << "],\n";
+  out << "    \"dtype\": \"float32\",\n";
+  out << "    \"error_bound\": " << opt.eb << ",\n";
+  out << "    \"reps\": " << opt.reps << ",\n";
+  out << "    \"smoke\": " << (opt.smoke ? "true" : "false") << "\n";
+  out << "  },\n";
+  out << "  \"raw_bytes\": " << raw_bytes << ",\n";
+  out << "  \"blob_bytes\": " << blob_bytes << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"stage\": \"%s\", \"threads\": %u, \"seconds\": %.6f, "
+                  "\"mb_per_s\": %.1f}%s\n",
+                  r.stage.c_str(), r.threads, r.seconds, r.mb_per_s,
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", opt.json_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  const std::size_t raw_bytes = opt.dims.count() * sizeof(float);
+
+  std::printf("bench_kernels: %zux%zux%zu f32, eb=%g, reps=%d\n", opt.dims.d0,
+              opt.dims.d1, opt.dims.d2, opt.eb, opt.reps);
+  const std::vector<float> field =
+      data::make_nyx_field(opt.dims, data::NyxField::kBaryonDensity, 9);
+
+  sz::Params params;
+  params.error_bound = opt.eb;
+
+  // Shared fixtures for the stage-level measurements: one serial pipeline
+  // pass provides the codes/codebook the encode stage re-times.
+  const std::vector<sz::BlockRange> blocks = sz::split_blocks(opt.dims);
+  std::vector<sz::QuantizeResult<float>> quants(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    quants[b] = sz::lorenzo_quantize<float>(
+        std::span<const float>(field).subspan(blocks[b].elem_offset,
+                                              blocks[b].dims.count()),
+        blocks[b].dims, opt.eb, params.radius);
+  }
+  std::vector<std::uint64_t> counts(2ull * params.radius, 0);
+  for (const auto& q : quants) {
+    for (const auto c : q.codes) ++counts[c];
+  }
   std::vector<sz::SymbolCount> freqs;
   for (std::uint32_t s = 0; s < counts.size(); ++s) {
     if (counts[s] > 0) freqs.push_back({s, counts[s]});
   }
-  const sz::HuffmanEncoder enc(freqs);
-  for (auto _ : state) {
-    util::BitWriter w;
-    for (const auto c : q.codes) enc.encode(c, w);
-    auto bytes = w.finish();
-    benchmark::DoNotOptimize(bytes.data());
+  const sz::HuffmanEncoder encoder(freqs);
+  const std::vector<std::uint8_t> blob = sz::compress<float>(field, opt.dims, params);
+
+  std::vector<Result> results;
+  auto record = [&](const char* stage, unsigned threads, double seconds) {
+    Result r;
+    r.stage = stage;
+    r.threads = threads;
+    r.seconds = seconds;
+    r.mb_per_s = static_cast<double>(raw_bytes) / seconds / 1e6;
+    results.push_back(r);
+    std::printf("  %-10s %2u thread%s  %8.4f s  %9.1f MB/s\n", stage, threads,
+                threads == 1 ? " " : "s", seconds, r.mb_per_s);
+  };
+
+  for (const unsigned threads : opt.threads) {
+    std::printf("threads=%u (%u blocks)\n", threads,
+                static_cast<unsigned>(blocks.size()));
+    // Stage: Lorenzo quantization over blocks.
+    record("quantize", threads, best_seconds(opt.reps, [&] {
+             std::vector<sz::QuantizeResult<float>> out(blocks.size());
+             util::parallel_for(blocks.size(), threads, [&](std::size_t b) {
+               out[b] = sz::lorenzo_quantize<float>(
+                   std::span<const float>(field).subspan(blocks[b].elem_offset,
+                                                         blocks[b].dims.count()),
+                   blocks[b].dims, opt.eb, params.radius);
+             });
+           }));
+    // Stage: Huffman encode of the pre-computed codes.
+    record("encode", threads, best_seconds(opt.reps, [&] {
+             std::vector<std::vector<std::uint8_t>> out(blocks.size());
+             util::parallel_for(blocks.size(), threads, [&](std::size_t b) {
+               util::BitWriter writer;
+               writer.reserve_bytes(quants[b].codes.size() / 2);
+               for (const auto c : quants[b].codes) encoder.encode(c, writer);
+               out[b] = writer.finish();
+             });
+           }));
+    // End-to-end compress and decompress through the public API.
+    sz::Params p = params;
+    p.threads = threads;
+    record("compress", threads, best_seconds(opt.reps, [&] {
+             const auto out = sz::compress<float>(field, opt.dims, p);
+             if (out.size() != blob.size()) {
+               std::fprintf(stderr, "error: blob size varies with threads\n");
+               std::exit(1);
+             }
+           }));
+    record("decompress", threads, best_seconds(opt.reps, [&] {
+             const auto out = sz::decompress<float>(blob, nullptr, threads);
+             if (out.size() != field.size()) {
+               std::fprintf(stderr, "error: decompress element count\n");
+               std::exit(1);
+             }
+           }));
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(q.codes.size() * 4));
+
+  std::printf("blob: %zu bytes (ratio %.2fx)\n", blob.size(),
+              sz::compression_ratio<float>(blob.size(), field.size()));
+  if (opt.json) emit_json(opt, results, raw_bytes, blob.size());
+  return 0;
 }
-BENCHMARK(BM_HuffmanEncode);
-
-void BM_LzCompress(benchmark::State& state) {
-  sz::Params p;
-  p.error_bound = 0.5;
-  p.lossless = false;
-  const auto blob = sz::compress<float>(field(), kDims, p);
-  for (auto _ : state) {
-    auto out = sz::lz_compress(blob);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(blob.size()));
-}
-BENCHMARK(BM_LzCompress);
-
-void BM_CompressEndToEnd(benchmark::State& state) {
-  sz::Params p;
-  p.error_bound = 0.2 * std::pow(10.0, -static_cast<double>(state.range(0)));
-  for (auto _ : state) {
-    auto blob = sz::compress<float>(field(), kDims, p);
-    benchmark::DoNotOptimize(blob.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(field().size() * 4));
-}
-BENCHMARK(BM_CompressEndToEnd)->Arg(0)->Arg(2)->Arg(4);
-
-void BM_DecompressEndToEnd(benchmark::State& state) {
-  sz::Params p;
-  p.error_bound = 0.2;
-  const auto blob = sz::compress<float>(field(), kDims, p);
-  for (auto _ : state) {
-    auto out = sz::decompress<float>(blob);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(field().size() * 4));
-}
-BENCHMARK(BM_DecompressEndToEnd);
-
-void BM_RatioModelEstimate(benchmark::State& state) {
-  sz::Params p;
-  p.error_bound = 0.2;
-  for (auto _ : state) {
-    auto est = model::estimate_ratio<float>(field(), kDims, p);
-    benchmark::DoNotOptimize(&est);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(field().size() * 4));
-}
-BENCHMARK(BM_RatioModelEstimate);
-
-}  // namespace
-
-BENCHMARK_MAIN();

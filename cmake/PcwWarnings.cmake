@@ -1,10 +1,16 @@
 # Shared warning/sanitizer interface target; every pcw target links
 # pcw_options so the gate applies uniformly (third-party code — fetched
-# googletest, system benchmark — stays outside it).
+# googletest — stays outside it).
 #
 # Controlled by the cache options defined in the root CMakeLists.txt:
-#   PCW_WERROR    promote warnings to errors (default ON)
-#   PCW_SANITIZE  AddressSanitizer + UndefinedBehaviorSanitizer (default OFF)
+#   PCW_WERROR           promote warnings to errors (default ON)
+#   PCW_SANITIZE         AddressSanitizer + UndefinedBehaviorSanitizer (default OFF)
+#   PCW_SANITIZE_THREAD  ThreadSanitizer (default OFF; the block-parallel
+#                        sz pipeline and the async h5 queue run under it in CI)
+
+if(PCW_SANITIZE AND PCW_SANITIZE_THREAD)
+  message(FATAL_ERROR "PCW_SANITIZE and PCW_SANITIZE_THREAD are mutually exclusive")
+endif()
 
 add_library(pcw_options INTERFACE)
 target_compile_options(pcw_options INTERFACE -Wall -Wextra)
@@ -15,4 +21,9 @@ if(PCW_SANITIZE)
   target_compile_options(pcw_options INTERFACE
     -fsanitize=address,undefined -fno-omit-frame-pointer)
   target_link_options(pcw_options INTERFACE -fsanitize=address,undefined)
+endif()
+if(PCW_SANITIZE_THREAD)
+  target_compile_options(pcw_options INTERFACE
+    -fsanitize=thread -fno-omit-frame-pointer)
+  target_link_options(pcw_options INTERFACE -fsanitize=thread)
 endif()

@@ -10,16 +10,7 @@
 namespace pcw::core {
 namespace {
 
-template <typename T>
-constexpr h5::DataType dtype_of();
-template <>
-constexpr h5::DataType dtype_of<float>() {
-  return h5::DataType::kFloat32;
-}
-template <>
-constexpr h5::DataType dtype_of<double>() {
-  return h5::DataType::kFloat64;
-}
+using h5::dtype_of;
 
 /// Per-(field, rank) prediction message exchanged in the all-gather.
 struct PredMsg {
@@ -55,7 +46,8 @@ RankReport run_no_compression(mpi::Comm& comm, h5::File& file,
 
 template <typename T>
 RankReport run_filter_collective(mpi::Comm& comm, h5::File& file,
-                                 std::span<const FieldSpec<T>> fields) {
+                                 std::span<const FieldSpec<T>> fields,
+                                 const EngineConfig& config) {
   // H5Z-SZ semantics: the write of the shared file cannot start until all
   // compressed sizes are known. Each dataset is compressed and written
   // collectively in sequence; within one dataset the phases are already
@@ -63,7 +55,9 @@ RankReport run_filter_collective(mpi::Comm& comm, h5::File& file,
   RankReport report;
   util::Timer total;
   for (const auto& field : fields) {
-    h5::SzFilter filter(field.params);
+    sz::Params params = field.params;
+    params.threads = config.compress_threads;
+    h5::SzFilter filter(params);
     const h5::FilterWriteStats stats = h5::write_filtered_collective<T>(
         comm, file, field.name, field.local, field.local_dims, field.global_dims,
         filter);
@@ -147,8 +141,10 @@ RankReport run_overlap(mpi::Comm& comm, h5::File& file,
   for (const int fi : report.order) {
     const auto f = static_cast<std::size_t>(fi);
     phase.reset();
+    sz::Params comp_params = fields[f].params;
+    comp_params.threads = config.compress_threads;
     std::vector<std::uint8_t> blob =
-        sz::compress<T>(fields[f].local, fields[f].local_dims, fields[f].params);
+        sz::compress<T>(fields[f].local, fields[f].local_dims, comp_params);
     compress_accum += phase.seconds();
 
     const PartitionSlot& slot = plan.slots[f][my_rank];
@@ -255,7 +251,7 @@ RankReport write_fields(mpi::Comm& comm, h5::File& file,
     case WriteMode::kNoCompression:
       return run_no_compression<T>(comm, file, fields);
     case WriteMode::kFilterCollective:
-      return run_filter_collective<T>(comm, file, fields);
+      return run_filter_collective<T>(comm, file, fields, config);
     case WriteMode::kOverlap:
       return run_overlap<T>(comm, file, fields, config, /*reorder=*/false);
     case WriteMode::kOverlapReorder:

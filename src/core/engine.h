@@ -62,6 +62,10 @@ struct EngineConfig {
   /// defaults are the paper's §IV-B fit.
   model::CompressionThroughputModel comp_model{101.7e6, 240.6e6, -1.716};
   model::WriteThroughputModel write_model{400e6, 2e6};
+  /// Worker threads for each partition's sz compress/decompress (overrides
+  /// every FieldSpec's Params::threads): 1 = serial, 0 = all hardware
+  /// threads, N = exactly N. Blob bytes are identical for every value.
+  unsigned compress_threads = 1;
 };
 
 /// Per-rank outcome and phase timings (wall-clock, this rank).

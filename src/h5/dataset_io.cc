@@ -9,16 +9,7 @@
 namespace pcw::h5 {
 namespace {
 
-template <typename T>
-constexpr DataType dtype_of();
-template <>
-constexpr DataType dtype_of<float>() {
-  return DataType::kFloat32;
-}
-template <>
-constexpr DataType dtype_of<double>() {
-  return DataType::kFloat64;
-}
+// dtype_of<T>() comes from h5/format.h (via dataset_io.h).
 
 std::span<const std::uint8_t> as_bytes_span(const void* p, std::size_t bytes) {
   return {static_cast<const std::uint8_t*>(p), bytes};

@@ -42,14 +42,14 @@ std::vector<std::uint8_t> SzFilter::decode(std::span<const std::uint8_t> blob,
                                            std::uint64_t expect_elems) const {
   switch (dtype) {
     case DataType::kFloat32: {
-      std::vector<float> vals = sz::decompress<float>(blob);
+      std::vector<float> vals = sz::decompress<float>(blob, nullptr, params_.threads);
       if (vals.size() != expect_elems) throw std::runtime_error("h5: sz element count");
       std::vector<std::uint8_t> out(vals.size() * sizeof(float));
       std::memcpy(out.data(), vals.data(), out.size());
       return out;
     }
     case DataType::kFloat64: {
-      std::vector<double> vals = sz::decompress<double>(blob);
+      std::vector<double> vals = sz::decompress<double>(blob, nullptr, params_.threads);
       if (vals.size() != expect_elems) throw std::runtime_error("h5: sz element count");
       std::vector<std::uint8_t> out(vals.size() * sizeof(double));
       std::memcpy(out.data(), vals.data(), out.size());

@@ -25,6 +25,19 @@ inline constexpr std::uint64_t kSuperblockSize = 32;
 
 enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1, kBytes = 2 };
 
+/// Maps an element type to its h5lite tag; shared by dataset_io and the
+/// engine (was copy-pasted per translation unit).
+template <typename T>
+constexpr DataType dtype_of();
+template <>
+constexpr DataType dtype_of<float>() {
+  return DataType::kFloat32;
+}
+template <>
+constexpr DataType dtype_of<double>() {
+  return DataType::kFloat64;
+}
+
 inline std::size_t element_size(DataType t) {
   switch (t) {
     case DataType::kFloat32: return 4;

@@ -1,0 +1,61 @@
+// Deterministic domain decomposition for the block-parallel sz pipeline.
+//
+// The container-v2 format splits a field into contiguous slabs along its
+// slowest-varying non-unit dimension. Each slab is quantized, entropy-
+// coded, and decoded independently (the Lorenzo predictor zero-pads at
+// slab boundaries), which is what lets compress()/decompress() fan blocks
+// out across util::ThreadPool. The split is a pure function of the
+// extents — never of the thread count — so blobs are byte-identical for
+// any Params::threads.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sz/dims.h"
+
+namespace pcw::sz {
+
+/// One slab: a contiguous element range with its own logical extents.
+struct BlockRange {
+  std::size_t elem_offset = 0;  // start index into the flattened field
+  Dims dims;                    // slab extents (dims.count() elements)
+};
+
+/// Blocks must amortize their per-block cost (index entry, codebook reuse,
+/// boundary-plane prediction reset); smaller fields stay single-block.
+inline constexpr std::size_t kMinBlockElems = 32768;
+/// Upper bound on slabs per field; 64 keeps the index tiny while leaving
+/// plenty of parallel slack for any realistic core count.
+inline constexpr std::size_t kMaxBlocks = 64;
+
+/// Splits `dims` into independent slabs along the slowest-varying
+/// dimension with extent > 1. Always returns at least one block, in
+/// element order, covering the field exactly.
+inline std::vector<BlockRange> split_blocks(const Dims& dims) {
+  const std::size_t total = dims.count();
+  // Split axis: d0 unless degenerate, then d1, then d2.
+  const int axis = dims.d0 > 1 ? 0 : (dims.d1 > 1 ? 1 : 2);
+  const std::size_t axis_len = axis == 0 ? dims.d0 : (axis == 1 ? dims.d1 : dims.d2);
+  const std::size_t row_elems = axis_len == 0 ? 0 : total / axis_len;
+
+  std::size_t n_blocks = std::min({axis_len, total / std::max<std::size_t>(kMinBlockElems, 1),
+                                   kMaxBlocks});
+  n_blocks = std::max<std::size_t>(n_blocks, 1);
+  const std::size_t slab = (axis_len + n_blocks - 1) / n_blocks;
+
+  std::vector<BlockRange> blocks;
+  for (std::size_t begin = 0; begin < axis_len; begin += slab) {
+    const std::size_t len = std::min(slab, axis_len - begin);
+    BlockRange b;
+    b.elem_offset = begin * row_elems;
+    b.dims = axis == 0   ? Dims{len, dims.d1, dims.d2}
+             : axis == 1 ? Dims{1, len, dims.d2}
+                         : Dims{1, 1, len};
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+}  // namespace pcw::sz

@@ -5,18 +5,26 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sz/blocks.h"
 #include "sz/huffman.h"
 #include "sz/lorenzo.h"
 #include "sz/lossless.h"
 #include "util/bitstream.h"
 #include "util/pod_io.h"
+#include "util/thread_pool.h"
 
 namespace pcw::sz {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x5A574350;  // "PCWZ"
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersionV1 = 1;
+constexpr std::uint8_t kVersionV2 = 2;
 constexpr std::uint8_t kFlagLz = 0x01;
+
+// v2 fixed header: magic..payload_raw_size (the v1 header, 76 bytes) plus
+// the u32 block count; the per-block index follows.
+constexpr std::size_t kV2FixedHeaderBytes = 80;
+constexpr std::size_t kV2IndexEntryBytes = 24;
 
 using util::append_pod;
 
@@ -29,18 +37,16 @@ T read_pod(std::span<const std::uint8_t> in, std::size_t& pos) {
   return v;
 }
 
-template <typename T>
-constexpr DataType dtype_of();
-template <>
-constexpr DataType dtype_of<float>() {
-  return DataType::kFloat32;
-}
-template <>
-constexpr DataType dtype_of<double>() {
-  return DataType::kFloat64;
-}
+/// One block-index entry: element extent, Huffman substream bytes, and
+/// outlier count, in block order.
+struct BlockEntry {
+  std::uint64_t elem_count = 0;
+  std::uint64_t huff_bytes = 0;
+  std::uint64_t outlier_count = 0;
+};
 
 struct RawHeader {
+  std::uint8_t version = 0;
   std::uint8_t flags = 0;
   DataType dtype = DataType::kFloat32;
   Dims dims;
@@ -50,6 +56,7 @@ struct RawHeader {
   std::uint64_t codebook_size = 0;
   std::uint64_t huff_bytes = 0;
   std::uint64_t payload_raw_size = 0;
+  std::vector<BlockEntry> blocks;  // v2 only; empty for v1
   std::size_t header_end = 0;
 };
 
@@ -58,10 +65,11 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
   if (read_pod<std::uint32_t>(blob, pos) != kMagic) {
     throw std::runtime_error("sz: bad magic");
   }
-  if (read_pod<std::uint8_t>(blob, pos) != kVersion) {
+  RawHeader h;
+  h.version = read_pod<std::uint8_t>(blob, pos);
+  if (h.version != kVersionV1 && h.version != kVersionV2) {
     throw std::runtime_error("sz: unsupported version");
   }
-  RawHeader h;
   h.dtype = static_cast<DataType>(read_pod<std::uint8_t>(blob, pos));
   h.flags = read_pod<std::uint8_t>(blob, pos);
   (void)read_pod<std::uint8_t>(blob, pos);  // reserved
@@ -74,8 +82,80 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
   h.codebook_size = read_pod<std::uint64_t>(blob, pos);
   h.huff_bytes = read_pod<std::uint64_t>(blob, pos);
   h.payload_raw_size = read_pod<std::uint64_t>(blob, pos);
+  if (h.version == kVersionV2) {
+    const std::uint32_t n_blocks = read_pod<std::uint32_t>(blob, pos);
+    if (n_blocks == 0) throw std::runtime_error("sz: zero block count");
+    h.blocks.reserve(n_blocks);
+    // Overflow-checked accumulation: wrapping sums would let crafted index
+    // entries (e.g. two +2^63 offsets) pass the totals check below while
+    // individual entries drive out-of-bounds substream offsets.
+    auto checked_add = [](std::uint64_t a, std::uint64_t b) {
+      std::uint64_t r;
+      if (__builtin_add_overflow(a, b, &r)) {
+        throw std::runtime_error("sz: block index overflow");
+      }
+      return r;
+    };
+    std::uint64_t elems = 0, huff = 0, outliers = 0;
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      BlockEntry e;
+      e.elem_count = read_pod<std::uint64_t>(blob, pos);
+      e.huff_bytes = read_pod<std::uint64_t>(blob, pos);
+      e.outlier_count = read_pod<std::uint64_t>(blob, pos);
+      if (e.elem_count == 0) throw std::runtime_error("sz: empty block");
+      elems = checked_add(elems, e.elem_count);
+      huff = checked_add(huff, e.huff_bytes);
+      outliers = checked_add(outliers, e.outlier_count);
+      h.blocks.push_back(e);
+    }
+    if (elems != h.dims.count() || huff != h.huff_bytes ||
+        outliers != h.outlier_count) {
+      throw std::runtime_error("sz: block index inconsistent with header");
+    }
+  }
   h.header_end = pos;
   return h;
+}
+
+/// Reconstructs each v2 block's extents from its element count, inverting
+/// split_blocks' slab rule. Throws if a block does not cover whole slabs.
+std::vector<BlockRange> blocks_from_index(const RawHeader& h) {
+  const Dims& dims = h.dims;
+  const int axis = dims.d0 > 1 ? 0 : (dims.d1 > 1 ? 1 : 2);
+  const std::size_t axis_len = axis == 0 ? dims.d0 : (axis == 1 ? dims.d1 : dims.d2);
+  const std::size_t row_elems = axis_len == 0 ? 1 : dims.count() / axis_len;
+  std::vector<BlockRange> out;
+  out.reserve(h.blocks.size());
+  std::size_t offset = 0;
+  for (const BlockEntry& e : h.blocks) {
+    if (row_elems == 0 || e.elem_count % row_elems != 0) {
+      throw std::runtime_error("sz: block extent not slab-aligned");
+    }
+    const std::size_t len = e.elem_count / row_elems;
+    BlockRange b;
+    b.elem_offset = offset;
+    b.dims = axis == 0   ? Dims{len, dims.d1, dims.d2}
+             : axis == 1 ? Dims{1, len, dims.d2}
+                         : Dims{1, 1, len};
+    offset += e.elem_count;
+    out.push_back(b);
+  }
+  return out;
+}
+
+/// Checks the three payload sections add up exactly (with overflow-safe
+/// arithmetic); every later subspan is bounds-safe once this holds.
+void validate_payload_extent(const RawHeader& h, std::size_t elem_size,
+                             std::size_t payload_size) {
+  std::uint64_t outlier_bytes, sum;
+  const bool overflow =
+      __builtin_mul_overflow(h.outlier_count, static_cast<std::uint64_t>(elem_size),
+                             &outlier_bytes) ||
+      __builtin_add_overflow(h.codebook_size, h.huff_bytes, &sum) ||
+      __builtin_add_overflow(sum, outlier_bytes, &sum);
+  if (overflow || sum != h.payload_raw_size || payload_size < h.payload_raw_size) {
+    throw std::runtime_error("sz: truncated payload");
+  }
 }
 
 }  // namespace
@@ -103,35 +183,58 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   if (data.size() != dims.count() || data.empty()) {
     throw std::invalid_argument("sz: data size must equal dims.count() and be > 0");
   }
-  const double eb = resolve_error_bound(data, params);
-  auto quant = lorenzo_quantize<T>(data, dims, eb, params.radius);
+  const double eb = resolve_error_bound<T>(data, params);
+  const std::vector<BlockRange> blocks = split_blocks(dims);
+  const std::size_t n_blocks = blocks.size();
 
-  // Frequency table over the observed alphabet.
+  // Stage 1: per-block Lorenzo quantization + histogram, in parallel. The
+  // histogram is taken inside the task while the codes are cache-hot.
+  std::vector<QuantizeResult<T>> quants(n_blocks);
+  std::vector<std::vector<std::uint32_t>> hists(n_blocks);
+  util::parallel_for(n_blocks, params.threads, [&](std::size_t b) {
+    const BlockRange& blk = blocks[b];
+    quants[b] = lorenzo_quantize<T>(data.subspan(blk.elem_offset, blk.dims.count()),
+                                    blk.dims, eb, params.radius);
+    auto& hist = hists[b];
+    hist.assign(2ull * params.radius, 0);
+    for (const std::uint32_t c : quants[b].codes) ++hist[c];
+  });
+
+  // Stage 2: merge histograms into one shared canonical codebook. The
+  // merge is a plain sum, so the codebook — and hence the whole blob — is
+  // independent of how the blocks were scheduled.
   std::vector<std::uint64_t> counts(2ull * params.radius, 0);
-  for (const std::uint32_t c : quant.codes) ++counts[c];
+  for (const auto& hist : hists) {
+    for (std::size_t s = 0; s < hist.size(); ++s) counts[s] += hist[s];
+  }
+  hists.clear();
   std::vector<SymbolCount> freqs;
   for (std::uint32_t s = 0; s < counts.size(); ++s) {
     if (counts[s] > 0) freqs.push_back({s, counts[s]});
   }
-
-  HuffmanEncoder encoder(freqs);
-  util::BitWriter writer;
-  writer.reserve_bytes(quant.codes.size() / 2);
-  for (const std::uint32_t c : quant.codes) encoder.encode(c, writer);
-  const std::vector<std::uint8_t> huff_bytes = writer.finish();
+  const HuffmanEncoder encoder(freqs);
   const std::vector<std::uint8_t> codebook = encoder.serialize_codebook();
 
-  std::vector<std::uint8_t> payload;
-  payload.reserve(codebook.size() + huff_bytes.size() + quant.outliers.size() * sizeof(T));
-  payload.insert(payload.end(), codebook.begin(), codebook.end());
-  payload.insert(payload.end(), huff_bytes.begin(), huff_bytes.end());
-  if (!quant.outliers.empty()) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(quant.outliers.data());
-    payload.insert(payload.end(), p, p + quant.outliers.size() * sizeof(T));
-  }
+  // Stage 3: per-block Huffman encoding into independent substreams.
+  std::vector<std::vector<std::uint8_t>> huffs(n_blocks);
+  util::parallel_for(n_blocks, params.threads, [&](std::size_t b) {
+    util::BitWriter writer;
+    writer.reserve_bytes(quants[b].codes.size() / 2);
+    for (const std::uint32_t c : quants[b].codes) encoder.encode(c, writer);
+    huffs[b] = writer.finish();
+  });
 
-  std::uint8_t flags = 0;
-  std::vector<std::uint8_t> stored;
+  // Stage 4: serial container assembly.
+  std::uint64_t huff_total = 0, outlier_total = 0;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    huff_total += huffs[b].size();
+    outlier_total += quants[b].outliers.size();
+  }
+  const std::size_t payload_size = codebook.size() +
+                                   static_cast<std::size_t>(huff_total) +
+                                   static_cast<std::size_t>(outlier_total) * sizeof(T);
+  const std::size_t header_size = kV2FixedHeaderBytes + n_blocks * kV2IndexEntryBytes;
+
   // The LZ stage only pays off when the Huffman stream still carries long
   // runs — i.e. at low bit-rates. Past ~20% of the original bit width the
   // entropy stage output is effectively incompressible, and running LZ
@@ -139,21 +242,40 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   // band ~2x wide for the same reason: its zstd pass is cheap relative to
   // our from-scratch LZ, so we gate instead).
   const double payload_bits_per_val =
-      8.0 * static_cast<double>(payload.size()) / static_cast<double>(data.size());
+      8.0 * static_cast<double>(payload_size) / static_cast<double>(data.size());
   const bool lz_worthwhile = payload_bits_per_val < 0.2 * 8.0 * sizeof(T);
+
+  std::uint8_t flags = 0;
+  // When the LZ stage is attempted the payload is pre-assembled; `stored`
+  // then holds whichever of (LZ output, raw payload) won, so the losing
+  // branch never re-concatenates the parts.
+  std::vector<std::uint8_t> stored;
+  bool have_stored = false;
   if (params.lossless && lz_worthwhile) {
+    std::vector<std::uint8_t> payload;
+    payload.reserve(payload_size);
+    payload.insert(payload.end(), codebook.begin(), codebook.end());
+    for (const auto& huff : huffs) payload.insert(payload.end(), huff.begin(), huff.end());
+    for (const auto& quant : quants) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(quant.outliers.data());
+      payload.insert(payload.end(), p, p + quant.outliers.size() * sizeof(T));
+    }
     std::vector<std::uint8_t> lz = lz_compress(payload);
     if (lz.size() < payload.size()) {
       stored = std::move(lz);
       flags |= kFlagLz;
+    } else {
+      stored = std::move(payload);
     }
+    have_stored = true;
   }
-  if (!(flags & kFlagLz)) stored = std::move(payload);
 
+  // Reserve the true final size up front; every append below lands in
+  // place with no regrowth or second copy of the payload.
   std::vector<std::uint8_t> blob;
-  blob.reserve(64 + stored.size());
+  blob.reserve(header_size + (have_stored ? stored.size() : payload_size));
   append_pod(blob, kMagic);
-  append_pod(blob, kVersion);
+  append_pod(blob, kVersionV2);
   append_pod(blob, static_cast<std::uint8_t>(dtype_of<T>()));
   append_pod(blob, flags);
   append_pod(blob, std::uint8_t{0});  // reserved
@@ -162,17 +284,100 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   append_pod(blob, static_cast<std::uint64_t>(dims.d2));
   append_pod(blob, eb);
   append_pod(blob, params.radius);
-  append_pod(blob, static_cast<std::uint64_t>(quant.outliers.size()));
+  append_pod(blob, outlier_total);
   append_pod(blob, static_cast<std::uint64_t>(codebook.size()));
-  append_pod(blob, static_cast<std::uint64_t>(huff_bytes.size()));
-  append_pod(blob, static_cast<std::uint64_t>(codebook.size() + huff_bytes.size() +
-                                              quant.outliers.size() * sizeof(T)));
-  blob.insert(blob.end(), stored.begin(), stored.end());
+  append_pod(blob, huff_total);
+  append_pod(blob, static_cast<std::uint64_t>(payload_size));
+  append_pod(blob, static_cast<std::uint32_t>(n_blocks));
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    append_pod(blob, static_cast<std::uint64_t>(blocks[b].dims.count()));
+    append_pod(blob, static_cast<std::uint64_t>(huffs[b].size()));
+    append_pod(blob, static_cast<std::uint64_t>(quants[b].outliers.size()));
+  }
+  if (have_stored) {
+    blob.insert(blob.end(), stored.begin(), stored.end());
+  } else {
+    blob.insert(blob.end(), codebook.begin(), codebook.end());
+    for (const auto& huff : huffs) blob.insert(blob.end(), huff.begin(), huff.end());
+    for (const auto& quant : quants) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(quant.outliers.data());
+      blob.insert(blob.end(), p, p + quant.outliers.size() * sizeof(T));
+    }
+  }
   return blob;
 }
 
+namespace {
+
+/// v1 (single-stream) decode: one Huffman stream and one outlier run over
+/// the whole domain, exactly as the seed compressor wrote it.
 template <typename T>
-std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out) {
+void decode_v1(const RawHeader& h, std::span<const std::uint8_t> payload,
+               std::span<T> out) {
+  std::size_t consumed = 0;
+  HuffmanDecoder decoder(payload.subspan(0, h.codebook_size), &consumed);
+  if (consumed != h.codebook_size) {
+    throw std::runtime_error("sz: codebook size mismatch");
+  }
+  const std::size_t n = h.dims.count();
+  util::BitReader reader(payload.subspan(h.codebook_size, h.huff_bytes));
+  std::vector<std::uint32_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
+
+  std::vector<T> outliers(h.outlier_count);
+  const std::size_t outlier_off = h.codebook_size + h.huff_bytes;
+  if (h.outlier_count > 0) {
+    std::memcpy(outliers.data(), payload.data() + outlier_off,
+                h.outlier_count * sizeof(T));
+  }
+  lorenzo_dequantize<T>(codes, outliers, h.dims, h.abs_eb, h.radius, out);
+}
+
+/// v2 decode: blocks decode + dequantize independently (and in parallel).
+template <typename T>
+void decode_v2(const RawHeader& h, std::span<const std::uint8_t> payload,
+               unsigned threads, std::span<T> out) {
+  std::size_t consumed = 0;
+  const HuffmanDecoder decoder(payload.subspan(0, h.codebook_size), &consumed);
+  if (consumed != h.codebook_size) {
+    throw std::runtime_error("sz: codebook size mismatch");
+  }
+  const std::vector<BlockRange> blocks = blocks_from_index(h);
+
+  // Per-block payload offsets (prefix sums over the index).
+  const std::size_t n_blocks = blocks.size();
+  std::vector<std::size_t> huff_off(n_blocks), outlier_off(n_blocks);
+  std::size_t huff_cursor = h.codebook_size;
+  std::size_t outlier_cursor = h.codebook_size + h.huff_bytes;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    huff_off[b] = huff_cursor;
+    outlier_off[b] = outlier_cursor;
+    huff_cursor += h.blocks[b].huff_bytes;
+    outlier_cursor += h.blocks[b].outlier_count * sizeof(T);
+  }
+
+  util::parallel_for(n_blocks, threads, [&](std::size_t b) {
+    const BlockRange& blk = blocks[b];
+    const BlockEntry& entry = h.blocks[b];
+    const std::size_t n = blk.dims.count();
+    util::BitReader reader(payload.subspan(huff_off[b], entry.huff_bytes));
+    std::vector<std::uint32_t> codes(n);
+    for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
+    std::vector<T> outliers(entry.outlier_count);
+    if (entry.outlier_count > 0) {
+      std::memcpy(outliers.data(), payload.data() + outlier_off[b],
+                  entry.outlier_count * sizeof(T));
+    }
+    lorenzo_dequantize<T>(codes, outliers, blk.dims, h.abs_eb, h.radius,
+                          out.subspan(blk.elem_offset, n));
+  });
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out,
+                          unsigned threads) {
   const RawHeader h = parse_header(blob);
   if (h.dtype != dtype_of<T>()) {
     throw std::runtime_error("sz: element type mismatch");
@@ -189,31 +394,14 @@ std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out) {
   } else {
     payload = stored;
   }
-  if (payload.size() < h.payload_raw_size) {
-    throw std::runtime_error("sz: truncated payload");
-  }
-
-  std::size_t consumed = 0;
-  HuffmanDecoder decoder(payload.subspan(0, h.codebook_size), &consumed);
-  if (consumed != h.codebook_size) {
-    throw std::runtime_error("sz: codebook size mismatch");
-  }
-  util::BitReader reader(payload.subspan(h.codebook_size, h.huff_bytes));
-  std::vector<std::uint32_t> codes(n);
-  for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
-
-  std::vector<T> outliers(h.outlier_count);
-  const std::size_t outlier_bytes = h.outlier_count * sizeof(T);
-  const std::size_t outlier_off = h.codebook_size + h.huff_bytes;
-  if (outlier_off + outlier_bytes > payload.size()) {
-    throw std::runtime_error("sz: truncated outliers");
-  }
-  if (outlier_bytes > 0) {
-    std::memcpy(outliers.data(), payload.data() + outlier_off, outlier_bytes);
-  }
+  validate_payload_extent(h, sizeof(T), payload.size());
 
   std::vector<T> out(n);
-  lorenzo_dequantize<T>(codes, outliers, h.dims, h.abs_eb, h.radius, out);
+  if (h.version == kVersionV1) {
+    decode_v1<T>(h, payload, out);
+  } else {
+    decode_v2<T>(h, payload, threads, out);
+  }
   if (dims_out != nullptr) *dims_out = h.dims;
   return out;
 }
@@ -229,6 +417,9 @@ HeaderInfo inspect(std::span<const std::uint8_t> blob) {
   info.lz_applied = (h.flags & kFlagLz) != 0;
   info.payload_raw_size = h.payload_raw_size;
   info.header_size = h.header_end;
+  info.version = h.version;
+  info.block_count =
+      h.version == kVersionV1 ? 1 : static_cast<std::uint32_t>(h.blocks.size());
   return info;
 }
 
@@ -238,7 +429,9 @@ template std::vector<std::uint8_t> compress<float>(std::span<const float>, const
                                                    const Params&);
 template std::vector<std::uint8_t> compress<double>(std::span<const double>, const Dims&,
                                                     const Params&);
-template std::vector<float> decompress<float>(std::span<const std::uint8_t>, Dims*);
-template std::vector<double> decompress<double>(std::span<const std::uint8_t>, Dims*);
+template std::vector<float> decompress<float>(std::span<const std::uint8_t>, Dims*,
+                                              unsigned);
+template std::vector<double> decompress<double>(std::span<const std::uint8_t>, Dims*,
+                                                unsigned);
 
 }  // namespace pcw::sz

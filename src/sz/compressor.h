@@ -2,6 +2,11 @@
 //
 // Pipeline: Lorenzo predict+quantize -> canonical Huffman -> LZ back end.
 // The container is self-describing: decompress() needs only the blob.
+//
+// Container v2 splits the field into independent slabs (sz/blocks.h) that
+// compress and decompress in parallel on util::ThreadPool, sharing one
+// canonical codebook built from the merged per-block histograms. v1
+// (single-stream) blobs remain readable.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,19 @@
 namespace pcw::sz {
 
 enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1 };
+
+/// Maps an element type to its container tag; the single authority shared
+/// by the compressor, filters, and engine (was copy-pasted per layer).
+template <typename T>
+constexpr DataType dtype_of();
+template <>
+constexpr DataType dtype_of<float>() {
+  return DataType::kFloat32;
+}
+template <>
+constexpr DataType dtype_of<double>() {
+  return DataType::kFloat64;
+}
 
 enum class ErrorBoundMode : std::uint8_t {
   kAbsolute = 0,   // |recon - orig| <= error_bound
@@ -28,6 +46,10 @@ struct Params {
   std::uint32_t radius = 32768;
   /// Apply the LZ lossless stage when it shrinks the payload.
   bool lossless = true;
+  /// Worker threads for the block-parallel pipeline: 1 = serial (default),
+  /// 0 = all hardware threads, N = exactly N. The blob is byte-identical
+  /// for every value — blocks are a pure function of the extents.
+  unsigned threads = 1;
 };
 
 /// Parsed container header, exposed for tests/benches/the ratio model.
@@ -39,7 +61,9 @@ struct HeaderInfo {
   std::uint64_t outlier_count = 0;
   bool lz_applied = false;
   std::uint64_t payload_raw_size = 0;   // pre-LZ payload bytes
-  std::uint64_t header_size = 0;        // container header bytes
+  std::uint64_t header_size = 0;        // container header + block index bytes
+  std::uint32_t version = 0;            // container version (1 or 2)
+  std::uint32_t block_count = 0;        // v2 slab count (1 for v1)
 };
 
 /// Compresses `data`; throws std::invalid_argument on bad params/sizes.
@@ -49,9 +73,12 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
 
 /// Decompresses a blob produced by compress<T>. Throws std::runtime_error
 /// on malformed input or element-type mismatch. If `dims_out` is non-null
-/// it receives the stored extents.
+/// it receives the stored extents. `threads` fans v2 blocks out across
+/// util::ThreadPool (same 0/1/N semantics as Params::threads); the output
+/// is identical for every value.
 template <typename T>
-std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out = nullptr);
+std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out = nullptr,
+                          unsigned threads = 1);
 
 /// Parses the container header without touching the payload.
 HeaderInfo inspect(std::span<const std::uint8_t> blob);

@@ -239,7 +239,16 @@ HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> codebook,
   }
   first_index_[static_cast<std::size_t>(max_len_) + 1] = index;
 
-  // Fast table for short codes.
+  // Level-1 table for short codes; long codes are collected per root
+  // prefix and land in level-2 tables below.
+  struct LongCode {
+    std::uint32_t prefix;   // low kFastBits of the reversed code
+    std::uint64_t subidx;   // remaining (len - kFastBits) stream bits
+    std::uint8_t sublen;    // len - kFastBits
+    std::uint32_t symbol;
+    std::uint8_t len;
+  };
+  std::vector<LongCode> long_codes;
   fast_.assign(std::size_t{1} << kFastBits, FastEntry{});
   std::uint32_t running_code = 0;
   std::uint8_t prev_len = n > 0 ? lengths_[0] : 0;
@@ -247,13 +256,56 @@ HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> codebook,
     running_code <<= (lengths_[i] - prev_len);
     prev_len = lengths_[i];
     if (lengths_[i] <= kFastBits) {
-      const std::uint32_t rev = reverse_bits(running_code, lengths_[i]);
+      const auto rev =
+          static_cast<std::uint32_t>(reverse_bits(running_code, lengths_[i]));
       const std::uint32_t step = 1u << lengths_[i];
       for (std::uint32_t fill = rev; fill < fast_.size(); fill += step) {
         fast_[fill] = {symbols_[i], lengths_[i]};
       }
+    } else {
+      const std::uint64_t rev = reverse_bits(running_code, lengths_[i]);
+      LongCode lc;
+      lc.prefix = static_cast<std::uint32_t>(rev & ((1u << kFastBits) - 1));
+      lc.subidx = rev >> kFastBits;
+      lc.sublen = static_cast<std::uint8_t>(lengths_[i] - kFastBits);
+      lc.symbol = symbols_[i];
+      lc.len = lengths_[i];
+      long_codes.push_back(lc);
     }
     ++running_code;
+  }
+  // Build one level-2 table per distinct root prefix, sized for the
+  // deepest code it must resolve (capped at kSubBits; anything deeper
+  // keeps a hole and resolves via the canonical slow path).
+  std::stable_sort(long_codes.begin(), long_codes.end(),
+                   [](const LongCode& a, const LongCode& b) {
+                     return a.prefix < b.prefix;
+                   });
+  for (std::size_t lo = 0; lo < long_codes.size();) {
+    std::size_t hi = lo;
+    std::uint8_t group_bits = 0;
+    while (hi < long_codes.size() && long_codes[hi].prefix == long_codes[lo].prefix) {
+      group_bits = std::max<std::uint8_t>(
+          group_bits, std::min<std::uint8_t>(long_codes[hi].sublen, kSubBits));
+      ++hi;
+    }
+    SubMeta meta;
+    meta.offset = static_cast<std::uint32_t>(sub_.size());
+    meta.bits = group_bits;
+    sub_.resize(sub_.size() + (std::size_t{1} << group_bits));
+    for (std::size_t j = lo; j < hi; ++j) {
+      const LongCode& lc = long_codes[j];
+      if (lc.sublen > group_bits) continue;  // deeper than the table: slow path
+      const std::uint64_t step = std::uint64_t{1} << lc.sublen;
+      for (std::uint64_t fill = lc.subidx; fill < (std::uint64_t{1} << group_bits);
+           fill += step) {
+        sub_[meta.offset + fill] = {lc.symbol, lc.len};
+      }
+    }
+    fast_[long_codes[lo].prefix] = {static_cast<std::uint32_t>(sub_meta_.size()),
+                                    kSubMarker};
+    sub_meta_.push_back(meta);
+    lo = hi;
   }
 }
 
@@ -264,11 +316,27 @@ std::uint32_t HuffmanDecoder::decode(util::BitReader& in) const {
   }
   const auto window = static_cast<std::uint32_t>(in.peek(kFastBits));
   const FastEntry& entry = fast_[window];
-  if (entry.len > 0) {
+  if (entry.len > 0 && entry.len <= kFastBits) {
     in.skip(entry.len);
     return entry.symbol;
   }
-  // Slow path: canonical decode, MSB-first code assembled bit by bit.
+  if (entry.len == kSubMarker) {
+    const SubMeta& meta = sub_meta_[entry.symbol];
+    const auto subwin = static_cast<std::uint32_t>(
+        in.peek(kFastBits + meta.bits) >> kFastBits);
+    const FastEntry& sub = sub_[meta.offset + subwin];
+    if (sub.len > 0) {
+      in.skip(sub.len);
+      return sub.symbol;
+    }
+  }
+  return decode_slow(in);
+}
+
+// Canonical decode, MSB-first code assembled bit by bit. Reached only for
+// invalid prefixes and codes deeper than kFastBits + kSubBits (which the
+// flattening fallback in huffman_code_lengths makes pathological-only).
+std::uint32_t HuffmanDecoder::decode_slow(util::BitReader& in) const {
   std::uint32_t code = 0;
   for (int len = 1; len <= max_len_; ++len) {
     code = (code << 1) | static_cast<std::uint32_t>(in.get(1));

@@ -69,19 +69,35 @@ class HuffmanDecoder {
 
  private:
   static constexpr int kFastBits = 11;
+  /// Second-level tables cover codes up to kFastBits + kSubBits long; only
+  /// deeper (pathological) codes fall back to the per-bit canonical scan.
+  static constexpr int kSubBits = 15;
+  /// FastEntry::len marker: entry points into sub_meta_ via `symbol`.
+  static constexpr std::uint8_t kSubMarker = 0xff;
+
+  std::uint32_t decode_slow(util::BitReader& in) const;
 
   std::vector<std::uint32_t> symbols_;       // canonical order
   std::vector<std::uint8_t> lengths_;
-  // Canonical decode tables per length.
+  // Canonical decode tables per length (slow fallback only).
   std::vector<std::uint32_t> first_code_;    // index: length
   std::vector<std::uint32_t> first_index_;   // index into symbols_
   int max_len_ = 0;
-  // Fast path: next kFastBits of the (LSB-first) stream -> symbol index+len.
+  // Level 1: next kFastBits of the (LSB-first) stream -> symbol + length,
+  // or a kSubMarker entry linking to a level-2 table for long codes.
   struct FastEntry {
     std::uint32_t symbol = 0;
-    std::uint8_t len = 0;                    // 0 = slow path
+    std::uint8_t len = 0;                    // 0 = invalid prefix (slow path)
   };
   std::vector<FastEntry> fast_;
+  // Level 2: per long-code root prefix, a table over the following
+  // `bits` stream bits. Stored concatenated in sub_.
+  struct SubMeta {
+    std::uint32_t offset = 0;                // into sub_
+    std::uint8_t bits = 0;                   // table index width
+  };
+  std::vector<SubMeta> sub_meta_;
+  std::vector<FastEntry> sub_;
 };
 
 /// Computes canonical code lengths for the given frequencies via the

@@ -6,23 +6,49 @@
 namespace pcw::sz {
 namespace {
 
-// Lorenzo predictor over the reconstruction buffer. Out-of-range
-// neighbours contribute 0 (zero-padding), so the very first point is
-// predicted as 0 and the first row/plane degrade to lower-order stencils.
+// The hot loops below peel the boundary faces (x==0 plane, y==0 rows,
+// z==0 cells) out of the sweep so the interior stencil carries no
+// has_x/has_y/has_z tests per point — each loop body computes exactly the
+// terms its region needs. The arithmetic per cell is identical to the
+// generic zero-padded Lorenzo stencil, so codes match the pre-peeled
+// implementation bit-for-bit.
+
 template <typename T>
-double predict(const T* recon, std::size_t i, std::size_t x, std::size_t y,
-               std::size_t z, std::size_t sx, std::size_t sy) {
-  const bool has_x = x > 0, has_y = y > 0, has_z = z > 0;
-  double p = 0.0;
-  if (has_z) p += static_cast<double>(recon[i - 1]);
-  if (has_y) p += static_cast<double>(recon[i - sy]);
-  if (has_x) p += static_cast<double>(recon[i - sx]);
-  if (has_y && has_z) p -= static_cast<double>(recon[i - sy - 1]);
-  if (has_x && has_z) p -= static_cast<double>(recon[i - sx - 1]);
-  if (has_x && has_y) p -= static_cast<double>(recon[i - sx - sy]);
-  if (has_x && has_y && has_z) p += static_cast<double>(recon[i - sx - sy - 1]);
-  return p;
-}
+struct Quantizer {
+  QuantizeResult<T>& result;
+  std::span<const T> data;
+  T* recon;
+  double eb;
+  double twice_eb;
+  long long radius;
+  long long max_q;
+
+  // Quantizes point i given its prediction; returns nothing, writes
+  // codes/recon/outliers.
+  inline void cell(std::size_t i, double pred) {
+    const double orig = static_cast<double>(data[i]);
+    const double scaled = (orig - pred) / twice_eb;
+    bool predictable = std::abs(scaled) <= static_cast<double>(max_q);
+    long long q = 0;
+    double rec = 0.0;
+    if (predictable) {
+      q = std::llround(scaled);
+      rec = pred + static_cast<double>(q) * twice_eb;
+      // Verify against the original in the *storage* precision: the
+      // value the decompressor reproduces is T(rec), so the bound must
+      // hold after the narrowing conversion too.
+      predictable = std::abs(static_cast<double>(static_cast<T>(rec)) - orig) <= eb;
+    }
+    if (predictable) {
+      result.codes[i] = static_cast<std::uint32_t>(q + radius);
+      recon[i] = static_cast<T>(rec);
+    } else {
+      result.codes[i] = 0;
+      result.outliers.push_back(data[i]);
+      recon[i] = data[i];
+    }
+  }
+};
 
 }  // namespace
 
@@ -39,38 +65,50 @@ QuantizeResult<T> lorenzo_quantize(std::span<const T> data, const Dims& dims,
   result.codes.resize(data.size());
   std::vector<T> recon(data.size());
 
-  const double twice_eb = 2.0 * eb;
   const std::size_t sx = dims.d1 * dims.d2;
   const std::size_t sy = dims.d2;
-  const auto max_q = static_cast<long long>(radius) - 1;
+  Quantizer<T> qz{result,
+                  data,
+                  recon.data(),
+                  eb,
+                  2.0 * eb,
+                  static_cast<long long>(radius),
+                  static_cast<long long>(radius) - 1};
+  const T* r = recon.data();
+  auto at = [r](std::size_t idx) { return static_cast<double>(r[idx]); };
 
-  std::size_t i = 0;
-  for (std::size_t x = 0; x < dims.d0; ++x) {
-    for (std::size_t y = 0; y < dims.d1; ++y) {
-      for (std::size_t z = 0; z < dims.d2; ++z, ++i) {
-        const double orig = static_cast<double>(data[i]);
-        const double pred = predict(recon.data(), i, x, y, z, sx, sy);
-        const double diff = orig - pred;
-        const double scaled = diff / twice_eb;
-        bool predictable = std::abs(scaled) <= static_cast<double>(max_q);
-        long long q = 0;
-        double rec = 0.0;
-        if (predictable) {
-          q = std::llround(scaled);
-          rec = pred + static_cast<double>(q) * twice_eb;
-          // Verify against the original in the *storage* precision: the
-          // value the decompressor reproduces is T(rec), so the bound must
-          // hold after the narrowing conversion too.
-          predictable = std::abs(static_cast<double>(static_cast<T>(rec)) - orig) <= eb;
-        }
-        if (predictable) {
-          result.codes[i] = static_cast<std::uint32_t>(q + static_cast<long long>(radius));
-          recon[i] = static_cast<T>(rec);
-        } else {
-          result.codes[i] = 0;
-          result.outliers.push_back(data[i]);
-          recon[i] = data[i];
-        }
+  // x == 0 plane: 2-D stencil in (y, z).
+  {
+    qz.cell(0, 0.0);                                        // origin
+    for (std::size_t z = 1; z < dims.d2; ++z) {             // first row
+      qz.cell(z, at(z - 1));
+    }
+    for (std::size_t y = 1; y < dims.d1; ++y) {
+      const std::size_t row = y * sy;
+      qz.cell(row, at(row - sy));                           // z == 0 cell
+      for (std::size_t z = 1; z < dims.d2; ++z) {           // interior row
+        const std::size_t i = row + z;
+        qz.cell(i, at(i - 1) + at(i - sy) - at(i - sy - 1));
+      }
+    }
+  }
+  // x >= 1 planes: full 3-D stencil in the interior.
+  for (std::size_t x = 1; x < dims.d0; ++x) {
+    const std::size_t plane = x * sx;
+    qz.cell(plane, at(plane - sx));                         // y == 0, z == 0
+    for (std::size_t z = 1; z < dims.d2; ++z) {             // y == 0 row
+      const std::size_t i = plane + z;
+      qz.cell(i, at(i - 1) + at(i - sx) - at(i - sx - 1));
+    }
+    for (std::size_t y = 1; y < dims.d1; ++y) {
+      const std::size_t row = plane + y * sy;
+      qz.cell(row, at(row - sy) + at(row - sx) - at(row - sx - sy));  // z == 0
+      for (std::size_t z = 1; z < dims.d2; ++z) {           // branchless interior
+        const std::size_t i = row + z;
+        const double pred = at(i - 1) + at(i - sy) + at(i - sx) -
+                            at(i - sy - 1) - at(i - sx - 1) - at(i - sx - sy) +
+                            at(i - sx - sy - 1);
+        qz.cell(i, pred);
       }
     }
   }
@@ -89,21 +127,51 @@ void lorenzo_dequantize(std::span<const std::uint32_t> codes,
   const std::size_t sy = dims.d2;
 
   std::size_t next_outlier = 0;
-  std::size_t i = 0;
-  for (std::size_t x = 0; x < dims.d0; ++x) {
-    for (std::size_t y = 0; y < dims.d1; ++y) {
-      for (std::size_t z = 0; z < dims.d2; ++z, ++i) {
-        const std::uint32_t code = codes[i];
-        if (code == 0) {
-          if (next_outlier >= outliers.size()) {
-            throw std::runtime_error("lorenzo_dequantize: outlier underrun");
-          }
-          out[i] = outliers[next_outlier++];
-        } else {
-          const double pred = predict(out.data(), i, x, y, z, sx, sy);
-          const auto q = static_cast<long long>(code) - static_cast<long long>(radius);
-          out[i] = static_cast<T>(pred + static_cast<double>(q) * twice_eb);
-        }
+  T* r = out.data();
+  auto at = [r](std::size_t idx) { return static_cast<double>(r[idx]); };
+  auto cell = [&](std::size_t i, double pred) {
+    const std::uint32_t code = codes[i];
+    if (code == 0) {
+      if (next_outlier >= outliers.size()) {
+        throw std::runtime_error("lorenzo_dequantize: outlier underrun");
+      }
+      r[i] = outliers[next_outlier++];
+    } else {
+      const auto q = static_cast<long long>(code) - static_cast<long long>(radius);
+      r[i] = static_cast<T>(pred + static_cast<double>(q) * twice_eb);
+    }
+  };
+
+  // x == 0 plane.
+  {
+    cell(0, 0.0);
+    for (std::size_t z = 1; z < dims.d2; ++z) cell(z, at(z - 1));
+    for (std::size_t y = 1; y < dims.d1; ++y) {
+      const std::size_t row = y * sy;
+      cell(row, at(row - sy));
+      for (std::size_t z = 1; z < dims.d2; ++z) {
+        const std::size_t i = row + z;
+        cell(i, at(i - 1) + at(i - sy) - at(i - sy - 1));
+      }
+    }
+  }
+  // x >= 1 planes.
+  for (std::size_t x = 1; x < dims.d0; ++x) {
+    const std::size_t plane = x * sx;
+    cell(plane, at(plane - sx));
+    for (std::size_t z = 1; z < dims.d2; ++z) {
+      const std::size_t i = plane + z;
+      cell(i, at(i - 1) + at(i - sx) - at(i - sx - 1));
+    }
+    for (std::size_t y = 1; y < dims.d1; ++y) {
+      const std::size_t row = plane + y * sy;
+      cell(row, at(row - sy) + at(row - sx) - at(row - sx - sy));
+      for (std::size_t z = 1; z < dims.d2; ++z) {
+        const std::size_t i = row + z;
+        const double pred = at(i - 1) + at(i - sy) + at(i - sx) -
+                            at(i - sy - 1) - at(i - sx - 1) - at(i - sx - sy) +
+                            at(i - sx - sy - 1);
+        cell(i, pred);
       }
     }
   }

@@ -1,11 +1,13 @@
 // Bit-granular serialization used by the Huffman codec.
 //
-// The writer accumulates into a 64-bit register and spills whole bytes,
-// so the per-symbol cost is one shift/or plus an occasional memcpy; this
-// is what keeps the compressor in the hundreds-of-MB/s range the paper's
-// throughput model (Fig. 5) assumes.
+// Both ends operate word-at-a-time: the writer accumulates into a 64-bit
+// register and spills all whole bytes in one step, and the reader refills
+// its register with a single unaligned 64-bit load instead of a byte
+// loop. This is what keeps the compressor in the hundreds-of-MB/s range
+// the paper's throughput model (Fig. 5) assumes.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -19,7 +21,13 @@ class BitWriter {
 
   /// Appends the low `nbits` bits of `bits` (LSB-first within the stream).
   /// nbits must be in [0, 57]; longer fields are split by callers.
-  void put(std::uint64_t bits, int nbits);
+  void put(std::uint64_t bits, int nbits) {
+    assert(nbits >= 0 && nbits <= 57);
+    assert(nbits == 64 || (bits >> nbits) == 0);
+    acc_ |= bits << nbits_;
+    nbits_ += nbits;
+    if (nbits_ >= 8) spill();
+  }
 
   /// Flushes the partial register and returns the finished byte stream.
   /// The writer is left empty and reusable.
@@ -31,6 +39,9 @@ class BitWriter {
   void reserve_bytes(std::size_t n) { bytes_.reserve(n); }
 
  private:
+  /// Moves every whole byte of the register into the stream.
+  void spill();
+
   std::vector<std::uint8_t> bytes_;
   std::uint64_t acc_ = 0;
   int nbits_ = 0;

@@ -44,4 +44,15 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return active_ == 0 && queue_.empty(); });
 }
 
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(resolve_threads(0));
+  return pool;
+}
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 }  // namespace pcw::util

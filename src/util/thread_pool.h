@@ -1,13 +1,19 @@
 // Fixed-size work-queue thread pool.
 //
-// Used by h5lite's async I/O queue and by benches that pre-generate data.
-// The pool is deliberately simple (single mutex-protected deque): tasks in
-// this codebase are coarse (compress a field, write a partition), so queue
-// contention is negligible against task cost.
+// Used by h5lite's async I/O queue, by the pcw::sz block-parallel
+// compressor (via the shared() instance + parallel_for), and by benches
+// that pre-generate data. The pool is deliberately simple (single
+// mutex-protected deque): tasks in this codebase are coarse (compress a
+// block, write a partition), so queue contention is negligible against
+// task cost.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -23,6 +29,11 @@ class ThreadPool {
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool sized at hardware_concurrency, created on first
+  /// use. Shared by parallel_for callers so every compress/decompress call
+  /// reuses the same workers instead of spawning threads per call.
+  static ThreadPool& shared();
 
   /// Enqueues a task; the returned future observes its completion/exception.
   template <typename F>
@@ -53,5 +64,55 @@ class ThreadPool {
   unsigned active_ = 0;
   bool stop_ = false;
 };
+
+/// Resolves a thread-count knob: 0 means "all hardware threads", anything
+/// else is taken literally (minimum 1).
+unsigned resolve_threads(unsigned requested);
+
+/// Runs fn(0) .. fn(n-1) across up to `threads` workers (dynamic index
+/// scheduling over ThreadPool::shared(); the calling thread participates).
+/// threads <= 1 or n <= 1 degrades to a plain inline loop. Rethrows the
+/// first exception any index raised, after all indices finished.
+///
+/// Must not be called from inside a shared()-pool task: the caller waits
+/// on pool futures, so nesting can deadlock a fully-occupied pool.
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
+  threads = resolve_threads(threads);
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const auto helpers = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n) - 1);
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto run_indices = [next, n, &fn] {
+    for (std::size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next->fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::future<void>> futs;
+  futs.reserve(helpers);
+  for (unsigned t = 0; t < helpers; ++t) {
+    futs.push_back(ThreadPool::shared().submit(run_indices));
+  }
+  std::exception_ptr first_error;
+  try {
+    run_indices();
+  } catch (...) {
+    first_error = std::current_exception();
+    // Drain remaining indices so helper futures can finish.
+    next->store(n, std::memory_order_relaxed);
+  }
+  for (auto& fut : futs) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
 
 }  // namespace pcw::util

@@ -173,6 +173,40 @@ TEST(Huffman, DecoderRejectsInvalidBitstream) {
   EXPECT_LE(produced, 1000);
 }
 
+TEST(Huffman, RoundTripDeepCodes) {
+  // Fibonacci-ish counts force code lengths well past the level-1 table
+  // (11 bits) and past the level-2 reach (26 bits), exercising the
+  // subtable and canonical fallback paths of the table-driven decoder.
+  // The codebook is built from these skewed counts directly (the encoded
+  // stream itself is near-uniform so every depth gets hit).
+  std::vector<SymbolCount> freqs;
+  std::uint64_t a = 1, b = 1;
+  for (std::uint32_t s = 0; s < 30; ++s) {
+    freqs.push_back({s, a});
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const HuffmanEncoder enc(freqs);
+  ASSERT_GT(enc.max_code_length(), 26) << "fixture no longer reaches the slow path";
+
+  std::vector<std::uint32_t> stream;
+  for (std::uint32_t s = 0; s < freqs.size(); ++s) {
+    for (int k = 0; k < 3; ++k) stream.push_back(s);
+    stream.push_back(static_cast<std::uint32_t>(freqs.size()) - 1 - s);
+  }
+  util::BitWriter w;
+  for (const auto s : stream) enc.encode(s, w);
+  const auto bits = w.finish();
+
+  std::size_t consumed = 0;
+  const HuffmanDecoder dec(enc.serialize_codebook(), &consumed);
+  util::BitReader r(bits);
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < stream.size(); ++i) out.push_back(dec.decode(r));
+  EXPECT_EQ(out, stream);
+}
+
 class HuffmanRandomRoundTrip : public ::testing::TestWithParam<int> {};
 
 TEST_P(HuffmanRandomRoundTrip, RoundTripsRandomAlphabet) {

@@ -136,7 +136,10 @@ INSTANTIATE_TEST_SUITE_P(
         RoundTripCase{sz::Dims::make_3d(24, 32, 40), 1e-5,
                       sz::ErrorBoundMode::kAbsolute},
         RoundTripCase{sz::Dims::make_3d(17, 19, 23), 1e-2,
-                      sz::ErrorBoundMode::kRelative}));
+                      sz::ErrorBoundMode::kRelative},
+        // 3-D, large enough for a multi-slab container-v2 split
+        RoundTripCase{sz::Dims::make_3d(40, 48, 48), 1e-3,
+                      sz::ErrorBoundMode::kAbsolute}));
 
 // Compression on smooth data must actually compress: the whole paper is
 // moot if predictable fields don't shrink.

@@ -147,6 +147,35 @@ TEST(BitStream, PeekPastEndReadsZero) {
   EXPECT_EQ(r.peek(7), 0u);
 }
 
+TEST(BitStream, MaxWidthFieldsAcrossWordBoundaries) {
+  // 57-bit fields keep the reader register maximally full, stressing the
+  // word-at-a-time refill's accounting at every byte phase.
+  Rng rng(9);
+  std::vector<std::uint64_t> fields;
+  BitWriter w;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t v = rng.next_u64() & (~0ull >> (64 - 57));
+    fields.push_back(v);
+    w.put(v, 57);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto v : fields) EXPECT_EQ(r.get(57), v);
+}
+
+TEST(BitStream, PeekNearEndOfLongStreamReadsZero) {
+  // The word refill deposits a few unaccounted look-ahead bits; the
+  // past-the-end contract (zeros) must survive them at the stream tail.
+  BitWriter w;
+  for (int i = 0; i < 9; ++i) w.put(0xffu, 8);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(57), ~0ull >> (64 - 57));
+  EXPECT_EQ(r.get(15), 0x7fffu);  // 72 bits written in total
+  EXPECT_EQ(r.peek(12), 0u);
+  EXPECT_EQ(r.get(12), 0u);
+}
+
 TEST(BitStream, FinishResetsWriter) {
   BitWriter w;
   w.put(0xff, 8);

@@ -151,6 +151,8 @@ int cmd_inspect(int argc, char** argv) {
   }
   const sz::HeaderInfo info = sz::inspect(blob);
   std::printf("codec: pcw::sz (error bounded)\n");
+  std::printf("container: v%u, %u block%s\n", info.version, info.block_count,
+              info.block_count == 1 ? "" : "s");
   std::printf("dtype: %s\n", info.dtype == sz::DataType::kFloat32 ? "float32" : "float64");
   std::printf("dims: %zu x %zu x %zu (%zu values)\n", info.dims.d0, info.dims.d1,
               info.dims.d2, info.dims.count());

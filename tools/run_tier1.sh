@@ -6,6 +6,7 @@
 # Usage:
 #   tools/run_tier1.sh                 # RelWithDebInfo into build/
 #   tools/run_tier1.sh --asan          # ASan+UBSan config into build-asan/
+#   tools/run_tier1.sh --tsan          # ThreadSanitizer config into build-tsan/
 #   tools/run_tier1.sh --build-dir DIR [extra cmake args...]
 set -euo pipefail
 
@@ -20,6 +21,11 @@ while [[ $# -gt 0 ]]; do
     --asan)
       default_build_dir="${repo_root}/build-asan"
       cmake_args+=(-DPCW_SANITIZE=ON)
+      shift
+      ;;
+    --tsan)
+      default_build_dir="${repo_root}/build-tsan"
+      cmake_args+=(-DPCW_SANITIZE_THREAD=ON)
       shift
       ;;
     --build-dir)
