@@ -1,0 +1,63 @@
+// pcw::core::read_fields — the parallel restart/read engine: the write
+// engine's Fig.-3 pipeline run in reverse.
+//
+// Each simulated-MPI rank issues its hyperslabs (full fields for a
+// same-shape restart, restart_region() slabs for a repartitioned one,
+// thin slices for analysis). Per field, every overlapping partition
+// payload is issued on the file's asynchronous read queue up front; the
+// payloads of field k+1 stream in from disk while field k is still being
+// entropy-decoded — and within one sz partition only the container-v2
+// blocks intersecting the request are decoded, fanned out across the
+// shared thread pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/read_planner.h"
+#include "mpi/comm.h"
+
+namespace pcw::core {
+
+struct ReadEngineConfig {
+  /// Worker threads for each partition's block decode: 1 = serial,
+  /// 0 = all hardware threads, N = exactly N (sz::Params::threads
+  /// semantics). The output is identical for every value.
+  unsigned decompress_threads = 1;
+  /// true: payloads land on the file's async read queue, a whole field at
+  /// a time, and field k+1's reads overlap field k's decode. false: every
+  /// payload is fetched synchronously right before its decode (no async
+  /// queue at all) — the strictly serial baseline bench_read compares
+  /// against.
+  bool pipeline = true;
+};
+
+/// Per-rank outcome and phase timings (wall-clock, this rank).
+struct ReadReport {
+  double plan_seconds = 0.0;        // selection planning (metadata only)
+  double read_seconds = 0.0;        // time blocked waiting on payload I/O
+  double decompress_seconds = 0.0;  // block decode + scatter
+  double total_seconds = 0.0;
+
+  std::uint64_t bytes_read = 0;        // stored payload bytes fetched
+  std::uint64_t elements_out = 0;      // elements delivered to this rank
+  std::uint64_t partitions_total = 0;  // partitions across requested fields
+  std::uint64_t partitions_read = 0;   // partitions that overlapped
+  std::uint64_t blocks_total = 0;      // sz blocks in the read partitions
+  std::uint64_t blocks_decoded = 0;    // sz blocks actually decoded
+};
+
+/// Reads this rank's selection of every requested field; result i holds
+/// specs[i]'s region in its own row-major order (specs[i].region ==
+/// nullopt yields the whole field). Ranks read independently — the only
+/// collective is a trailing barrier so timing reports are comparable.
+/// Throws std::invalid_argument on unknown datasets/bad regions and
+/// std::runtime_error on type mismatch or corruption.
+template <typename T>
+std::vector<std::vector<T>> read_fields(mpi::Comm& comm, h5::File& file,
+                                        std::span<const ReadSpec> specs,
+                                        const ReadEngineConfig& config,
+                                        ReadReport* report = nullptr);
+
+}  // namespace pcw::core

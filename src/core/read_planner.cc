@@ -1,0 +1,44 @@
+#include "core/read_planner.h"
+
+#include <stdexcept>
+
+namespace pcw::core {
+
+std::vector<FieldReadPlan> plan_read(const h5::File& file,
+                                     std::span<const ReadSpec> specs) {
+  std::vector<FieldReadPlan> plans;
+  plans.reserve(specs.size());
+  for (const ReadSpec& spec : specs) {
+    const h5::DatasetDesc* desc = file.find_dataset(spec.name);
+    if (desc == nullptr) {
+      throw std::invalid_argument("read: no dataset named " + spec.name);
+    }
+    FieldReadPlan plan;
+    plan.desc = desc;
+    const sz::Region region =
+        spec.region.value_or(sz::Region::of(desc->global_dims));
+    plan.selection = h5::plan_region_selection(*desc, region);
+    plan.payload_bytes = h5::selection_payload_bytes(*desc, plan.selection);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+sz::Region restart_region(const sz::Dims& global, int rank, int nranks) {
+  if (rank < 0 || nranks < 1 || rank >= nranks) {
+    throw std::invalid_argument("read: rank outside [0, nranks)");
+  }
+  const int axis = sz::slowest_nonunit_axis(global);
+  const std::size_t len = sz::extent(global, axis);
+  const auto n = static_cast<std::size_t>(nranks);
+  const auto r = static_cast<std::size_t>(rank);
+  const std::size_t base = len / n, rem = len % n;
+  const std::size_t lo = r * base + std::min(r, rem);
+  const std::size_t hi = lo + base + (r < rem ? 1 : 0);
+  sz::Region region = sz::Region::of(global);
+  region.lo[axis] = lo;
+  region.hi[axis] = hi;
+  return region;
+}
+
+}  // namespace pcw::core

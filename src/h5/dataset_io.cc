@@ -1,9 +1,11 @@
 #include "h5/dataset_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
 
+#include "sz/compressor.h"
 #include "util/timer.h"
 
 namespace pcw::h5 {
@@ -145,7 +147,7 @@ std::vector<T> read_dataset(const File& file, const std::string& name,
   if (desc == nullptr) throw std::invalid_argument("h5: no dataset named " + name);
   if (desc->dtype != dtype_of<T>()) throw std::runtime_error("h5: dtype mismatch");
 
-  const std::uint64_t total = desc->global_dims.count();
+  const std::uint64_t total = sz::element_count(desc->global_dims);
   std::vector<T> out(total);
 
   if (desc->layout == Layout::kContiguous) {
@@ -185,5 +187,224 @@ template std::vector<float> read_dataset<float>(const File&, const std::string&,
                                                 const sz::Params&);
 template std::vector<double> read_dataset<double>(const File&, const std::string&,
                                                   const sz::Params&);
+
+// ---- region (hyperslab) reads ---------------------------------------------
+
+RegionSelection plan_region_selection(const DatasetDesc& desc, const sz::Region& region) {
+  sz::validate_region(region, desc.global_dims);
+  RegionSelection sel;
+  sel.region = region;
+  sel.elements = region.count();
+  sel.partitions_total =
+      desc.layout == Layout::kContiguous ? 1 : desc.partitions.size();
+  if (sel.elements == 0) return sel;
+
+  // The selected rows in global-flat order; flat_lo is strictly
+  // increasing, which the per-partition binary search below relies on.
+  std::vector<RowSegment> rows;
+  sz::for_each_region_row(region, desc.global_dims,
+                          [&](std::size_t g, std::size_t len, std::size_t o) {
+                            rows.push_back({g, len, o});
+                          });
+
+  if (desc.layout == Layout::kContiguous) {
+    PartitionSelection ps;
+    ps.flat_lo = rows.front().flat_lo;
+    ps.flat_hi = rows.back().flat_lo + rows.back().len;
+    ps.segments = std::move(rows);
+    sel.parts.push_back(std::move(ps));
+    return sel;
+  }
+
+  const std::uint64_t row_len = rows.front().len;  // all rows share one length
+  for (std::size_t p = 0; p < desc.partitions.size(); ++p) {
+    const PartitionRecord& part = desc.partitions[p];
+    const std::uint64_t lo = part.elem_offset;
+    const std::uint64_t hi = part.elem_offset + part.elem_count;
+    PartitionSelection ps;
+    ps.part_index = p;
+    // First row whose end can reach past the partition start: a row
+    // starting mid-partition-boundary is clipped, not dropped.
+    const std::uint64_t start_key = lo >= row_len ? lo - row_len + 1 : 0;
+    auto it = std::lower_bound(
+        rows.begin(), rows.end(), start_key,
+        [](const RowSegment& r, std::uint64_t v) { return r.flat_lo < v; });
+    for (; it != rows.end() && it->flat_lo < hi; ++it) {
+      const std::uint64_t s = std::max(it->flat_lo, lo);
+      const std::uint64_t e = std::min(it->flat_lo + it->len, hi);
+      if (s >= e) continue;
+      ps.segments.push_back({s, e - s, it->out_offset + (s - it->flat_lo)});
+    }
+    if (ps.segments.empty()) continue;
+    ps.flat_lo = ps.segments.front().flat_lo;
+    ps.flat_hi = ps.segments.back().flat_lo + ps.segments.back().len;
+    sel.parts.push_back(std::move(ps));
+  }
+  return sel;
+}
+
+std::uint64_t selection_payload_bytes(const DatasetDesc& desc,
+                                      const RegionSelection& sel) {
+  std::uint64_t total = 0;
+  for (const PartitionSelection& ps : sel.parts) {
+    if (ps.part_index == kContiguousSelection) {
+      total += (ps.flat_hi - ps.flat_lo) * element_size(desc.dtype);
+    } else {
+      total += desc.partitions[ps.part_index].actual_bytes;
+    }
+  }
+  return total;
+}
+
+std::vector<std::uint8_t> PayloadTicket::join() {
+  std::vector<std::uint8_t> payload = slot.take();
+  if (overflow.valid()) {
+    const std::vector<std::uint8_t> tail = overflow.take();
+    payload.insert(payload.end(), tail.begin(), tail.end());
+  }
+  if (payload.size() != expect_bytes) {
+    throw std::runtime_error("h5: partition payload size mismatch");
+  }
+  return payload;
+}
+
+std::vector<PayloadTicket> async_read_selection(File& file, const DatasetDesc& desc,
+                                                const RegionSelection& sel) {
+  std::vector<PayloadTicket> tickets;
+  tickets.reserve(sel.parts.size());
+  for (const PartitionSelection& ps : sel.parts) {
+    PayloadTicket t;
+    if (ps.part_index == kContiguousSelection) {
+      // Same metadata consistency gate as the synchronous path, so
+      // corrupt footers throw here instead of reading a neighbour's bytes.
+      if (desc.nbytes != sz::element_count(desc.global_dims) * element_size(desc.dtype)) {
+        throw std::runtime_error("h5: extent mismatch");
+      }
+      const std::uint64_t bytes = (ps.flat_hi - ps.flat_lo) * element_size(desc.dtype);
+      t.slot = file.async_read(desc.file_offset + ps.flat_lo * element_size(desc.dtype),
+                               bytes);
+      t.expect_bytes = bytes;
+    } else {
+      const PartitionRecord& part = desc.partitions[ps.part_index];
+      t.slot = file.async_read(part.file_offset,
+                               std::min(part.actual_bytes, part.reserved_bytes));
+      if (part.overflow_bytes > 0) {
+        t.overflow = file.async_read(part.overflow_offset, part.overflow_bytes);
+      }
+      t.expect_bytes = part.actual_bytes;
+    }
+    tickets.push_back(std::move(t));
+  }
+  return tickets;
+}
+
+std::vector<std::uint8_t> read_selection_payload(const File& file,
+                                                 const DatasetDesc& desc,
+                                                 const PartitionSelection& ps) {
+  if (ps.part_index == kContiguousSelection) {
+    if (desc.nbytes != sz::element_count(desc.global_dims) * element_size(desc.dtype)) {
+      throw std::runtime_error("h5: extent mismatch");
+    }
+    const std::size_t esize = element_size(desc.dtype);
+    return file.pread(desc.file_offset + ps.flat_lo * esize,
+                      (ps.flat_hi - ps.flat_lo) * esize);
+  }
+  return read_partition_payload(file, desc, desc.partitions[ps.part_index]);
+}
+
+template <typename T>
+void scatter_selection_part(const DatasetDesc& desc, const RegionSelection& sel,
+                            const PartitionSelection& ps,
+                            std::span<const std::uint8_t> payload, unsigned threads,
+                            std::span<T> out, RegionReadStats* stats) {
+  if (out.size() != sel.elements) {
+    throw std::invalid_argument("h5: region buffer size mismatch");
+  }
+  if (stats != nullptr) stats->payload_bytes += payload.size();
+
+  // Contiguous pseudo-partition: the payload is exactly the raw hull
+  // [flat_lo, flat_hi), so segments copy straight through.
+  if (ps.part_index == kContiguousSelection) {
+    if (payload.size() != (ps.flat_hi - ps.flat_lo) * sizeof(T)) {
+      throw std::runtime_error("h5: contiguous hull size mismatch");
+    }
+    for (const RowSegment& seg : ps.segments) {
+      std::memcpy(out.data() + seg.out_offset,
+                  payload.data() + (seg.flat_lo - ps.flat_lo) * sizeof(T),
+                  seg.len * sizeof(T));
+    }
+    return;
+  }
+
+  const PartitionRecord& part = desc.partitions[ps.part_index];
+  // Decode coordinate system: sz blobs carry their true local extents
+  // (which is what unlocks the block-indexed partial decode); other
+  // filters are sliced in flat {1,1,n} order.
+  sz::Dims local_dims = sz::Dims::make_1d(part.elem_count);
+  if (desc.filter == FilterId::kSz) {
+    const sz::Dims stored = sz::inspect(payload).dims;
+    if (sz::element_count(stored) != part.elem_count) {
+      throw std::runtime_error("h5: partition extents disagree with blob");
+    }
+    local_dims = stored;
+  }
+
+  // The needed flat interval, as the smallest covering box of the
+  // partition's extents. The covering box is itself one contiguous flat
+  // range, so segments index the decoded buffer by offset subtraction.
+  const sz::Region cover = sz::covering_region(local_dims, ps.flat_lo - part.elem_offset,
+                                               ps.flat_hi - part.elem_offset);
+  const std::size_t cover_lo = sz::region_flat_lo(cover, local_dims);
+
+  sz::RegionDecodeStats dstats;
+  const std::vector<std::uint8_t> bytes = make_filter(desc.filter)
+      ->decode_region(payload, desc.dtype, local_dims, cover, threads, &dstats);
+  if (stats != nullptr) {
+    stats->blocks_total += dstats.blocks_total;
+    stats->blocks_decoded += dstats.blocks_decoded;
+  }
+
+  for (const RowSegment& seg : ps.segments) {
+    const std::size_t src = (seg.flat_lo - part.elem_offset) - cover_lo;
+    std::memcpy(out.data() + seg.out_offset, bytes.data() + src * sizeof(T),
+                seg.len * sizeof(T));
+  }
+}
+
+template <typename T>
+std::vector<T> read_region(const File& file, const std::string& name,
+                           const sz::Region& region, const sz::Params& sz_params,
+                           RegionReadStats* stats) {
+  const DatasetDesc* desc = file.find_dataset(name);
+  if (desc == nullptr) throw std::invalid_argument("h5: no dataset named " + name);
+  if (desc->dtype != dtype_of<T>()) throw std::runtime_error("h5: dtype mismatch");
+
+  const RegionSelection sel = plan_region_selection(*desc, region);
+  if (stats != nullptr) {
+    stats->partitions_total += sel.partitions_total;
+    stats->partitions_read += sel.parts.size();
+  }
+  std::vector<T> out(sel.elements);
+  for (const PartitionSelection& ps : sel.parts) {
+    const std::vector<std::uint8_t> payload = read_selection_payload(file, *desc, ps);
+    scatter_selection_part<T>(*desc, sel, ps, payload, sz_params.threads, out, stats);
+  }
+  return out;
+}
+
+template void scatter_selection_part<float>(const DatasetDesc&, const RegionSelection&,
+                                            const PartitionSelection&,
+                                            std::span<const std::uint8_t>, unsigned,
+                                            std::span<float>, RegionReadStats*);
+template void scatter_selection_part<double>(const DatasetDesc&, const RegionSelection&,
+                                             const PartitionSelection&,
+                                             std::span<const std::uint8_t>, unsigned,
+                                             std::span<double>, RegionReadStats*);
+template std::vector<float> read_region<float>(const File&, const std::string&,
+                                               const sz::Region&, const sz::Params&,
+                                               RegionReadStats*);
+template std::vector<double> read_region<double>(const File&, const std::string&,
+                                                 const sz::Region&, const sz::Params&,
+                                                 RegionReadStats*);
 
 }  // namespace pcw::h5

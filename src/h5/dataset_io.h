@@ -62,4 +62,101 @@ std::vector<std::uint8_t> read_partition_payload(const File& file,
                                                  const DatasetDesc& desc,
                                                  const PartitionRecord& part);
 
+// ---- region (hyperslab) reads ---------------------------------------------
+//
+// A Region selects a half-open box of the dataset's global extents,
+// interpreted over the flattened global element order (partitions
+// concatenated by elem_offset) — i.e. a region read is always byte-
+// identical to slicing read_dataset()'s result. For slab-decomposed
+// writes that order coincides with the spatial row-major global box; see
+// docs/read_path.md for the non-slab caveat.
+
+/// One contiguous run of selected elements, already clipped to its
+/// partition: a global-flat interval plus where it lands in the region's
+/// own row-major output buffer.
+struct RowSegment {
+  std::uint64_t flat_lo = 0;     // global flat element index
+  std::uint64_t len = 0;         // elements
+  std::uint64_t out_offset = 0;  // element offset into the region buffer
+};
+
+/// Sentinel part_index for a kContiguous dataset's single pseudo-
+/// partition (there is no PartitionRecord to point at).
+inline constexpr std::size_t kContiguousSelection = static_cast<std::size_t>(-1);
+
+/// One partition's share of a region selection.
+struct PartitionSelection {
+  std::size_t part_index = kContiguousSelection;  // into desc.partitions
+  std::uint64_t flat_lo = 0, flat_hi = 0;         // hull of the segments
+  std::vector<RowSegment> segments;
+};
+
+/// A planned region read: which partitions contribute which element runs.
+/// Pure metadata work — planning never touches payload bytes, which is
+/// what lets the read engine issue all of a field's payload reads
+/// asynchronously before any decode starts.
+struct RegionSelection {
+  sz::Region region;           // the validated request
+  std::uint64_t elements = 0;  // region.count()
+  std::size_t partitions_total = 0;
+  std::vector<PartitionSelection> parts;  // only partitions with overlap
+};
+
+/// Aggregated cost accounting for a region read.
+struct RegionReadStats {
+  std::uint64_t payload_bytes = 0;     // stored bytes fetched
+  std::uint64_t partitions_total = 0;  // partitions in the dataset
+  std::uint64_t partitions_read = 0;   // partitions that overlapped
+  std::uint64_t blocks_total = 0;      // sz blocks in the read partitions
+  std::uint64_t blocks_decoded = 0;    // sz blocks actually decoded
+};
+
+/// Plans `region` against a dataset: validates the request and clips the
+/// selected rows to partition boundaries. Throws std::invalid_argument on
+/// inverted or out-of-bounds regions.
+RegionSelection plan_region_selection(const DatasetDesc& desc, const sz::Region& region);
+
+/// Stored payload bytes executing `sel` will fetch.
+std::uint64_t selection_payload_bytes(const DatasetDesc& desc, const RegionSelection& sel);
+
+/// In-flight partition payload: slot plus optional overflow tail on the
+/// file's async queue; join() assembles and validates the payload,
+/// moving the bytes out of the tickets (one-shot).
+struct PayloadTicket {
+  ReadTicket slot;
+  ReadTicket overflow;  // invalid when the partition has no overflow
+  std::uint64_t expect_bytes = 0;
+  std::vector<std::uint8_t> join();
+};
+
+/// Issues the async payload reads one planned selection needs, in
+/// sel.parts order (a contiguous pseudo-partition reads only its hull).
+std::vector<PayloadTicket> async_read_selection(File& file, const DatasetDesc& desc,
+                                                const RegionSelection& sel);
+
+/// Synchronous counterpart: fetches one planned partition's payload on
+/// the calling thread (no async queue) — the read engine's strictly
+/// serial baseline and read_region's fetch path.
+std::vector<std::uint8_t> read_selection_payload(const File& file,
+                                                 const DatasetDesc& desc,
+                                                 const PartitionSelection& ps);
+
+/// Decodes one planned partition from its payload into the region output
+/// buffer (`out` has sel.elements elements). For sz partitions only the
+/// blocks overlapping the selection are decoded, fanned out across
+/// `threads`. `stats`, when non-null, is accumulated into.
+template <typename T>
+void scatter_selection_part(const DatasetDesc& desc, const RegionSelection& sel,
+                            const PartitionSelection& part_sel,
+                            std::span<const std::uint8_t> payload, unsigned threads,
+                            std::span<T> out, RegionReadStats* stats);
+
+/// Reads one hyperslab of a dataset, decoding only what the selection
+/// needs (synchronous; the pipelined multi-field version is
+/// core::read_fields). `sz_params.threads` fans the block decode out.
+template <typename T>
+std::vector<T> read_region(const File& file, const std::string& name,
+                           const sz::Region& region, const sz::Params& sz_params = {},
+                           RegionReadStats* stats = nullptr);
+
 }  // namespace pcw::h5

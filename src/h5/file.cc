@@ -58,12 +58,13 @@ std::shared_ptr<File> File::create(const std::string& path, FileOptions opts) {
   return file;
 }
 
-std::shared_ptr<File> File::open(const std::string& path) {
+std::shared_ptr<File> File::open(const std::string& path, FileOptions opts) {
   auto file = std::shared_ptr<File>(new File());
   file->path_ = path;
   file->writable_ = false;
   file->fd_ = ::open(path.c_str(), O_RDONLY);
   if (file->fd_ < 0) throw_errno("open for read");
+  file->async_pool_ = std::make_unique<util::ThreadPool>(opts.async_threads);
 
   std::uint8_t sb[kSuperblockSize];
   full_pread(file->fd_, sb, sizeof(sb), 0);
@@ -120,6 +121,21 @@ WriteTicket File::async_write(std::uint64_t offset, std::vector<std::uint8_t> da
     full_pwrite(fd_, buf->data(), buf->size(), offset);
   });
   return WriteTicket(fut.share());
+}
+
+ReadTicket File::async_read(std::uint64_t offset, std::uint64_t size) {
+  // submit() futures carry void, so the bytes travel through an explicit
+  // promise; exceptions (short read, I/O error) surface at get().
+  auto promise = std::make_shared<std::promise<std::vector<std::uint8_t>>>();
+  ReadTicket ticket(promise->get_future());
+  async_pool_->submit([this, offset, size, promise] {
+    try {
+      promise->set_value(pread(offset, size));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return ticket;
 }
 
 void File::flush_async() {

@@ -5,6 +5,31 @@
 
 namespace pcw::h5 {
 
+std::vector<std::uint8_t> Filter::decode_region(std::span<const std::uint8_t> blob,
+                                                DataType dtype,
+                                                const sz::Dims& local_dims,
+                                                const sz::Region& region,
+                                                unsigned threads,
+                                                sz::RegionDecodeStats* stats) const {
+  (void)threads;
+  sz::validate_region(region, local_dims);
+  const std::vector<std::uint8_t> full =
+      decode(blob, dtype, sz::element_count(local_dims));
+  const std::size_t esize = element_size(dtype);
+  std::vector<std::uint8_t> out(region.count() * esize);
+  sz::for_each_region_row(region, local_dims,
+                          [&](std::size_t g, std::size_t len, std::size_t o) {
+                            std::memcpy(out.data() + o * esize, full.data() + g * esize,
+                                        len * esize);
+                          });
+  if (stats != nullptr) {
+    stats->blocks_total = 1;
+    stats->blocks_decoded = 1;
+    stats->used_block_index = false;
+  }
+  return out;
+}
+
 std::vector<std::uint8_t> NullFilter::decode(std::span<const std::uint8_t> blob,
                                              DataType dtype,
                                              std::uint64_t expect_elems) const {
@@ -51,6 +76,40 @@ std::vector<std::uint8_t> SzFilter::decode(std::span<const std::uint8_t> blob,
     case DataType::kFloat64: {
       std::vector<double> vals = sz::decompress<double>(blob, nullptr, params_.threads);
       if (vals.size() != expect_elems) throw std::runtime_error("h5: sz element count");
+      std::vector<std::uint8_t> out(vals.size() * sizeof(double));
+      std::memcpy(out.data(), vals.data(), out.size());
+      return out;
+    }
+    case DataType::kBytes:
+      throw std::invalid_argument("h5: sz filter requires a float type");
+  }
+  throw std::invalid_argument("h5: unknown dtype");
+}
+
+std::vector<std::uint8_t> SzFilter::decode_region(std::span<const std::uint8_t> blob,
+                                                  DataType dtype,
+                                                  const sz::Dims& local_dims,
+                                                  const sz::Region& region,
+                                                  unsigned threads,
+                                                  sz::RegionDecodeStats* stats) const {
+  // The fast path trusts the container's own extents; if the caller's
+  // coordinate system disagrees (e.g. a flat {1,1,n} view of a 3-D blob),
+  // partial decode would reinterpret the data, so fall back to decoding
+  // everything and slicing in the caller's coordinates.
+  if (sz::inspect(blob).dims != local_dims) {
+    return Filter::decode_region(blob, dtype, local_dims, region, threads, stats);
+  }
+  switch (dtype) {
+    case DataType::kFloat32: {
+      const std::vector<float> vals =
+          sz::decompress_region<float>(blob, region, threads, stats);
+      std::vector<std::uint8_t> out(vals.size() * sizeof(float));
+      std::memcpy(out.data(), vals.data(), out.size());
+      return out;
+    }
+    case DataType::kFloat64: {
+      const std::vector<double> vals =
+          sz::decompress_region<double>(blob, region, threads, stats);
       std::vector<std::uint8_t> out(vals.size() * sizeof(double));
       std::memcpy(out.data(), vals.data(), out.size());
       return out;

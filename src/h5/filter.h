@@ -33,6 +33,18 @@ class Filter {
   virtual std::vector<std::uint8_t> decode(std::span<const std::uint8_t> blob,
                                            DataType dtype,
                                            std::uint64_t expect_elems) const = 0;
+
+  /// Decodes only `region` (half-open box in the partition's `local_dims`
+  /// coordinates), returning region.count() elements in the region's own
+  /// row-major order. The base implementation decodes everything and
+  /// slices; SzFilter overrides it with a block-indexed partial decode.
+  /// `stats`, when non-null, reports how much of the blob was decoded.
+  virtual std::vector<std::uint8_t> decode_region(std::span<const std::uint8_t> blob,
+                                                  DataType dtype,
+                                                  const sz::Dims& local_dims,
+                                                  const sz::Region& region,
+                                                  unsigned threads,
+                                                  sz::RegionDecodeStats* stats) const;
 };
 
 /// Identity filter (uncompressed partitioned layout).
@@ -57,6 +69,13 @@ class SzFilter final : public Filter {
                                    const sz::Dims& dims) const override;
   std::vector<std::uint8_t> decode(std::span<const std::uint8_t> blob, DataType dtype,
                                    std::uint64_t expect_elems) const override;
+  /// Block-indexed partial decode via sz::decompress_region when the
+  /// container extents match `local_dims`; otherwise the full-decode
+  /// fallback keeps mismatched metadata readable.
+  std::vector<std::uint8_t> decode_region(std::span<const std::uint8_t> blob,
+                                          DataType dtype, const sz::Dims& local_dims,
+                                          const sz::Region& region, unsigned threads,
+                                          sz::RegionDecodeStats* stats) const override;
 
   const sz::Params& params() const { return params_; }
 

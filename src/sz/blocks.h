@@ -4,9 +4,10 @@
 // slowest-varying non-unit dimension. Each slab is quantized, entropy-
 // coded, and decoded independently (the Lorenzo predictor zero-pads at
 // slab boundaries), which is what lets compress()/decompress() fan blocks
-// out across util::ThreadPool. The split is a pure function of the
-// extents — never of the thread count — so blobs are byte-identical for
-// any Params::threads.
+// out across util::ThreadPool — and what lets decompress_region() decode
+// only the slabs a hyperslab request touches. The split is a pure
+// function of the extents — never of the thread count — so blobs are
+// byte-identical for any Params::threads.
 #pragma once
 
 #include <algorithm>
@@ -30,14 +31,20 @@ inline constexpr std::size_t kMinBlockElems = 32768;
 /// plenty of parallel slack for any realistic core count.
 inline constexpr std::size_t kMaxBlocks = 64;
 
+/// Extents of a slab of `len` planes along `axis`, full width elsewhere.
+inline Dims slab_dims(const Dims& dims, int axis, std::size_t len) {
+  return axis == 0   ? Dims{len, dims.d1, dims.d2}
+         : axis == 1 ? Dims{1, len, dims.d2}
+                     : Dims{1, 1, len};
+}
+
 /// Splits `dims` into independent slabs along the slowest-varying
 /// dimension with extent > 1. Always returns at least one block, in
 /// element order, covering the field exactly.
 inline std::vector<BlockRange> split_blocks(const Dims& dims) {
-  const std::size_t total = dims.count();
-  // Split axis: d0 unless degenerate, then d1, then d2.
-  const int axis = dims.d0 > 1 ? 0 : (dims.d1 > 1 ? 1 : 2);
-  const std::size_t axis_len = axis == 0 ? dims.d0 : (axis == 1 ? dims.d1 : dims.d2);
+  const std::size_t total = element_count(dims);
+  const int axis = slowest_nonunit_axis(dims);
+  const std::size_t axis_len = extent(dims, axis);
   const std::size_t row_elems = axis_len == 0 ? 0 : total / axis_len;
 
   std::size_t n_blocks = std::min({axis_len, total / std::max<std::size_t>(kMinBlockElems, 1),
@@ -50,9 +57,7 @@ inline std::vector<BlockRange> split_blocks(const Dims& dims) {
     const std::size_t len = std::min(slab, axis_len - begin);
     BlockRange b;
     b.elem_offset = begin * row_elems;
-    b.dims = axis == 0   ? Dims{len, dims.d1, dims.d2}
-             : axis == 1 ? Dims{1, len, dims.d2}
-                         : Dims{1, 1, len};
+    b.dims = slab_dims(dims, axis, len);
     blocks.push_back(b);
   }
   return blocks;

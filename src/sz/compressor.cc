@@ -25,6 +25,8 @@ constexpr std::uint8_t kFlagLz = 0x01;
 // the u32 block count; the per-block index follows.
 constexpr std::size_t kV2FixedHeaderBytes = 80;
 constexpr std::size_t kV2IndexEntryBytes = 24;
+static_assert(kV2FixedHeaderBytes + kMaxBlocks * kV2IndexEntryBytes <= kMaxHeaderBytes,
+              "kMaxHeaderBytes no longer covers the largest possible header");
 
 using util::append_pod;
 
@@ -108,7 +110,9 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
       outliers = checked_add(outliers, e.outlier_count);
       h.blocks.push_back(e);
     }
-    if (elems != h.dims.count() || huff != h.huff_bytes ||
+    // element_count() is the overflow-checked dims product, so crafted
+    // extents cannot wrap the totals comparison.
+    if (elems != element_count(h.dims) || huff != h.huff_bytes ||
         outliers != h.outlier_count) {
       throw std::runtime_error("sz: block index inconsistent with header");
     }
@@ -121,9 +125,9 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
 /// split_blocks' slab rule. Throws if a block does not cover whole slabs.
 std::vector<BlockRange> blocks_from_index(const RawHeader& h) {
   const Dims& dims = h.dims;
-  const int axis = dims.d0 > 1 ? 0 : (dims.d1 > 1 ? 1 : 2);
-  const std::size_t axis_len = axis == 0 ? dims.d0 : (axis == 1 ? dims.d1 : dims.d2);
-  const std::size_t row_elems = axis_len == 0 ? 1 : dims.count() / axis_len;
+  const int axis = slowest_nonunit_axis(dims);
+  const std::size_t axis_len = extent(dims, axis);
+  const std::size_t row_elems = axis_len == 0 ? 1 : element_count(dims) / axis_len;
   std::vector<BlockRange> out;
   out.reserve(h.blocks.size());
   std::size_t offset = 0;
@@ -131,12 +135,9 @@ std::vector<BlockRange> blocks_from_index(const RawHeader& h) {
     if (row_elems == 0 || e.elem_count % row_elems != 0) {
       throw std::runtime_error("sz: block extent not slab-aligned");
     }
-    const std::size_t len = e.elem_count / row_elems;
     BlockRange b;
     b.elem_offset = offset;
-    b.dims = axis == 0   ? Dims{len, dims.d1, dims.d2}
-             : axis == 1 ? Dims{1, len, dims.d2}
-                         : Dims{1, 1, len};
+    b.dims = slab_dims(dims, axis, e.elem_count / row_elems);
     offset += e.elem_count;
     out.push_back(b);
   }
@@ -333,44 +334,84 @@ void decode_v1(const RawHeader& h, std::span<const std::uint8_t> payload,
   lorenzo_dequantize<T>(codes, outliers, h.dims, h.abs_eb, h.radius, out);
 }
 
+/// Per-block payload offsets (prefix sums over the block index).
+struct BlockOffsets {
+  std::vector<std::size_t> huff;
+  std::vector<std::size_t> outlier;
+};
+
+BlockOffsets block_payload_offsets(const RawHeader& h, std::size_t elem_size) {
+  BlockOffsets off;
+  off.huff.resize(h.blocks.size());
+  off.outlier.resize(h.blocks.size());
+  std::size_t huff_cursor = h.codebook_size;
+  std::size_t outlier_cursor = h.codebook_size + h.huff_bytes;
+  for (std::size_t b = 0; b < h.blocks.size(); ++b) {
+    off.huff[b] = huff_cursor;
+    off.outlier[b] = outlier_cursor;
+    huff_cursor += h.blocks[b].huff_bytes;
+    outlier_cursor += h.blocks[b].outlier_count * elem_size;
+  }
+  return off;
+}
+
+/// Builds the shared Huffman decoder from the payload's codebook section.
+HuffmanDecoder make_decoder(const RawHeader& h, std::span<const std::uint8_t> payload) {
+  std::size_t consumed = 0;
+  HuffmanDecoder decoder(payload.subspan(0, h.codebook_size), &consumed);
+  if (consumed != h.codebook_size) {
+    throw std::runtime_error("sz: codebook size mismatch");
+  }
+  return decoder;
+}
+
+/// Entropy-decodes and dequantizes one v2 block into `out` (block-local
+/// row-major order, blk.dims.count() elements).
+template <typename T>
+void decode_block(const HuffmanDecoder& decoder, const RawHeader& h,
+                  std::span<const std::uint8_t> payload, const BlockRange& blk,
+                  const BlockEntry& entry, std::size_t huff_off,
+                  std::size_t outlier_off, std::span<T> out) {
+  const std::size_t n = blk.dims.count();
+  util::BitReader reader(payload.subspan(huff_off, entry.huff_bytes));
+  std::vector<std::uint32_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
+  std::vector<T> outliers(entry.outlier_count);
+  if (entry.outlier_count > 0) {
+    std::memcpy(outliers.data(), payload.data() + outlier_off,
+                entry.outlier_count * sizeof(T));
+  }
+  lorenzo_dequantize<T>(codes, outliers, blk.dims, h.abs_eb, h.radius, out);
+}
+
 /// v2 decode: blocks decode + dequantize independently (and in parallel).
 template <typename T>
 void decode_v2(const RawHeader& h, std::span<const std::uint8_t> payload,
                unsigned threads, std::span<T> out) {
-  std::size_t consumed = 0;
-  const HuffmanDecoder decoder(payload.subspan(0, h.codebook_size), &consumed);
-  if (consumed != h.codebook_size) {
-    throw std::runtime_error("sz: codebook size mismatch");
-  }
+  const HuffmanDecoder decoder = make_decoder(h, payload);
   const std::vector<BlockRange> blocks = blocks_from_index(h);
-
-  // Per-block payload offsets (prefix sums over the index).
-  const std::size_t n_blocks = blocks.size();
-  std::vector<std::size_t> huff_off(n_blocks), outlier_off(n_blocks);
-  std::size_t huff_cursor = h.codebook_size;
-  std::size_t outlier_cursor = h.codebook_size + h.huff_bytes;
-  for (std::size_t b = 0; b < n_blocks; ++b) {
-    huff_off[b] = huff_cursor;
-    outlier_off[b] = outlier_cursor;
-    huff_cursor += h.blocks[b].huff_bytes;
-    outlier_cursor += h.blocks[b].outlier_count * sizeof(T);
-  }
-
-  util::parallel_for(n_blocks, threads, [&](std::size_t b) {
+  const BlockOffsets off = block_payload_offsets(h, sizeof(T));
+  util::parallel_for(blocks.size(), threads, [&](std::size_t b) {
     const BlockRange& blk = blocks[b];
-    const BlockEntry& entry = h.blocks[b];
-    const std::size_t n = blk.dims.count();
-    util::BitReader reader(payload.subspan(huff_off[b], entry.huff_bytes));
-    std::vector<std::uint32_t> codes(n);
-    for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
-    std::vector<T> outliers(entry.outlier_count);
-    if (entry.outlier_count > 0) {
-      std::memcpy(outliers.data(), payload.data() + outlier_off[b],
-                  entry.outlier_count * sizeof(T));
-    }
-    lorenzo_dequantize<T>(codes, outliers, blk.dims, h.abs_eb, h.radius,
-                          out.subspan(blk.elem_offset, n));
+    decode_block<T>(decoder, h, payload, blk, h.blocks[b], off.huff[b], off.outlier[b],
+                    out.subspan(blk.elem_offset, blk.dims.count()));
   });
+}
+
+/// Resolves the stored section into the raw (pre-LZ) payload and checks
+/// the three payload sections add up; `buf` owns the bytes when an LZ
+/// expansion was needed.
+std::span<const std::uint8_t> prepare_payload(const RawHeader& h,
+                                              std::span<const std::uint8_t> blob,
+                                              std::size_t elem_size,
+                                              std::vector<std::uint8_t>& buf) {
+  std::span<const std::uint8_t> payload = blob.subspan(h.header_end);
+  if (h.flags & kFlagLz) {
+    buf = lz_decompress(payload, h.payload_raw_size);
+    payload = buf;
+  }
+  validate_payload_extent(h, elem_size, payload.size());
+  return payload;
 }
 
 }  // namespace
@@ -382,19 +423,12 @@ std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out,
   if (h.dtype != dtype_of<T>()) {
     throw std::runtime_error("sz: element type mismatch");
   }
-  const std::size_t n = h.dims.count();
+  const std::size_t n = element_count(h.dims);
   if (n == 0) throw std::runtime_error("sz: empty dims");
 
-  std::span<const std::uint8_t> stored = blob.subspan(h.header_end);
   std::vector<std::uint8_t> payload_buf;
-  std::span<const std::uint8_t> payload;
-  if (h.flags & kFlagLz) {
-    payload_buf = lz_decompress(stored, h.payload_raw_size);
-    payload = payload_buf;
-  } else {
-    payload = stored;
-  }
-  validate_payload_extent(h, sizeof(T), payload.size());
+  const std::span<const std::uint8_t> payload =
+      prepare_payload(h, blob, sizeof(T), payload_buf);
 
   std::vector<T> out(n);
   if (h.version == kVersionV1) {
@@ -403,6 +437,111 @@ std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out,
     decode_v2<T>(h, payload, threads, out);
   }
   if (dims_out != nullptr) *dims_out = h.dims;
+  return out;
+}
+
+template <typename T>
+std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
+                                 unsigned threads, RegionDecodeStats* stats) {
+  const RawHeader h = parse_header(blob);
+  if (h.dtype != dtype_of<T>()) {
+    throw std::runtime_error("sz: element type mismatch");
+  }
+  if (element_count(h.dims) == 0) throw std::runtime_error("sz: empty dims");
+  validate_region(region, h.dims);
+
+  RegionDecodeStats local;
+  local.blocks_total = h.version == kVersionV1 ? 1 : h.blocks.size();
+
+  std::vector<T> out(region.count());
+  if (region.empty()) {
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+
+  std::vector<std::uint8_t> payload_buf;
+  const std::span<const std::uint8_t> payload =
+      prepare_payload(h, blob, sizeof(T), payload_buf);
+
+  if (h.version == kVersionV1) {
+    // v1 has one monolithic Huffman stream: no random access is possible,
+    // so old blobs decode fully and the request is sliced out.
+    std::vector<T> full(element_count(h.dims));
+    decode_v1<T>(h, payload, full);
+    for_each_region_row(region, h.dims, [&](std::size_t g, std::size_t len,
+                                            std::size_t o) {
+      std::memcpy(out.data() + o, full.data() + g, len * sizeof(T));
+    });
+    local.blocks_decoded = 1;
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+
+  const HuffmanDecoder decoder = make_decoder(h, payload);
+  const std::vector<BlockRange> blocks = blocks_from_index(h);
+  const BlockOffsets off = block_payload_offsets(h, sizeof(T));
+
+  // Blocks are slabs along one axis, so "does block b overlap the
+  // request" is a 1-D interval test along that axis.
+  const int axis = slowest_nonunit_axis(h.dims);
+  struct NeededBlock {
+    std::size_t b = 0;
+    Region isect;  // region ∩ block box, in field coordinates
+  };
+  std::vector<NeededBlock> needed;
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const std::size_t len = extent(blocks[b].dims, axis);
+    Region box = Region::of(h.dims);
+    box.lo[axis] = begin;
+    box.hi[axis] = begin + len;
+    begin += len;
+    const Region isect = intersect(region, box);
+    if (!isect.empty()) needed.push_back({b, isect});
+  }
+  local.blocks_decoded = needed.size();
+  local.used_block_index = true;
+
+  // Each needed block decodes into a scratch buffer, then its share of
+  // the request is scattered into `out`. Blocks cover disjoint rows of
+  // the output, so the parallel writes never alias.
+  const auto st = strides_of(h.dims);
+  const std::size_t rd1 = region.hi[1] - region.lo[1];
+  const std::size_t rd2 = region.hi[2] - region.lo[2];
+  util::parallel_for(needed.size(), threads, [&](std::size_t i) {
+    const NeededBlock& nb = needed[i];
+    const BlockRange& blk = blocks[nb.b];
+    std::vector<T> buf(blk.dims.count());
+    decode_block<T>(decoder, h, payload, blk, h.blocks[nb.b], off.huff[nb.b],
+                    off.outlier[nb.b], buf);
+    const Region& is = nb.isect;
+    const std::size_t zlen = is.hi[2] - is.lo[2];
+    for (std::size_t x = is.lo[0]; x < is.hi[0]; ++x) {
+      for (std::size_t y = is.lo[1]; y < is.hi[1]; ++y) {
+        const std::size_t g = x * st[0] + y * st[1] + is.lo[2];
+        const std::size_t o = ((x - region.lo[0]) * rd1 + (y - region.lo[1])) * rd2 +
+                              (is.lo[2] - region.lo[2]);
+        std::memcpy(out.data() + o, buf.data() + (g - blk.elem_offset),
+                    zlen * sizeof(T));
+      }
+    }
+  });
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<BlockInfo> inspect_blocks(std::span<const std::uint8_t> blob) {
+  const RawHeader h = parse_header(blob);
+  std::vector<BlockInfo> out;
+  if (h.version == kVersionV1) {
+    out.push_back({element_count(h.dims), h.huff_bytes, h.outlier_count});
+    return out;
+  }
+  out.reserve(h.blocks.size());
+  for (const BlockEntry& e : h.blocks) {
+    out.push_back({e.elem_count, e.huff_bytes, e.outlier_count});
+  }
   return out;
 }
 
@@ -433,5 +572,11 @@ template std::vector<float> decompress<float>(std::span<const std::uint8_t>, Dim
                                               unsigned);
 template std::vector<double> decompress<double>(std::span<const std::uint8_t>, Dims*,
                                                 unsigned);
+template std::vector<float> decompress_region<float>(std::span<const std::uint8_t>,
+                                                     const Region&, unsigned,
+                                                     RegionDecodeStats*);
+template std::vector<double> decompress_region<double>(std::span<const std::uint8_t>,
+                                                       const Region&, unsigned,
+                                                       RegionDecodeStats*);
 
 }  // namespace pcw::sz

@@ -80,8 +80,55 @@ template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out = nullptr,
                           unsigned threads = 1);
 
+/// Instrumentation for a decompress_region call: how much of the blob was
+/// actually decoded. Tests pin that a v2 partial read touches only the
+/// blocks intersecting the request; tools report read cost from it.
+struct RegionDecodeStats {
+  std::uint64_t blocks_total = 0;    // blocks in the container (1 for v1)
+  std::uint64_t blocks_decoded = 0;  // blocks Huffman-decoded + dequantized
+  /// True when the v2 block index drove a partial decode; false on the v1
+  /// fallback (full decode + slice).
+  bool used_block_index = false;
+};
+
+/// Decompresses only the hyperslab `region` (half-open [lo, hi) box in the
+/// stored extents). On a v2 blob, only the slabs overlapping the request
+/// are entropy-decoded and dequantized — in parallel across `threads` —
+/// so a thin slice of a large field costs a fraction of a full decode. v1
+/// blobs fall back to full decode + slice, so old containers keep
+/// working. Returns region.count() elements in the region's own row-major
+/// order. Throws std::invalid_argument on an inverted or out-of-bounds
+/// request and std::runtime_error on malformed blobs / type mismatch.
+template <typename T>
+std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
+                                 unsigned threads = 1, RegionDecodeStats* stats = nullptr);
+
 /// Parses the container header without touching the payload.
 HeaderInfo inspect(std::span<const std::uint8_t> blob);
+
+/// One v2 block-index entry, exposed for tools (pcw5ls --blocks) and
+/// tests. stored_bytes(sizeof(T)) is the pre-LZ payload share of the
+/// block — the marginal cost of decoding it in a partial read.
+struct BlockInfo {
+  std::uint64_t elem_count = 0;
+  std::uint64_t huff_bytes = 0;
+  std::uint64_t outlier_count = 0;
+
+  std::uint64_t stored_bytes(std::size_t elem_size) const {
+    return huff_bytes + outlier_count * elem_size;
+  }
+};
+
+/// The per-block index of a v2 blob, in block order; a v1 blob yields one
+/// synthetic entry covering the whole field.
+std::vector<BlockInfo> inspect_blocks(std::span<const std::uint8_t> blob);
+
+/// Upper bound on the container header + block index size for any
+/// supported version: the leading kMaxHeaderBytes of a blob always
+/// suffice for inspect()/inspect_blocks(), which is what lets tools
+/// summarize huge datasets with header-sized reads. Pinned against the
+/// layout constants by a static_assert in compressor.cc.
+inline constexpr std::size_t kMaxHeaderBytes = 2048;
 
 /// Bits per element for a compressed blob of `compressed_bytes` covering
 /// `element_count` values.

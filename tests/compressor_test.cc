@@ -8,6 +8,7 @@
 #include "sz/compressor.h"
 #include "sz/huffman.h"
 #include "sz/lorenzo.h"
+#include "support/build_v1_blob.h"
 #include "util/bitstream.h"
 #include "util/pod_io.h"
 #include "util/rng.h"
@@ -388,46 +389,9 @@ TEST(CompressorV2, CrossVersionPatchingThrowsCleanly) {
   EXPECT_THROW(decompress<float>(v2_as_v1), std::runtime_error);
 }
 
-// Reference v1 writer mirroring the seed container byte-for-byte, so v1
-// compatibility is pinned independently of the current compressor.
-std::vector<std::uint8_t> build_v1_blob(const std::vector<float>& data,
-                                        const Dims& dims, double eb,
-                                        std::uint32_t radius) {
-  const auto quant = lorenzo_quantize<float>(data, dims, eb, radius);
-  std::vector<std::uint64_t> counts(2ull * radius, 0);
-  for (const auto c : quant.codes) ++counts[c];
-  std::vector<SymbolCount> freqs;
-  for (std::uint32_t s = 0; s < counts.size(); ++s) {
-    if (counts[s] > 0) freqs.push_back({s, counts[s]});
-  }
-  const HuffmanEncoder enc(freqs);
-  util::BitWriter writer;
-  for (const auto c : quant.codes) enc.encode(c, writer);
-  const auto huff = writer.finish();
-  const auto codebook = enc.serialize_codebook();
-
-  std::vector<std::uint8_t> blob;
-  util::append_pod(blob, std::uint32_t{0x5A574350});  // magic
-  util::append_pod(blob, std::uint8_t{1});            // version
-  util::append_pod(blob, std::uint8_t{0});            // dtype f32
-  util::append_pod(blob, std::uint8_t{0});            // flags (no LZ)
-  util::append_pod(blob, std::uint8_t{0});            // reserved
-  util::append_pod(blob, static_cast<std::uint64_t>(dims.d0));
-  util::append_pod(blob, static_cast<std::uint64_t>(dims.d1));
-  util::append_pod(blob, static_cast<std::uint64_t>(dims.d2));
-  util::append_pod(blob, eb);
-  util::append_pod(blob, radius);
-  util::append_pod(blob, static_cast<std::uint64_t>(quant.outliers.size()));
-  util::append_pod(blob, static_cast<std::uint64_t>(codebook.size()));
-  util::append_pod(blob, static_cast<std::uint64_t>(huff.size()));
-  util::append_pod(blob, static_cast<std::uint64_t>(codebook.size() + huff.size() +
-                                                    quant.outliers.size() * 4));
-  blob.insert(blob.end(), codebook.begin(), codebook.end());
-  blob.insert(blob.end(), huff.begin(), huff.end());
-  const auto* p = reinterpret_cast<const std::uint8_t*>(quant.outliers.data());
-  blob.insert(blob.end(), p, p + quant.outliers.size() * 4);
-  return blob;
-}
+// The reference v1 writer lives in tests/support/build_v1_blob.h, shared
+// with the region-read suite.
+using pcw::testsupport::build_v1_blob;
 
 TEST(CompressorV2, V1BlobsStillDecodeBitIdentically) {
   const auto data = multi_block_field(24);

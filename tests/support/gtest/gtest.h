@@ -480,6 +480,23 @@ inline void InitGoogleTest() {}
   PCW_SHIM_ASSERT_(PCW_SHIM_THROW_PROBE_(stmt, extype),                        \
                    "expected " #stmt " to throw " #extype)
 
+#define PCW_SHIM_NO_THROW_PROBE_(stmt)                                         \
+  [&]() -> bool {                                                              \
+    try {                                                                      \
+      stmt;                                                                    \
+    } catch (...) {                                                            \
+      return false;                                                            \
+    }                                                                          \
+    return true;                                                               \
+  }()
+
+#define EXPECT_NO_THROW(stmt)                                                  \
+  PCW_SHIM_EXPECT_(PCW_SHIM_NO_THROW_PROBE_(stmt),                             \
+                   "expected " #stmt " not to throw")
+#define ASSERT_NO_THROW(stmt)                                                  \
+  PCW_SHIM_ASSERT_(PCW_SHIM_NO_THROW_PROBE_(stmt),                             \
+                   "expected " #stmt " not to throw")
+
 #define SUCCEED() \
   do {            \
   } while (0)

@@ -47,6 +47,14 @@ TEST(ShimProbe, MissingThrowIsFailure) {
   EXPECT_THROW(static_cast<void>(0), std::runtime_error);
 }
 
+TEST(ShimProbe, NoThrowDetected) {
+  EXPECT_NO_THROW(static_cast<void>(0));
+}
+
+TEST(ShimProbe, UnexpectedThrowIsFailure) {
+  EXPECT_NO_THROW(throw std::runtime_error("x"));
+}
+
 TEST(ShimProbe, UncaughtExceptionIsFailure) {
   throw std::logic_error("boom");
 }
@@ -113,11 +121,11 @@ int main() {
 
   const int run_rc = testing::shim::run_all_tests(0, nullptr);
 
-  // 15 tests: 7 TEST + 3 TEST_F + 3 + 2 instantiated param cases.
-  check(testing::shim::registry().size() == 15, "registry holds 15 tests", rc);
+  // 17 tests: 9 TEST + 3 TEST_F + 3 + 2 instantiated param cases.
+  check(testing::shim::registry().size() == 17, "registry holds 17 tests", rc);
   check(run_rc == 1, "run_all_tests returns 1 when failures exist", rc);
-  check(testing::shim::failure_count() == 7,
-        "exactly the 7 deliberate failures are counted", rc);
+  check(testing::shim::failure_count() == 8,
+        "exactly the 8 deliberate failures are counted", rc);
   check(!unreachable_after_fatal, "ASSERT_* stops the failing test body", rc);
   check(teardown_calls == 1, "fixture TearDown ran", rc);
   check(throwing_body_teardown_calls == 1,

@@ -1,14 +1,18 @@
 // pcw5ls — inspect a .pcw5 shared file: dataset table, per-partition
-// layout, storage accounting, and optional full decode verification.
+// layout, storage accounting, per-block sz index summaries, and optional
+// full decode verification.
 //
-//   pcw5ls <file.pcw5> [--partitions] [--verify]
+//   pcw5ls <file.pcw5> [--partitions] [--blocks] [--verify]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "h5/dataset_io.h"
 #include "h5/file.h"
+#include "sz/compressor.h"
 #include "util/table.h"
 
 namespace {
@@ -31,16 +35,76 @@ const char* dtype_name(pcw::h5::DataType t) {
   return "?";
 }
 
+/// Per-dataset sz container summary: version(s), codec, and the compressed
+/// block-size distribution across every partition's block index — what a
+/// partial (region) read of this dataset will cost per decoded block.
+void print_block_summaries(const pcw::h5::File& file) {
+  pcw::util::Table table({"dataset", "container", "codec", "blocks", "min blk",
+                          "median blk", "max blk", "lz"});
+  bool any = false;
+  for (const auto& desc : file.datasets()) {
+    if (desc.layout != pcw::h5::Layout::kPartitioned ||
+        desc.filter != pcw::h5::FilterId::kSz) {
+      continue;
+    }
+    any = true;
+    const std::size_t esize = pcw::h5::element_size(desc.dtype);
+    std::vector<std::uint64_t> block_bytes;
+    std::uint32_t vmin = 0, vmax = 0;
+    int lz_parts = 0;
+    // The sz header + block index live in the blob's first
+    // kMaxHeaderBytes, so summarizing costs header-sized reads, not full
+    // payloads — the same economy partial reads themselves enjoy. The
+    // prefix may straddle slot and overflow.
+    for (const auto& part : desc.partitions) {
+      const std::uint64_t want =
+          std::min<std::uint64_t>(part.actual_bytes, pcw::sz::kMaxHeaderBytes);
+      const std::uint64_t in_slot =
+          std::min(want, std::min(part.actual_bytes, part.reserved_bytes));
+      auto payload = file.pread(part.file_offset, in_slot);
+      if (want > in_slot) {
+        const auto tail = file.pread(part.overflow_offset, want - in_slot);
+        payload.insert(payload.end(), tail.begin(), tail.end());
+      }
+      const auto info = pcw::sz::inspect(payload);
+      vmin = vmin == 0 ? info.version : std::min(vmin, info.version);
+      vmax = std::max(vmax, info.version);
+      lz_parts += info.lz_applied ? 1 : 0;
+      for (const auto& blk : pcw::sz::inspect_blocks(payload)) {
+        block_bytes.push_back(blk.stored_bytes(esize));
+      }
+    }
+    std::sort(block_bytes.begin(), block_bytes.end());
+    const std::uint64_t median = block_bytes[block_bytes.size() / 2];
+    const std::string container =
+        vmin == vmax ? "v" + std::to_string(vmin)
+                     : "v" + std::to_string(vmin) + "/v" + std::to_string(vmax);
+    table.add_row(
+        {desc.name, container, "sz", std::to_string(block_bytes.size()),
+         pcw::util::Table::fmt_bytes(static_cast<double>(block_bytes.front())),
+         pcw::util::Table::fmt_bytes(static_cast<double>(median)),
+         pcw::util::Table::fmt_bytes(static_cast<double>(block_bytes.back())),
+         std::to_string(lz_parts) + "/" + std::to_string(desc.partitions.size())});
+  }
+  if (!any) {
+    std::printf("no sz-filtered datasets\n");
+    return;
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: pcw5ls <file.pcw5> [--partitions] [--verify]\n");
+    std::fprintf(stderr,
+                 "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--verify]\n");
     return 2;
   }
-  bool show_partitions = false, verify = false;
+  bool show_partitions = false, show_blocks = false, verify = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--partitions") == 0) show_partitions = true;
+    if (std::strcmp(argv[i], "--blocks") == 0) show_blocks = true;
     if (std::strcmp(argv[i], "--verify") == 0) verify = true;
   }
 
@@ -95,6 +159,11 @@ int main(int argc, char** argv) {
         }
         pt.print(std::cout);
       }
+    }
+
+    if (show_blocks) {
+      std::printf("\nsz block index (per-block cost of partial reads):\n");
+      print_block_summaries(*file);
     }
 
     if (verify) {
