@@ -1,0 +1,447 @@
+// Time-series benchmark: the measured baseline for the temporal-predictor
+// series engine, emitted as machine-readable JSON with `--json` (schema
+// pcw.bench_timeseries.v1 -> BENCH_timeseries.json, gated in CI by
+// tools/check_bench.py).
+//
+// Scenarios:
+//   * write_series      — S steps of every field through SeriesWriter,
+//                         once with temporal deltas + keyframes every K
+//                         (label "temporal") and once with K=1, i.e.
+//                         per-step spatial checkpoints (label "spatial").
+//                         The ratio column is the acceptance metric: the
+//                         temporal predictor must buy >= 1.3x on a smooth
+//                         series.
+//   * restart_mid_chain — restart_at_step mid-chain (worst case) and at a
+//                         keyframe (best case), verified bit-for-bit
+//                         against a from-scratch chain of full decodes.
+//   * sparse_step_read  — one plane of a late step: only the touched
+//                         blocks chain-decode, per link.
+//
+// Standalone on purpose (no google-benchmark): CI runs
+// `bench_timeseries --json --smoke` so the series path can never silently
+// stop compiling.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/series.h"
+#include "data/workloads.h"
+#include "h5/dataset_io.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace pcw;
+
+struct Options {
+  sz::Dims dims = sz::Dims::make_3d(128, 64, 64);
+  int fields = 2;
+  int steps = 12;
+  std::uint32_t interval = 6;
+  int write_ranks = 2;
+  int reps = 3;
+  bool smoke = false;
+  bool json = false;
+  std::string json_path = "BENCH_timeseries.json";
+};
+
+struct Result {
+  std::string scenario;
+  std::string label;
+  double seconds = 0.0;
+  double mb_per_s = 0.0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t compressed_bytes = 0;
+  double ratio = 0.0;
+  std::uint64_t steps_chained = 0;
+  std::uint64_t blocks_decoded = 0;
+  std::uint64_t blocks_total = 0;
+  std::uint32_t temporal_blocks = 0;
+  bool bit_exact = true;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: bench_timeseries [--json [PATH]] [--smoke] [--dims X,Y,Z]\n"
+               "                        [--fields N] [--steps N] [--interval K]\n"
+               "                        [--write-ranks N] [--reps N]\n"
+               "  --json [PATH]   write pcw.bench_timeseries.v1 JSON (default %s)\n"
+               "  --smoke         small series, 1 rep (CI compile+run gate)\n"
+               "  --interval K    spatial keyframe every K steps (default 6)\n",
+               "BENCH_timeseries.json");
+  std::exit(code);
+}
+
+std::size_t parse_count(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const auto v = std::stoull(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "error: '%s' is not a number\n", s.c_str());
+    usage(2);
+  }
+}
+
+std::vector<std::size_t> parse_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(parse_count(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') opt.json_path = argv[++i];
+    } else if (arg == "--dims") {
+      const auto v = parse_list(next_value("--dims"));
+      if (v.size() != 3 || v[0] == 0 || v[1] == 0 || v[2] == 0) {
+        std::fprintf(stderr, "error: --dims expects X,Y,Z > 0\n");
+        usage(2);
+      }
+      opt.dims = sz::Dims::make_3d(v[0], v[1], v[2]);
+    } else if (arg == "--fields") {
+      opt.fields = static_cast<int>(parse_count(next_value("--fields")));
+    } else if (arg == "--steps") {
+      opt.steps = static_cast<int>(parse_count(next_value("--steps")));
+    } else if (arg == "--interval") {
+      opt.interval = static_cast<std::uint32_t>(parse_count(next_value("--interval")));
+    } else if (arg == "--write-ranks") {
+      opt.write_ranks = static_cast<int>(parse_count(next_value("--write-ranks")));
+    } else if (arg == "--reps") {
+      opt.reps = static_cast<int>(parse_count(next_value("--reps")));
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (opt.smoke) {
+    // Each of the 2 writers owns 32x64x32 = 65536 elements -> two sz
+    // blocks per partition, so sparse_step_read keeps a strict
+    // blocks_decoded < blocks_total for the ratchet to assert on.
+    opt.dims = sz::Dims::make_3d(64, 64, 32);
+    opt.fields = 2;
+    opt.steps = 6;
+    opt.interval = 3;
+    opt.write_ranks = 2;
+    opt.reps = 1;
+  }
+  if (opt.fields < 1 || opt.fields > data::kNyxAllFields || opt.write_ranks < 1 ||
+      opt.steps < 2 || opt.interval < 1 ||
+      opt.dims.d0 % static_cast<std::size_t>(opt.write_ranks) != 0) {
+    std::fprintf(stderr,
+                 "error: need 1..%d fields, steps >= 2, interval >= 1, and "
+                 "write-ranks dividing dims[0]\n",
+                 data::kNyxAllFields);
+    usage(2);
+  }
+  return opt;
+}
+
+/// Step t of field f: the Nyx generator with a gentle per-step drift —
+/// the in-situ shape the temporal predictor targets.
+constexpr double kStepTime = 0.02;
+
+void fill_step(std::span<float> out, const sz::Dims& local,
+               const std::array<std::size_t, 3>& origin, const sz::Dims& global, int f,
+               int t) {
+  data::fill_nyx_field(out, local, origin, global, static_cast<data::NyxField>(f), 1234,
+                       kStepTime * t);
+}
+
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+void emit_json(const Options& opt, const std::vector<Result>& results) {
+  std::ofstream out(opt.json_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.json_path.c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"schema\": \"pcw.bench_timeseries.v1\",\n";
+  out << "  \"case\": {\n";
+  out << "    \"dims\": [" << opt.dims.d0 << ", " << opt.dims.d1 << ", "
+      << opt.dims.d2 << "],\n";
+  out << "    \"dtype\": \"float32\",\n";
+  out << "    \"fields\": " << opt.fields << ",\n";
+  out << "    \"steps\": " << opt.steps << ",\n";
+  out << "    \"keyframe_interval\": " << opt.interval << ",\n";
+  out << "    \"write_ranks\": " << opt.write_ranks << ",\n";
+  out << "    \"reps\": " << opt.reps << ",\n";
+  out << "    \"smoke\": " << (opt.smoke ? "true" : "false") << "\n";
+  out << "  },\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    char line[400];
+    std::snprintf(line, sizeof line,
+                  "    {\"scenario\": \"%s\", \"label\": \"%s\", \"seconds\": %.6f, "
+                  "\"mb_per_s\": %.1f, \"raw_bytes\": %llu, \"compressed_bytes\": %llu, "
+                  "\"ratio\": %.3f, \"steps_chained\": %llu, \"blocks_decoded\": %llu, "
+                  "\"blocks_total\": %llu, \"temporal_blocks\": %u, \"bit_exact\": %s}%s\n",
+                  r.scenario.c_str(), r.label.c_str(), r.seconds, r.mb_per_s,
+                  static_cast<unsigned long long>(r.raw_bytes),
+                  static_cast<unsigned long long>(r.compressed_bytes), r.ratio,
+                  static_cast<unsigned long long>(r.steps_chained),
+                  static_cast<unsigned long long>(r.blocks_decoded),
+                  static_cast<unsigned long long>(r.blocks_total), r.temporal_blocks,
+                  r.bit_exact ? "true" : "false",
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", opt.json_path.c_str());
+}
+
+/// From-scratch reference: chain full partition decodes from the nearest
+/// keyframe, independently of the engine under test.
+std::vector<float> reference_at_step(const h5::File& file, const std::string& base,
+                                     std::uint32_t step, std::uint32_t interval) {
+  const std::uint32_t key = step - step % interval;
+  std::vector<float> full;
+  for (std::uint32_t s = key; s <= step; ++s) {
+    const h5::DatasetDesc* desc = file.find_series(base, s);
+    if (desc == nullptr) {
+      std::fprintf(stderr, "error: missing series step %u\n", s);
+      std::exit(1);
+    }
+    std::vector<float> out(sz::element_count(desc->global_dims));
+    for (const auto& part : desc->partitions) {
+      const auto payload = h5::read_partition_payload(file, *desc, part);
+      const std::span<const float> prev =
+          full.empty() ? std::span<const float>{}
+                       : std::span<const float>(full.data() + part.elem_offset,
+                                                part.elem_count);
+      const auto vals = sz::decompress<float>(payload, prev);
+      std::memcpy(out.data() + part.elem_offset, vals.data(),
+                  vals.size() * sizeof(float));
+    }
+    full = std::move(out);
+  }
+  return full;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  std::printf(
+      "bench_timeseries: %zux%zux%zu f32, %d field(s), %d step(s), K=%u, %d write "
+      "rank(s), reps=%d\n",
+      opt.dims.d0, opt.dims.d1, opt.dims.d2, opt.fields, opt.steps, opt.interval,
+      opt.write_ranks, opt.reps);
+
+  const sz::Dims local = sz::Dims::make_3d(
+      opt.dims.d0 / static_cast<std::size_t>(opt.write_ranks), opt.dims.d1,
+      opt.dims.d2);
+  const std::uint64_t raw_bytes_per_series = static_cast<std::uint64_t>(opt.fields) *
+                                             static_cast<std::uint64_t>(opt.steps) *
+                                             opt.dims.count() * sizeof(float);
+
+  // Pre-generate every (field, step, rank) slab once; the series write is
+  // what gets timed, not the synthetic-data generator.
+  std::vector<std::vector<std::vector<float>>> slabs(
+      static_cast<std::size_t>(opt.fields * opt.steps));
+  for (int f = 0; f < opt.fields; ++f) {
+    for (int t = 0; t < opt.steps; ++t) {
+      auto& per_rank = slabs[static_cast<std::size_t>(f * opt.steps + t)];
+      per_rank.resize(static_cast<std::size_t>(opt.write_ranks));
+      for (int r = 0; r < opt.write_ranks; ++r) {
+        auto& vec = per_rank[static_cast<std::size_t>(r)];
+        vec.resize(local.count());
+        fill_step(vec, local, {static_cast<std::size_t>(r) * local.d0, 0, 0}, opt.dims,
+                  f, t);
+      }
+    }
+  }
+
+  std::vector<Result> results;
+  auto record = [&](Result r) {
+    std::printf("  %-18s %-10s %8.4f s %9.1f MB/s  ratio %5.2fx  chain %llu  "
+                "(%llu/%llu blocks)%s\n",
+                r.scenario.c_str(), r.label.empty() ? "-" : r.label.c_str(), r.seconds,
+                r.mb_per_s, r.ratio, static_cast<unsigned long long>(r.steps_chained),
+                static_cast<unsigned long long>(r.blocks_decoded),
+                static_cast<unsigned long long>(r.blocks_total),
+                r.bit_exact ? "" : "  BIT MISMATCH");
+    results.push_back(std::move(r));
+  };
+
+  // ---- scenario 1: series write, temporal vs per-step spatial -------------
+  const std::string path_base =
+      (std::filesystem::temp_directory_path() /
+       ("pcw_bench_ts_" + std::to_string(::getpid())))
+          .string();
+  auto write_series_once = [&](const std::string& path, std::uint32_t interval,
+                               Result* res) {
+    std::filesystem::remove(path);
+    auto file = h5::File::create(path);
+    core::SeriesConfig cfg;
+    cfg.keyframe_interval = interval;
+    std::vector<core::SeriesStepReport> reports(static_cast<std::size_t>(opt.steps));
+    mpi::Runtime::run(opt.write_ranks, [&](mpi::Comm& comm) {
+      core::SeriesWriter<float> writer(*file, cfg);
+      for (int t = 0; t < opt.steps; ++t) {
+        std::vector<core::FieldSpec<float>> specs(static_cast<std::size_t>(opt.fields));
+        for (int f = 0; f < opt.fields; ++f) {
+          auto& spec = specs[static_cast<std::size_t>(f)];
+          const auto info = data::nyx_field_info(static_cast<data::NyxField>(f));
+          spec.name = info.name;
+          spec.local = slabs[static_cast<std::size_t>(f * opt.steps + t)]
+                            [static_cast<std::size_t>(comm.rank())];
+          spec.local_dims = local;
+          spec.global_dims = opt.dims;
+          spec.params.error_bound = info.abs_error_bound;
+        }
+        const auto report = writer.write_step(comm, specs);
+        if (comm.rank() == 0) reports[static_cast<std::size_t>(t)] = report;
+      }
+      file->close_collective(comm);
+    });
+    if (res != nullptr) {
+      for (const auto& r : reports) res->temporal_blocks += r.temporal_blocks;
+    }
+    return file->file_bytes();
+  };
+
+  std::printf("series write (%d steps x %d fields):\n", opt.steps, opt.fields);
+  const std::string path_t = path_base + "_temporal.pcw5";
+  const std::string path_s = path_base + "_spatial.pcw5";
+  Result wt, ws;
+  wt.scenario = ws.scenario = "write_series";
+  wt.label = "temporal";
+  ws.label = "spatial";
+  std::uint64_t file_bytes_t = 0, file_bytes_s = 0;
+  wt.seconds = best_seconds(opt.reps, [&] {
+    wt.temporal_blocks = 0;
+    file_bytes_t = write_series_once(path_t, opt.interval, &wt);
+  });
+  ws.seconds = best_seconds(opt.reps, [&] {
+    file_bytes_s = write_series_once(path_s, 1, nullptr);
+  });
+  for (Result* r : {&wt, &ws}) {
+    r->raw_bytes = raw_bytes_per_series;
+    r->compressed_bytes = r == &wt ? file_bytes_t : file_bytes_s;
+    r->ratio = static_cast<double>(r->raw_bytes) / static_cast<double>(r->compressed_bytes);
+    r->mb_per_s = static_cast<double>(r->raw_bytes) / r->seconds / 1e6;
+  }
+  const double ratio_gain = wt.ratio / ws.ratio;
+  record(wt);
+  record(ws);
+  std::printf("  temporal/spatial compression-ratio gain: %.2fx\n", ratio_gain);
+
+  // ---- scenario 2: mid-chain + keyframe restart, verified bit-for-bit ----
+  auto file = h5::File::open(path_t);
+  const std::string field0 = data::nyx_field_info(data::NyxField::kBaryonDensity).name;
+  struct RestartCase {
+    const char* label;
+    std::uint32_t step;
+  };
+  const std::uint32_t mid =
+      std::min<std::uint32_t>(opt.interval + opt.interval / 2 + 1,
+                              static_cast<std::uint32_t>(opt.steps) - 1);
+  const RestartCase restarts[] = {
+      {"mid_chain", mid},
+      {"keyframe", opt.interval},
+  };
+  std::printf("restart (chain decode, 1 rank, full field):\n");
+  for (const RestartCase& rc : restarts) {
+    Result res;
+    res.scenario = "restart_mid_chain";
+    res.label = rc.label;
+    core::SeriesReadReport rep;
+    std::vector<float> got;
+    res.seconds = best_seconds(opt.reps, [&] {
+      got = core::restart_at_step<float>(*file, field0, rc.step, std::nullopt, {}, &rep);
+    });
+    const auto want = reference_at_step(*file, field0, rc.step, opt.interval);
+    res.bit_exact = got.size() == want.size() &&
+                    std::memcmp(got.data(), want.data(), got.size() * sizeof(float)) == 0;
+    res.raw_bytes = got.size() * sizeof(float);
+    res.compressed_bytes = rep.bytes_read;
+    res.ratio = static_cast<double>(res.raw_bytes) / static_cast<double>(rep.bytes_read);
+    res.mb_per_s = static_cast<double>(res.raw_bytes) / res.seconds / 1e6;
+    res.steps_chained = rep.steps_chained;
+    res.blocks_decoded = rep.blocks_decoded;
+    res.blocks_total = rep.blocks_total;
+    record(res);
+  }
+
+  // ---- scenario 3: sparse plane read of a late step -----------------------
+  std::printf("sparse plane read at step %d:\n", opt.steps - 1);
+  {
+    const std::size_t midx = opt.dims.d0 / 2;
+    const sz::Region plane{{midx, 0, 0}, {midx + 1, opt.dims.d1, opt.dims.d2}};
+    Result res;
+    res.scenario = "sparse_step_read";
+    res.label = "plane";
+    core::SeriesReadReport rep;
+    std::vector<float> got;
+    res.seconds = best_seconds(opt.reps, [&] {
+      got = core::restart_at_step<float>(
+          *file, field0, static_cast<std::uint32_t>(opt.steps - 1), plane, {}, &rep);
+    });
+    res.raw_bytes = got.size() * sizeof(float);
+    res.compressed_bytes = rep.bytes_read;
+    res.ratio = rep.bytes_read > 0
+                    ? static_cast<double>(res.raw_bytes) / static_cast<double>(rep.bytes_read)
+                    : 0.0;
+    res.mb_per_s = static_cast<double>(res.raw_bytes) / res.seconds / 1e6;
+    res.steps_chained = rep.steps_chained;
+    res.blocks_decoded = rep.blocks_decoded;
+    res.blocks_total = rep.blocks_total;
+    record(res);
+  }
+
+  bool ok = true;
+  for (const Result& r : results) ok = ok && r.bit_exact;
+  if (ratio_gain < 1.3) {
+    std::printf("WARNING: temporal ratio gain %.2fx below the 1.3x acceptance bar\n",
+                ratio_gain);
+    ok = opt.smoke && ok;  // the tiny smoke case is informational only
+  }
+  if (opt.json) emit_json(opt, results);
+
+  file.reset();
+  std::filesystem::remove(path_t);
+  std::filesystem::remove(path_s);
+  return ok ? 0 : 1;
+}

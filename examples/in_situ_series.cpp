@@ -1,0 +1,88 @@
+// In-situ time-series checkpointing with the temporal predictor:
+//
+//   * 4 simulated ranks run 12 steps of a drifting Nyx field pair,
+//     appending each step through core::SeriesWriter (spatial keyframe
+//     every 4 steps, temporal deltas between them);
+//   * a restart reconstructs a mid-chain step bit-for-bit from the
+//     nearest keyframe forward;
+//   * an analysis probe reads one plane of the final step, chain-decoding
+//     only the sz blocks that plane touches at every link.
+//
+// Run:  ./in_situ_series   (writes/removes a scratch file in $TMPDIR)
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "core/series.h"
+#include "data/workloads.h"
+#include "h5/file.h"
+
+using namespace pcw;
+
+int main() {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pcw_in_situ_series.pcw5").string();
+  const sz::Dims global = sz::Dims::make_3d(64, 64, 64);
+  const int nranks = 4, steps = 12;
+  const sz::Dims local = sz::Dims::make_3d(global.d0 / nranks, global.d1, global.d2);
+  const data::NyxField fields[] = {data::NyxField::kBaryonDensity,
+                                   data::NyxField::kTemperature};
+
+  // ---- simulation loop: one write_step per time step ----------------------
+  auto file = h5::File::create(path);
+  core::SeriesConfig cfg;
+  cfg.keyframe_interval = 4;
+  std::uint64_t raw = 0, temporal = 0, spatial = 0;
+  mpi::Runtime::run(nranks, [&](mpi::Comm& comm) {
+    core::SeriesWriter<float> writer(*file, cfg);
+    std::vector<std::vector<float>> bufs(2, std::vector<float>(local.count()));
+    for (int t = 0; t < steps; ++t) {
+      std::vector<core::FieldSpec<float>> specs(2);
+      for (int f = 0; f < 2; ++f) {
+        const auto info = data::nyx_field_info(fields[f]);
+        data::fill_nyx_field(
+            bufs[f], local,
+            {static_cast<std::size_t>(comm.rank()) * local.d0, 0, 0}, global,
+            fields[f], 7, 0.02 * t);
+        specs[f] = {info.name, bufs[f], local, global, {}};
+        specs[f].params.error_bound = info.abs_error_bound;
+      }
+      const auto rep = writer.write_step(comm, specs);
+      if (comm.rank() == 0) {
+        raw += rep.raw_bytes * nranks;  // every rank owns an equal slab here
+        temporal += rep.temporal_blocks;
+        spatial += rep.spatial_blocks;
+      }
+    }
+    file->close_collective(comm);
+  });
+  std::printf("wrote %d steps x 2 fields: %.1f MB raw -> %.2f MB stored (%.1fx)\n",
+              steps, raw / 1e6, static_cast<double>(file->file_bytes()) / 1e6,
+              static_cast<double>(raw) / static_cast<double>(file->file_bytes()));
+  std::printf("rank-0 predictor choices: %llu temporal / %llu spatial blocks\n",
+              static_cast<unsigned long long>(temporal),
+              static_cast<unsigned long long>(spatial));
+
+  // ---- restart: reconstruct step 10 (chain: keyframe 8 -> 10) -------------
+  auto reopened = h5::File::open(path);
+  core::SeriesReadReport rep;
+  const auto rho = core::restart_at_step<float>(*reopened, "baryon_density", 10,
+                                                std::nullopt, {}, &rep);
+  std::printf("restart at step 10: %zu values via a %llu-link chain (%.2f MB read)\n",
+              rho.size(), static_cast<unsigned long long>(rep.steps_chained),
+              rep.bytes_read / 1e6);
+
+  // ---- analysis: one plane of the last step, partial chain decode ---------
+  const sz::Region plane{{32, 0, 0}, {33, global.d1, global.d2}};
+  const auto slice = core::restart_at_step<float>(*reopened, "baryon_density",
+                                                  steps - 1, plane, {}, &rep);
+  std::printf("plane probe at step %d: %zu values, decoded %llu of %llu blocks\n",
+              steps - 1, slice.size(),
+              static_cast<unsigned long long>(rep.blocks_decoded),
+              static_cast<unsigned long long>(rep.blocks_total));
+
+  reopened.reset();
+  file.reset();
+  std::filesystem::remove(path);
+  return 0;
+}

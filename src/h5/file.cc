@@ -75,12 +75,14 @@ std::shared_ptr<File> File::open(const std::string& path, FileOptions opts) {
   std::memcpy(&footer_off, sb + 8, 8);
   std::memcpy(&footer_size, sb + 16, 8);
   if (magic != kMagic) throw std::runtime_error("h5: bad magic (not a PCW5 file)");
-  if (version != kVersion) throw std::runtime_error("h5: unsupported version");
+  if (version < kVersionMin || version > kVersion) {
+    throw std::runtime_error("h5: unsupported version");
+  }
   if (footer_off == 0) throw std::runtime_error("h5: file was not closed");
 
   std::vector<std::uint8_t> footer(footer_size);
   full_pread(file->fd_, footer.data(), footer.size(), footer_off);
-  file->datasets_ = parse_footer(footer);
+  file->datasets_ = parse_footer(footer, version);
   file->cursor_.store(footer_off);
   file->file_bytes_ = footer_off + footer_size;
   file->closed_ = true;
@@ -165,6 +167,14 @@ const DatasetDesc* File::find_dataset(const std::string& name) const {
   std::lock_guard lock(meta_mu_);
   for (const auto& d : datasets_) {
     if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const DatasetDesc* File::find_series(const std::string& base, std::uint32_t step) const {
+  std::lock_guard lock(meta_mu_);
+  for (const auto& d : datasets_) {
+    if (d.series_member && d.series_step == step && d.series_base == base) return &d;
   }
   return nullptr;
 }

@@ -122,6 +122,10 @@ class File {
   const std::vector<DatasetDesc>& datasets() const { return datasets_; }
   const DatasetDesc* find_dataset(const std::string& name) const;
 
+  /// Resolves one step of a time series by its logical field name
+  /// (DatasetDesc::series_base); nullptr when absent.
+  const DatasetDesc* find_series(const std::string& base, std::uint32_t step) const;
+
   /// Collective close: barrier, async flush, then rank 0 writes the footer
   /// and patches the superblock. The File stays usable read-only.
   void close_collective(mpi::Comm& comm);

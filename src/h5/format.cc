@@ -1,5 +1,6 @@
 #include "h5/format.h"
 
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -37,6 +38,12 @@ std::string get_string(const std::vector<std::uint8_t>& in, std::size_t& pos) {
 
 }  // namespace
 
+std::string series_dataset_name(const std::string& base, std::uint32_t step) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof suffix, "@t%04u", step);
+  return base + suffix;
+}
+
 std::vector<std::uint8_t> serialize_footer(const std::vector<DatasetDesc>& datasets) {
   std::vector<std::uint8_t> out;
   put(out, static_cast<std::uint32_t>(datasets.size()));
@@ -51,6 +58,12 @@ std::vector<std::uint8_t> serialize_footer(const std::vector<DatasetDesc>& datas
     put(out, d.abs_error_bound);
     put(out, d.file_offset);
     put(out, d.nbytes);
+    put(out, static_cast<std::uint8_t>(d.series_member ? 1 : 0));
+    if (d.series_member) {
+      put_string(out, d.series_base);
+      put(out, d.series_step);
+      put(out, d.series_ref_step);
+    }
     put(out, static_cast<std::uint64_t>(d.partitions.size()));
     for (const auto& p : d.partitions) {
       put(out, p.rank);
@@ -66,7 +79,11 @@ std::vector<std::uint8_t> serialize_footer(const std::vector<DatasetDesc>& datas
   return out;
 }
 
-std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes) {
+std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes,
+                                      std::uint32_t version) {
+  if (version < kVersionMin || version > kVersion) {
+    throw std::runtime_error("h5: unsupported footer version");
+  }
   std::size_t pos = 0;
   const auto n = get<std::uint32_t>(bytes, pos);
   std::vector<DatasetDesc> out;
@@ -83,6 +100,17 @@ std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes) {
     d.abs_error_bound = get<double>(bytes, pos);
     d.file_offset = get<std::uint64_t>(bytes, pos);
     d.nbytes = get<std::uint64_t>(bytes, pos);
+    if (version >= 2) {
+      d.series_member = get<std::uint8_t>(bytes, pos) != 0;
+      if (d.series_member) {
+        d.series_base = get_string(bytes, pos);
+        d.series_step = get<std::uint32_t>(bytes, pos);
+        d.series_ref_step = get<std::uint32_t>(bytes, pos);
+        if (d.series_ref_step > d.series_step) {
+          throw std::runtime_error("h5: series step references a later step");
+        }
+      }
+    }
     const auto nparts = get<std::uint64_t>(bytes, pos);
     d.partitions.resize(nparts);
     for (auto& p : d.partitions) {

@@ -20,7 +20,10 @@
 namespace pcw::h5 {
 
 inline constexpr std::uint32_t kMagic = 0x35574350;  // "PCW5"
-inline constexpr std::uint32_t kVersion = 1;
+/// Format v2 adds the per-step time-series fields to each dataset record;
+/// v1 files (no series metadata) remain readable.
+inline constexpr std::uint32_t kVersion = 2;
+inline constexpr std::uint32_t kVersionMin = 1;
 inline constexpr std::uint64_t kSuperblockSize = 32;
 
 enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1, kBytes = 2 };
@@ -84,10 +87,29 @@ struct DatasetDesc {
   std::uint64_t nbytes = 0;
   // kPartitioned:
   std::vector<PartitionRecord> partitions;
+
+  // Time-series membership (format v2). A series is a set of datasets
+  // sharing series_base, one per step; `name` stays unique per step
+  // ("rho@t0003"). series_ref_step is the step whose reconstruction the
+  // temporal blocks of this step reference — equal to series_step for a
+  // spatial keyframe (the restart-chain anchor).
+  bool series_member = false;
+  std::string series_base;
+  std::uint32_t series_step = 0;
+  std::uint32_t series_ref_step = 0;
+
+  bool is_keyframe() const { return series_member && series_ref_step == series_step; }
 };
 
-/// Footer (dataset table) serialization.
+/// Canonical dataset name of one series step ("rho@t0042"); what
+/// SeriesWriter registers and find_series scans for.
+std::string series_dataset_name(const std::string& base, std::uint32_t step);
+
+/// Footer (dataset table) serialization. serialize_footer always writes
+/// the current version; parse_footer accepts any version in
+/// [kVersionMin, kVersion] (v1 records simply carry no series fields).
 std::vector<std::uint8_t> serialize_footer(const std::vector<DatasetDesc>& datasets);
-std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes);
+std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes,
+                                      std::uint32_t version = kVersion);
 
 }  // namespace pcw::h5

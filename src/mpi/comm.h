@@ -62,7 +62,8 @@ class Comm {
     return out;
   }
 
-  /// Variable-length gather of trivially-copyable element spans.
+  /// Variable-length gather of trivially-copyable element spans. Empty
+  /// contributions are valid (a rank may have nothing to report).
   template <typename T>
   std::vector<std::vector<T>> allgatherv(std::span<const T> values) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -71,7 +72,11 @@ class Comm {
     std::vector<std::vector<T>> out(raw.size());
     for (std::size_t r = 0; r < raw.size(); ++r) {
       out[r].resize(raw[r].size() / sizeof(T));
-      std::memcpy(out[r].data(), raw[r].data(), raw[r].size());
+      // memcpy with a null source is UB even at size 0 (an empty span's
+      // data() is null); skip the call instead.
+      if (!raw[r].empty()) {
+        std::memcpy(out[r].data(), raw[r].data(), raw[r].size());
+      }
     }
     return out;
   }

@@ -1,6 +1,7 @@
 #include "sz/compressor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "sz/huffman.h"
 #include "sz/lorenzo.h"
 #include "sz/lossless.h"
+#include "sz/temporal.h"
 #include "util/bitstream.h"
 #include "util/pod_io.h"
 #include "util/thread_pool.h"
@@ -19,13 +21,19 @@ namespace {
 constexpr std::uint32_t kMagic = 0x5A574350;  // "PCWZ"
 constexpr std::uint8_t kVersionV1 = 1;
 constexpr std::uint8_t kVersionV2 = 2;
+constexpr std::uint8_t kVersionV3 = 3;
 constexpr std::uint8_t kFlagLz = 0x01;
+// Informational fast-path flag: set iff any block index entry records the
+// temporal predictor (the blob cannot decode without a reference step).
+constexpr std::uint8_t kFlagTemporal = 0x02;
 
 // v2 fixed header: magic..payload_raw_size (the v1 header, 76 bytes) plus
-// the u32 block count; the per-block index follows.
+// the u32 block count; the per-block index follows. v3 shares the fixed
+// header and appends one predictor byte to each index entry.
 constexpr std::size_t kV2FixedHeaderBytes = 80;
 constexpr std::size_t kV2IndexEntryBytes = 24;
-static_assert(kV2FixedHeaderBytes + kMaxBlocks * kV2IndexEntryBytes <= kMaxHeaderBytes,
+constexpr std::size_t kV3IndexEntryBytes = 25;
+static_assert(kV2FixedHeaderBytes + kMaxBlocks * kV3IndexEntryBytes <= kMaxHeaderBytes,
               "kMaxHeaderBytes no longer covers the largest possible header");
 
 using util::append_pod;
@@ -39,12 +47,13 @@ T read_pod(std::span<const std::uint8_t> in, std::size_t& pos) {
   return v;
 }
 
-/// One block-index entry: element extent, Huffman substream bytes, and
-/// outlier count, in block order.
+/// One block-index entry: element extent, Huffman substream bytes,
+/// outlier count, and (v3) the per-block predictor choice, in block order.
 struct BlockEntry {
   std::uint64_t elem_count = 0;
   std::uint64_t huff_bytes = 0;
   std::uint64_t outlier_count = 0;
+  Predictor predictor = Predictor::kSpatial;
 };
 
 struct RawHeader {
@@ -69,7 +78,7 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
   }
   RawHeader h;
   h.version = read_pod<std::uint8_t>(blob, pos);
-  if (h.version != kVersionV1 && h.version != kVersionV2) {
+  if (h.version != kVersionV1 && h.version != kVersionV2 && h.version != kVersionV3) {
     throw std::runtime_error("sz: unsupported version");
   }
   h.dtype = static_cast<DataType>(read_pod<std::uint8_t>(blob, pos));
@@ -84,9 +93,15 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
   h.codebook_size = read_pod<std::uint64_t>(blob, pos);
   h.huff_bytes = read_pod<std::uint64_t>(blob, pos);
   h.payload_raw_size = read_pod<std::uint64_t>(blob, pos);
-  if (h.version == kVersionV2) {
+  if (h.version >= kVersionV2) {
     const std::uint32_t n_blocks = read_pod<std::uint32_t>(blob, pos);
     if (n_blocks == 0) throw std::runtime_error("sz: zero block count");
+    // The writer never emits more than kMaxBlocks slabs, and the
+    // kMaxHeaderBytes guarantee is sized to that cap — a bigger count is
+    // a malformed header, rejected before it can drive a huge reserve.
+    if (n_blocks > kMaxBlocks) {
+      throw std::runtime_error("sz: block count exceeds format limit");
+    }
     h.blocks.reserve(n_blocks);
     // Overflow-checked accumulation: wrapping sums would let crafted index
     // entries (e.g. two +2^63 offsets) pass the totals check below while
@@ -104,6 +119,13 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
       e.elem_count = read_pod<std::uint64_t>(blob, pos);
       e.huff_bytes = read_pod<std::uint64_t>(blob, pos);
       e.outlier_count = read_pod<std::uint64_t>(blob, pos);
+      if (h.version >= kVersionV3) {
+        const auto p = read_pod<std::uint8_t>(blob, pos);
+        if (p > static_cast<std::uint8_t>(Predictor::kTemporal)) {
+          throw std::runtime_error("sz: unknown block predictor");
+        }
+        e.predictor = static_cast<Predictor>(p);
+      }
       if (e.elem_count == 0) throw std::runtime_error("sz: empty block");
       elems = checked_add(elems, e.elem_count);
       huff = checked_add(huff, e.huff_bytes);
@@ -178,27 +200,98 @@ double resolve_error_bound(std::span<const T> data, const Params& params) {
   return range > 0.0 ? params.error_bound * range : params.error_bound;
 }
 
+namespace {
+
+/// Builds the code histogram used both for the shared codebook and for
+/// the per-block predictor decision.
+inline std::vector<std::uint32_t> code_histogram(const std::vector<std::uint32_t>& codes,
+                                                 std::uint32_t radius) {
+  std::vector<std::uint32_t> hist(2ull * radius, 0);
+  for (const std::uint32_t c : codes) ++hist[c];
+  return hist;
+}
+
+/// Estimated storage cost of one quantized block in bits: the Shannon
+/// bound on its Huffman substream plus the raw bytes of its outliers. An
+/// approximation (the codebook is shared across blocks), but a pure
+/// function of the block's own codes — which is what keeps the per-block
+/// predictor choice, and hence the blob, independent of thread count.
+template <typename T>
+double block_cost_bits(const std::vector<std::uint32_t>& hist, std::size_t outliers,
+                       std::size_t elems) {
+  const double total = static_cast<double>(elems);
+  double bits = 0.0;
+  for (const std::uint32_t count : hist) {
+    if (count > 0) {
+      bits += static_cast<double>(count) * std::log2(total / static_cast<double>(count));
+    }
+  }
+  return bits + static_cast<double>(outliers) * 8.0 * static_cast<double>(sizeof(T));
+}
+
+}  // namespace
+
 template <typename T>
 std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
                                    const Params& params) {
+  return compress<T>(data, dims, params, std::span<const T>{});
+}
+
+template <typename T>
+std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
+                                   const Params& params, std::span<const T> prev,
+                                   std::vector<T>* recon_out) {
   if (data.size() != dims.count() || data.empty()) {
     throw std::invalid_argument("sz: data size must equal dims.count() and be > 0");
+  }
+  const bool temporal = params.predictor == Predictor::kTemporal;
+  if (temporal && prev.size() != data.size()) {
+    throw std::invalid_argument("sz: temporal predictor needs a prev step of equal size");
+  }
+  if (!temporal && !prev.empty()) {
+    throw std::invalid_argument("sz: prev step given but predictor is spatial");
   }
   const double eb = resolve_error_bound<T>(data, params);
   const std::vector<BlockRange> blocks = split_blocks(dims);
   const std::size_t n_blocks = blocks.size();
 
-  // Stage 1: per-block Lorenzo quantization + histogram, in parallel. The
-  // histogram is taken inside the task while the codes are cache-hot.
+  // Stage 1: per-block quantization + histogram, in parallel; the
+  // histogram is taken inside the task while the codes are cache-hot. A
+  // temporal compression quantizes each block both ways and keeps
+  // whichever entropy-codes smaller, so a block with a stale or turbulent
+  // reference degrades to exactly the spatial cost.
   std::vector<QuantizeResult<T>> quants(n_blocks);
   std::vector<std::vector<std::uint32_t>> hists(n_blocks);
+  std::vector<Predictor> preds(n_blocks, Predictor::kSpatial);
+  if (recon_out != nullptr) recon_out->resize(data.size());
   util::parallel_for(n_blocks, params.threads, [&](std::size_t b) {
     const BlockRange& blk = blocks[b];
-    quants[b] = lorenzo_quantize<T>(data.subspan(blk.elem_offset, blk.dims.count()),
-                                    blk.dims, eb, params.radius);
-    auto& hist = hists[b];
-    hist.assign(2ull * params.radius, 0);
-    for (const std::uint32_t c : quants[b].codes) ++hist[c];
+    const auto block_data = data.subspan(blk.elem_offset, blk.dims.count());
+    quants[b] = lorenzo_quantize<T>(block_data, blk.dims, eb, params.radius);
+    hists[b] = code_histogram(quants[b].codes, params.radius);
+    if (temporal) {
+      auto delta = temporal_quantize<T>(
+          block_data, prev.subspan(blk.elem_offset, blk.dims.count()), eb, params.radius);
+      auto delta_hist = code_histogram(delta.codes, params.radius);
+      const double spatial_cost =
+          block_cost_bits<T>(hists[b], quants[b].outliers.size(), block_data.size());
+      const double delta_cost =
+          block_cost_bits<T>(delta_hist, delta.outliers.size(), block_data.size());
+      if (delta_cost < spatial_cost) {
+        quants[b] = std::move(delta);
+        hists[b] = std::move(delta_hist);
+        preds[b] = Predictor::kTemporal;
+      }
+    }
+    // Hand the block's reconstruction out (series writers keep it as the
+    // next temporal reference — blocks write disjoint slices, no race)
+    // and drop it right away, so compress never holds a second copy of
+    // the field past the block that produced it.
+    if (recon_out != nullptr) {
+      std::copy(quants[b].recon.begin(), quants[b].recon.end(),
+                recon_out->begin() + static_cast<std::ptrdiff_t>(blk.elem_offset));
+    }
+    std::vector<T>().swap(quants[b].recon);
   });
 
   // Stage 2: merge histograms into one shared canonical codebook. The
@@ -225,16 +318,22 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
     huffs[b] = writer.finish();
   });
 
-  // Stage 4: serial container assembly.
+  // Stage 4: serial container assembly. A spatial compression keeps
+  // emitting container v2 byte-for-byte; only the temporal predictor pays
+  // for the per-block predictor byte of v3.
+  const std::uint8_t version = temporal ? kVersionV3 : kVersionV2;
+  const std::size_t entry_bytes = temporal ? kV3IndexEntryBytes : kV2IndexEntryBytes;
   std::uint64_t huff_total = 0, outlier_total = 0;
+  bool any_temporal = false;
   for (std::size_t b = 0; b < n_blocks; ++b) {
     huff_total += huffs[b].size();
     outlier_total += quants[b].outliers.size();
+    any_temporal = any_temporal || preds[b] == Predictor::kTemporal;
   }
   const std::size_t payload_size = codebook.size() +
                                    static_cast<std::size_t>(huff_total) +
                                    static_cast<std::size_t>(outlier_total) * sizeof(T);
-  const std::size_t header_size = kV2FixedHeaderBytes + n_blocks * kV2IndexEntryBytes;
+  const std::size_t header_size = kV2FixedHeaderBytes + n_blocks * entry_bytes;
 
   // The LZ stage only pays off when the Huffman stream still carries long
   // runs — i.e. at low bit-rates. Past ~20% of the original bit width the
@@ -246,7 +345,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
       8.0 * static_cast<double>(payload_size) / static_cast<double>(data.size());
   const bool lz_worthwhile = payload_bits_per_val < 0.2 * 8.0 * sizeof(T);
 
-  std::uint8_t flags = 0;
+  std::uint8_t flags = any_temporal ? kFlagTemporal : std::uint8_t{0};
   // When the LZ stage is attempted the payload is pre-assembled; `stored`
   // then holds whichever of (LZ output, raw payload) won, so the losing
   // branch never re-concatenates the parts.
@@ -276,7 +375,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   std::vector<std::uint8_t> blob;
   blob.reserve(header_size + (have_stored ? stored.size() : payload_size));
   append_pod(blob, kMagic);
-  append_pod(blob, kVersionV2);
+  append_pod(blob, version);
   append_pod(blob, static_cast<std::uint8_t>(dtype_of<T>()));
   append_pod(blob, flags);
   append_pod(blob, std::uint8_t{0});  // reserved
@@ -294,6 +393,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
     append_pod(blob, static_cast<std::uint64_t>(blocks[b].dims.count()));
     append_pod(blob, static_cast<std::uint64_t>(huffs[b].size()));
     append_pod(blob, static_cast<std::uint64_t>(quants[b].outliers.size()));
+    if (temporal) append_pod(blob, static_cast<std::uint8_t>(preds[b]));
   }
   if (have_stored) {
     blob.insert(blob.end(), stored.begin(), stored.end());
@@ -365,36 +465,67 @@ HuffmanDecoder make_decoder(const RawHeader& h, std::span<const std::uint8_t> pa
   return decoder;
 }
 
-/// Entropy-decodes and dequantizes one v2 block into `out` (block-local
-/// row-major order, blk.dims.count() elements).
+/// True when any block needs the reconstructed reference step to decode.
+bool needs_reference(const RawHeader& h) {
+  for (const BlockEntry& e : h.blocks) {
+    if (e.predictor == Predictor::kTemporal) return true;
+  }
+  return false;
+}
+
+/// Entropy-decodes one block's codes and copies out its outlier run.
 template <typename T>
-void decode_block(const HuffmanDecoder& decoder, const RawHeader& h,
-                  std::span<const std::uint8_t> payload, const BlockRange& blk,
-                  const BlockEntry& entry, std::size_t huff_off,
-                  std::size_t outlier_off, std::span<T> out) {
-  const std::size_t n = blk.dims.count();
+void decode_block_codes(const HuffmanDecoder& decoder,
+                        std::span<const std::uint8_t> payload, const BlockEntry& entry,
+                        std::size_t huff_off, std::size_t outlier_off, std::size_t n,
+                        std::vector<std::uint32_t>& codes, std::vector<T>& outliers) {
   util::BitReader reader(payload.subspan(huff_off, entry.huff_bytes));
-  std::vector<std::uint32_t> codes(n);
+  codes.resize(n);
   for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
-  std::vector<T> outliers(entry.outlier_count);
+  outliers.resize(entry.outlier_count);
   if (entry.outlier_count > 0) {
     std::memcpy(outliers.data(), payload.data() + outlier_off,
                 entry.outlier_count * sizeof(T));
   }
-  lorenzo_dequantize<T>(codes, outliers, blk.dims, h.abs_eb, h.radius, out);
 }
 
-/// v2 decode: blocks decode + dequantize independently (and in parallel).
+/// Entropy-decodes and dequantizes one v2/v3 block into `out` (block-
+/// local row-major order, blk.dims.count() elements). `prev` holds the
+/// block's slice of the reference step for temporal blocks (empty for
+/// spatial ones).
 template <typename T>
-void decode_v2(const RawHeader& h, std::span<const std::uint8_t> payload,
-               unsigned threads, std::span<T> out) {
+void decode_block(const HuffmanDecoder& decoder, const RawHeader& h,
+                  std::span<const std::uint8_t> payload, const BlockRange& blk,
+                  const BlockEntry& entry, std::size_t huff_off,
+                  std::size_t outlier_off, std::span<const T> prev, std::span<T> out) {
+  std::vector<std::uint32_t> codes;
+  std::vector<T> outliers;
+  decode_block_codes<T>(decoder, payload, entry, huff_off, outlier_off,
+                        blk.dims.count(), codes, outliers);
+  if (entry.predictor == Predictor::kTemporal) {
+    temporal_dequantize<T>(codes, outliers, prev, h.abs_eb, h.radius, out);
+  } else {
+    lorenzo_dequantize<T>(codes, outliers, blk.dims, h.abs_eb, h.radius, out);
+  }
+}
+
+/// v2/v3 decode: blocks decode + dequantize independently (and in
+/// parallel). `prev` is the full-field reference step, or empty when the
+/// container has no temporal blocks.
+template <typename T>
+void decode_blocks(const RawHeader& h, std::span<const std::uint8_t> payload,
+                   unsigned threads, std::span<const T> prev, std::span<T> out) {
   const HuffmanDecoder decoder = make_decoder(h, payload);
   const std::vector<BlockRange> blocks = blocks_from_index(h);
   const BlockOffsets off = block_payload_offsets(h, sizeof(T));
   util::parallel_for(blocks.size(), threads, [&](std::size_t b) {
     const BlockRange& blk = blocks[b];
+    const std::span<const T> blk_prev =
+        h.blocks[b].predictor == Predictor::kTemporal
+            ? prev.subspan(blk.elem_offset, blk.dims.count())
+            : std::span<const T>{};
     decode_block<T>(decoder, h, payload, blk, h.blocks[b], off.huff[b], off.outlier[b],
-                    out.subspan(blk.elem_offset, blk.dims.count()));
+                    blk_prev, out.subspan(blk.elem_offset, blk.dims.count()));
   });
 }
 
@@ -419,12 +550,24 @@ std::span<const std::uint8_t> prepare_payload(const RawHeader& h,
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out,
                           unsigned threads) {
+  return decompress<T>(blob, std::span<const T>{}, dims_out, threads);
+}
+
+template <typename T>
+std::vector<T> decompress(std::span<const std::uint8_t> blob, std::span<const T> prev,
+                          Dims* dims_out, unsigned threads) {
   const RawHeader h = parse_header(blob);
   if (h.dtype != dtype_of<T>()) {
     throw std::runtime_error("sz: element type mismatch");
   }
   const std::size_t n = element_count(h.dims);
   if (n == 0) throw std::runtime_error("sz: empty dims");
+  if (!prev.empty() && prev.size() != n) {
+    throw std::invalid_argument("sz: reference step size != stored element count");
+  }
+  if (prev.empty() && needs_reference(h)) {
+    throw std::runtime_error("sz: temporal blob requires a reference step");
+  }
 
   std::vector<std::uint8_t> payload_buf;
   const std::span<const std::uint8_t> payload =
@@ -434,7 +577,7 @@ std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out,
   if (h.version == kVersionV1) {
     decode_v1<T>(h, payload, out);
   } else {
-    decode_v2<T>(h, payload, threads, out);
+    decode_blocks<T>(h, payload, threads, prev, out);
   }
   if (dims_out != nullptr) *dims_out = h.dims;
   return out;
@@ -443,12 +586,22 @@ std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out,
 template <typename T>
 std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
                                  unsigned threads, RegionDecodeStats* stats) {
+  return decompress_region<T>(blob, region, std::span<const T>{}, threads, stats);
+}
+
+template <typename T>
+std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
+                                 std::span<const T> prev_region, unsigned threads,
+                                 RegionDecodeStats* stats) {
   const RawHeader h = parse_header(blob);
   if (h.dtype != dtype_of<T>()) {
     throw std::runtime_error("sz: element type mismatch");
   }
   if (element_count(h.dims) == 0) throw std::runtime_error("sz: empty dims");
   validate_region(region, h.dims);
+  if (!prev_region.empty() && prev_region.size() != region.count()) {
+    throw std::invalid_argument("sz: reference region size != region element count");
+  }
 
   RegionDecodeStats local;
   local.blocks_total = h.version == kVersionV1 ? 1 : h.blocks.size();
@@ -502,28 +655,83 @@ std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Regio
   local.blocks_decoded = needed.size();
   local.used_block_index = true;
 
-  // Each needed block decodes into a scratch buffer, then its share of
-  // the request is scattered into `out`. Blocks cover disjoint rows of
-  // the output, so the parallel writes never alias.
+  for (const NeededBlock& nb : needed) {
+    if (h.blocks[nb.b].predictor == Predictor::kTemporal && prev_region.empty()) {
+      throw std::runtime_error("sz: temporal blob requires a reference step");
+    }
+  }
+
+  // Each needed block decodes, then its share of the request lands in
+  // `out`. Blocks cover disjoint rows of the output, so the parallel
+  // writes never alias. Spatial blocks dequantize whole into a scratch
+  // buffer (the Lorenzo stencil chains through the block) and scatter;
+  // temporal blocks are point-wise, so after the (inherently sequential)
+  // entropy decode only the selected rows are dequantized, against the
+  // matching rows of prev_region.
   const auto st = strides_of(h.dims);
   const std::size_t rd1 = region.hi[1] - region.lo[1];
   const std::size_t rd2 = region.hi[2] - region.lo[2];
   util::parallel_for(needed.size(), threads, [&](std::size_t i) {
     const NeededBlock& nb = needed[i];
     const BlockRange& blk = blocks[nb.b];
-    std::vector<T> buf(blk.dims.count());
-    decode_block<T>(decoder, h, payload, blk, h.blocks[nb.b], off.huff[nb.b],
-                    off.outlier[nb.b], buf);
+    const BlockEntry& entry = h.blocks[nb.b];
     const Region& is = nb.isect;
     const std::size_t zlen = is.hi[2] - is.lo[2];
+    if (entry.predictor == Predictor::kSpatial) {
+      std::vector<T> buf(blk.dims.count());
+      decode_block<T>(decoder, h, payload, blk, entry, off.huff[nb.b],
+                      off.outlier[nb.b], std::span<const T>{}, buf);
+      for (std::size_t x = is.lo[0]; x < is.hi[0]; ++x) {
+        for (std::size_t y = is.lo[1]; y < is.hi[1]; ++y) {
+          const std::size_t g = x * st[0] + y * st[1] + is.lo[2];
+          const std::size_t o = ((x - region.lo[0]) * rd1 + (y - region.lo[1])) * rd2 +
+                                (is.lo[2] - region.lo[2]);
+          std::memcpy(out.data() + o, buf.data() + (g - blk.elem_offset),
+                      zlen * sizeof(T));
+        }
+      }
+      return;
+    }
+    std::vector<std::uint32_t> codes;
+    std::vector<T> outliers;
+    decode_block_codes<T>(decoder, payload, entry, off.huff[nb.b], off.outlier[nb.b],
+                          blk.dims.count(), codes, outliers);
+    // Walk the selected rows in ascending block-local order, carrying the
+    // outlier cursor across the skipped spans (outliers are stored in
+    // whole-block order). The tail walk pins the outlier count so a
+    // corrupt substream fails loudly instead of mis-scattering.
+    const double twice_eb = 2.0 * h.abs_eb;
+    const auto radius = static_cast<long long>(h.radius);
+    std::size_t cursor = 0, k = 0;
+    auto skip_to = [&](std::size_t target) {
+      for (; cursor < target; ++cursor) k += codes[cursor] == 0;
+    };
     for (std::size_t x = is.lo[0]; x < is.hi[0]; ++x) {
       for (std::size_t y = is.lo[1]; y < is.hi[1]; ++y) {
         const std::size_t g = x * st[0] + y * st[1] + is.lo[2];
+        const std::size_t l = g - blk.elem_offset;
         const std::size_t o = ((x - region.lo[0]) * rd1 + (y - region.lo[1])) * rd2 +
                               (is.lo[2] - region.lo[2]);
-        std::memcpy(out.data() + o, buf.data() + (g - blk.elem_offset),
-                    zlen * sizeof(T));
+        skip_to(l);
+        for (std::size_t z = 0; z < zlen; ++z) {
+          const std::uint32_t code = codes[l + z];
+          if (code == 0) {
+            if (k >= outliers.size()) {
+              throw std::runtime_error("sz: outlier underrun");
+            }
+            out[o + z] = outliers[k++];
+          } else {
+            const auto q = static_cast<long long>(code) - radius;
+            out[o + z] = static_cast<T>(static_cast<double>(prev_region[o + z]) +
+                                        static_cast<double>(q) * twice_eb);
+          }
+        }
+        cursor = l + zlen;
       }
+    }
+    skip_to(codes.size());
+    if (k != outliers.size()) {
+      throw std::runtime_error("sz: outlier overrun");
     }
   });
 
@@ -535,12 +743,13 @@ std::vector<BlockInfo> inspect_blocks(std::span<const std::uint8_t> blob) {
   const RawHeader h = parse_header(blob);
   std::vector<BlockInfo> out;
   if (h.version == kVersionV1) {
-    out.push_back({element_count(h.dims), h.huff_bytes, h.outlier_count});
+    out.push_back({element_count(h.dims), h.huff_bytes, h.outlier_count,
+                   Predictor::kSpatial});
     return out;
   }
   out.reserve(h.blocks.size());
   for (const BlockEntry& e : h.blocks) {
-    out.push_back({e.elem_count, e.huff_bytes, e.outlier_count});
+    out.push_back({e.elem_count, e.huff_bytes, e.outlier_count, e.predictor});
   }
   return out;
 }
@@ -559,6 +768,9 @@ HeaderInfo inspect(std::span<const std::uint8_t> blob) {
   info.version = h.version;
   info.block_count =
       h.version == kVersionV1 ? 1 : static_cast<std::uint32_t>(h.blocks.size());
+  for (const BlockEntry& e : h.blocks) {
+    info.temporal_blocks += e.predictor == Predictor::kTemporal ? 1 : 0;
+  }
   return info;
 }
 
@@ -568,15 +780,32 @@ template std::vector<std::uint8_t> compress<float>(std::span<const float>, const
                                                    const Params&);
 template std::vector<std::uint8_t> compress<double>(std::span<const double>, const Dims&,
                                                     const Params&);
+template std::vector<std::uint8_t> compress<float>(std::span<const float>, const Dims&,
+                                                   const Params&, std::span<const float>,
+                                                   std::vector<float>*);
+template std::vector<std::uint8_t> compress<double>(std::span<const double>, const Dims&,
+                                                    const Params&, std::span<const double>,
+                                                    std::vector<double>*);
 template std::vector<float> decompress<float>(std::span<const std::uint8_t>, Dims*,
                                               unsigned);
 template std::vector<double> decompress<double>(std::span<const std::uint8_t>, Dims*,
                                                 unsigned);
+template std::vector<float> decompress<float>(std::span<const std::uint8_t>,
+                                              std::span<const float>, Dims*, unsigned);
+template std::vector<double> decompress<double>(std::span<const std::uint8_t>,
+                                                std::span<const double>, Dims*, unsigned);
 template std::vector<float> decompress_region<float>(std::span<const std::uint8_t>,
                                                      const Region&, unsigned,
                                                      RegionDecodeStats*);
 template std::vector<double> decompress_region<double>(std::span<const std::uint8_t>,
                                                        const Region&, unsigned,
+                                                       RegionDecodeStats*);
+template std::vector<float> decompress_region<float>(std::span<const std::uint8_t>,
+                                                     const Region&, std::span<const float>,
+                                                     unsigned, RegionDecodeStats*);
+template std::vector<double> decompress_region<double>(std::span<const std::uint8_t>,
+                                                       const Region&,
+                                                       std::span<const double>, unsigned,
                                                        RegionDecodeStats*);
 
 }  // namespace pcw::sz

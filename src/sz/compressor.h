@@ -7,6 +7,12 @@
 // compress and decompress in parallel on util::ThreadPool, sharing one
 // canonical codebook built from the merged per-block histograms. v1
 // (single-stream) blobs remain readable.
+//
+// Container v3 (Params::predictor = kTemporal) adds the temporal
+// predictor for time series: blocks quantize x_t[i] - x̂_{t-1}[i] against
+// the reconstructed previous step, falling back to the spatial stencil
+// per block when the delta histogram costs more, with the choice recorded
+// in the block index. Spatial compressions keep emitting v2 byte-for-byte.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +44,15 @@ enum class ErrorBoundMode : std::uint8_t {
   kRelative = 1,   // |recon - orig| <= error_bound * (max - min)
 };
 
+/// Decorrelation stage. kSpatial is the Lorenzo stencil (container v2);
+/// kTemporal predicts each point from the reconstructed previous time
+/// step and quantizes x_t[i] - x̂_{t-1}[i] (container v3). The choice is
+/// re-made *per block*: a temporal compression falls back to the spatial
+/// stencil for any block whose delta histogram would cost more bits, so a
+/// turbulent region never pays for a bad reference. The per-block choice
+/// is recorded in the block index.
+enum class Predictor : std::uint8_t { kSpatial = 0, kTemporal = 1 };
+
 struct Params {
   ErrorBoundMode mode = ErrorBoundMode::kAbsolute;
   double error_bound = 1e-3;
@@ -50,6 +65,9 @@ struct Params {
   /// 0 = all hardware threads, N = exactly N. The blob is byte-identical
   /// for every value — blocks are a pure function of the extents.
   unsigned threads = 1;
+  /// kTemporal requires the prev-step overload of compress(); kSpatial
+  /// keeps emitting container v2 byte-for-byte.
+  Predictor predictor = Predictor::kSpatial;
 };
 
 /// Parsed container header, exposed for tests/benches/the ratio model.
@@ -62,23 +80,53 @@ struct HeaderInfo {
   bool lz_applied = false;
   std::uint64_t payload_raw_size = 0;   // pre-LZ payload bytes
   std::uint64_t header_size = 0;        // container header + block index bytes
-  std::uint32_t version = 0;            // container version (1 or 2)
-  std::uint32_t block_count = 0;        // v2 slab count (1 for v1)
+  std::uint32_t version = 0;            // container version (1, 2 or 3)
+  std::uint32_t block_count = 0;        // v2/v3 slab count (1 for v1)
+  /// Blocks whose predictor is kTemporal; > 0 means decoding needs the
+  /// reconstructed reference step (the prev overloads below).
+  std::uint32_t temporal_blocks = 0;
 };
 
 /// Compresses `data`; throws std::invalid_argument on bad params/sizes.
+/// Params::predictor must be kSpatial (use the prev overload for
+/// temporal compression).
 template <typename T>
 std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
                                    const Params& params);
 
+/// Temporal-capable compress: with Params::predictor == kTemporal, `prev`
+/// must hold the *reconstructed* previous step (dims.count() elements,
+/// i.e. what decompress returned / recon_out delivered for step t-1);
+/// each block then stores whichever of the temporal delta or the spatial
+/// stencil entropy-codes smaller. With kSpatial, `prev` must be empty and
+/// the output matches the two-argument overload byte-for-byte. If
+/// `recon_out` is non-null it receives the reconstruction the
+/// decompressor will reproduce (bit-identical) — the cheap way for a
+/// series writer to keep the next reference without a decode pass.
+template <typename T>
+std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
+                                   const Params& params, std::span<const T> prev,
+                                   std::vector<T>* recon_out = nullptr);
+
 /// Decompresses a blob produced by compress<T>. Throws std::runtime_error
-/// on malformed input or element-type mismatch. If `dims_out` is non-null
-/// it receives the stored extents. `threads` fans v2 blocks out across
-/// util::ThreadPool (same 0/1/N semantics as Params::threads); the output
-/// is identical for every value.
+/// on malformed input, element-type mismatch, or when the blob contains
+/// temporal blocks (those need the prev overload). If `dims_out` is
+/// non-null it receives the stored extents. `threads` fans v2/v3 blocks
+/// out across util::ThreadPool (same 0/1/N semantics as Params::threads);
+/// the output is identical for every value.
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out = nullptr,
                           unsigned threads = 1);
+
+/// Temporal-capable decompress: `prev` holds the reconstructed reference
+/// step (dims.count() elements) temporal blocks dequantize against;
+/// spatial blocks ignore it, so passing the reference to an all-spatial
+/// blob is valid. Throws std::invalid_argument when prev is non-empty but
+/// the wrong size, std::runtime_error when temporal blocks are present
+/// and prev is empty.
+template <typename T>
+std::vector<T> decompress(std::span<const std::uint8_t> blob, std::span<const T> prev,
+                          Dims* dims_out = nullptr, unsigned threads = 1);
 
 /// Instrumentation for a decompress_region call: how much of the blob was
 /// actually decoded. Tests pin that a v2 partial read touches only the
@@ -103,16 +151,33 @@ template <typename T>
 std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
                                  unsigned threads = 1, RegionDecodeStats* stats = nullptr);
 
+/// Temporal-capable region decode: `prev_region` holds the reconstructed
+/// reference step *over the same region* (region.count() elements in the
+/// region's own row-major order — e.g. the previous link of a restart
+/// chain). Temporal blocks entropy-decode whole (Huffman streams are
+/// sequential) but dequantize only the selected rows against prev_region,
+/// so a chained sparse read never materializes reference data outside the
+/// request. Spatial blocks ignore prev_region. Throws
+/// std::invalid_argument when prev_region is non-empty but not
+/// region.count() elements, std::runtime_error when a selected temporal
+/// block has no reference.
+template <typename T>
+std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
+                                 std::span<const T> prev_region, unsigned threads = 1,
+                                 RegionDecodeStats* stats = nullptr);
+
 /// Parses the container header without touching the payload.
 HeaderInfo inspect(std::span<const std::uint8_t> blob);
 
-/// One v2 block-index entry, exposed for tools (pcw5ls --blocks) and
+/// One v2/v3 block-index entry, exposed for tools (pcw5ls --blocks) and
 /// tests. stored_bytes(sizeof(T)) is the pre-LZ payload share of the
 /// block — the marginal cost of decoding it in a partial read.
 struct BlockInfo {
   std::uint64_t elem_count = 0;
   std::uint64_t huff_bytes = 0;
   std::uint64_t outlier_count = 0;
+  /// v3 per-block choice; always kSpatial for v1/v2 containers.
+  Predictor predictor = Predictor::kSpatial;
 
   std::uint64_t stored_bytes(std::size_t elem_size) const {
     return huff_bytes + outlier_count * elem_size;

@@ -63,7 +63,8 @@ QuantizeResult<T> lorenzo_quantize(std::span<const T> data, const Dims& dims,
 
   QuantizeResult<T> result;
   result.codes.resize(data.size());
-  std::vector<T> recon(data.size());
+  result.recon.resize(data.size());
+  std::vector<T>& recon = result.recon;
 
   const std::size_t sx = dims.d1 * dims.d2;
   const std::size_t sy = dims.d2;

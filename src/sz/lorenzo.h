@@ -30,6 +30,11 @@ template <typename T>
 struct QuantizeResult {
   std::vector<std::uint32_t> codes;  // one per input point
   std::vector<T> outliers;           // raw values of code==0 points, in order
+  /// The reconstruction the decompressor will reproduce, bit for bit. The
+  /// quantizer computes it anyway (predictions come from reconstructed
+  /// neighbours); exporting it lets the time-series writer keep the
+  /// decoded step as the next temporal reference without a decode pass.
+  std::vector<T> recon;
 };
 
 /// Quantizes `data` with point-wise absolute error bound `eb`.

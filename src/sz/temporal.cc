@@ -1,0 +1,90 @@
+#include "sz/temporal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcw::sz {
+
+template <typename T>
+QuantizeResult<T> temporal_quantize(std::span<const T> data, std::span<const T> prev,
+                                    double eb, std::uint32_t radius) {
+  if (prev.size() != data.size()) {
+    throw std::invalid_argument("temporal_quantize: prev size != data size");
+  }
+  if (eb <= 0.0) throw std::invalid_argument("temporal_quantize: eb must be > 0");
+  if (radius < 2) throw std::invalid_argument("temporal_quantize: radius must be >= 2");
+
+  QuantizeResult<T> result;
+  result.codes.resize(data.size());
+  result.recon.resize(data.size());
+
+  const double twice_eb = 2.0 * eb;
+  const auto r = static_cast<long long>(radius);
+  const auto max_q = static_cast<long long>(radius) - 1;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double orig = static_cast<double>(data[i]);
+    const double pred = static_cast<double>(prev[i]);
+    const double scaled = (orig - pred) / twice_eb;
+    bool predictable = std::abs(scaled) <= static_cast<double>(max_q);
+    long long q = 0;
+    double rec = 0.0;
+    if (predictable) {
+      q = std::llround(scaled);
+      rec = pred + static_cast<double>(q) * twice_eb;
+      // Same storage-precision check as the Lorenzo quantizer: the decoder
+      // reproduces T(rec), so the bound must survive the narrowing.
+      predictable = std::abs(static_cast<double>(static_cast<T>(rec)) - orig) <= eb;
+    }
+    if (predictable) {
+      result.codes[i] = static_cast<std::uint32_t>(q + r);
+      result.recon[i] = static_cast<T>(rec);
+    } else {
+      result.codes[i] = 0;
+      result.outliers.push_back(data[i]);
+      result.recon[i] = data[i];
+    }
+  }
+  return result;
+}
+
+template <typename T>
+void temporal_dequantize(std::span<const std::uint32_t> codes,
+                         std::span<const T> outliers, std::span<const T> prev,
+                         double eb, std::uint32_t radius, std::span<T> out) {
+  if (prev.size() != codes.size() || out.size() != codes.size()) {
+    throw std::invalid_argument("temporal_dequantize: size mismatch");
+  }
+  const double twice_eb = 2.0 * eb;
+  std::size_t next_outlier = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const std::uint32_t code = codes[i];
+    if (code == 0) {
+      if (next_outlier >= outliers.size()) {
+        throw std::runtime_error("temporal_dequantize: outlier underrun");
+      }
+      out[i] = outliers[next_outlier++];
+    } else {
+      const auto q = static_cast<long long>(code) - static_cast<long long>(radius);
+      out[i] = static_cast<T>(static_cast<double>(prev[i]) +
+                              static_cast<double>(q) * twice_eb);
+    }
+  }
+  if (next_outlier != outliers.size()) {
+    throw std::runtime_error("temporal_dequantize: outlier overrun");
+  }
+}
+
+template QuantizeResult<float> temporal_quantize<float>(std::span<const float>,
+                                                        std::span<const float>, double,
+                                                        std::uint32_t);
+template QuantizeResult<double> temporal_quantize<double>(std::span<const double>,
+                                                          std::span<const double>, double,
+                                                          std::uint32_t);
+template void temporal_dequantize<float>(std::span<const std::uint32_t>,
+                                         std::span<const float>, std::span<const float>,
+                                         double, std::uint32_t, std::span<float>);
+template void temporal_dequantize<double>(std::span<const std::uint32_t>,
+                                          std::span<const double>, std::span<const double>,
+                                          double, std::uint32_t, std::span<double>);
+
+}  // namespace pcw::sz

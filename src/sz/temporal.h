@@ -1,0 +1,45 @@
+// Temporal prediction + error-bounded linear quantization.
+//
+// The second predictor of the pcw::sz compressor (container v3): each
+// point is predicted from the *reconstructed previous time step* at the
+// same position, and the residual x_t[i] - x̂_{t-1}[i] is quantized to an
+// integer multiple of 2*error_bound. For in-situ checkpoint series where
+// consecutive steps barely differ, the residual distribution is far
+// narrower than the spatial Lorenzo residual, so the shared Huffman stage
+// spends fewer bits per value.
+//
+// Predicting from the reconstructed (not original) previous step is what
+// keeps the bound from accumulating across a chain: the quantizer
+// re-centres on x̂_{t-1} each step, so |x̂_t - x_t| <= eb holds point-wise
+// at every step no matter how long the chain is.
+//
+// Unlike Lorenzo, the transform is point-wise — reconstruction needs no
+// already-decoded neighbours — which is what lets decompress_region()
+// dequantize only the selected rows of a temporal block against a
+// region-shaped reference buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sz/dims.h"
+#include "sz/lorenzo.h"
+
+namespace pcw::sz {
+
+/// Quantizes `data` against the reconstructed previous step `prev`
+/// (data.size() elements) with point-wise absolute error bound `eb`.
+/// Same code/outlier conventions as lorenzo_quantize; result.recon holds
+/// the reconstruction the decompressor will reproduce.
+template <typename T>
+QuantizeResult<T> temporal_quantize(std::span<const T> data, std::span<const T> prev,
+                                    double eb, std::uint32_t radius);
+
+/// Inverse transform. `prev` and `out` have codes.size() elements; `out`
+/// may not alias `prev`.
+template <typename T>
+void temporal_dequantize(std::span<const std::uint32_t> codes,
+                         std::span<const T> outliers, std::span<const T> prev,
+                         double eb, std::uint32_t radius, std::span<T> out);
+
+}  // namespace pcw::sz

@@ -35,24 +35,40 @@ const std::array<std::uint8_t, kBlockSize>& sequency_order() {
   return order;
 }
 
+// Two's-complement wrapping helpers: the lifting transform relies on
+// hardware wraparound for large coefficients (as real zfp does), which is
+// undefined for signed int — route the adds/subs/left-shifts through
+// uint32 so the bits are identical and the arithmetic is defined.
+inline std::int32_t wadd(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+inline std::int32_t wsub(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
+                                   static_cast<std::uint32_t>(b));
+}
+inline std::int32_t wshl1(std::int32_t a) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) << 1);
+}
+
 // ZFP's integer lifting transform on a stride-s 4-vector (Lindstrom'14).
 void fwd_lift(std::int32_t* p, std::size_t s) {
   std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1; y -= w >> 1;
+  x = wadd(x, w); x >>= 1; w = wsub(w, x);
+  z = wadd(z, y); z >>= 1; y = wsub(y, z);
+  x = wadd(x, z); x >>= 1; z = wsub(z, x);
+  w = wadd(w, y); w >>= 1; y = wsub(y, w);
+  w = wadd(w, y >> 1); y = wsub(y, w >> 1);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 
 void inv_lift(std::int32_t* p, std::size_t s) {
   std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  y += w >> 1; w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
+  y = wadd(y, w >> 1); w = wsub(w, y >> 1);
+  y = wadd(y, w); w = wshl1(w); w = wsub(w, y);
+  z = wadd(z, x); x = wshl1(x); x = wsub(x, z);
+  y = wadd(y, z); z = wshl1(z); z = wsub(z, y);
+  w = wadd(w, x); x = wshl1(x); x = wsub(x, w);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# CLI contract test for the pcwz / pcw5ls front ends: unknown flags must
+# exit 2 with a usage message (they used to be silently ignored), and the
+# documented happy paths must keep working. Registered as a tier1 CTest;
+# binaries are passed in by CMake.
+set -u
+
+pcwz="$1"
+pcw5ls="$2"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+fails=0
+check() {
+  local desc="$1" want_rc="$2" want_msg="$3"
+  shift 3
+  local out rc
+  out="$("$@" 2>&1)"
+  rc=$?
+  if [[ ${rc} -ne ${want_rc} ]]; then
+    echo "FAIL: ${desc}: exit ${rc}, want ${want_rc}"
+    echo "${out}" | head -3
+    fails=$((fails + 1))
+  elif [[ -n "${want_msg}" ]] && ! grep -q "${want_msg}" <<<"${out}"; then
+    echo "FAIL: ${desc}: output lacks '${want_msg}'"
+    echo "${out}" | head -3
+    fails=$((fails + 1))
+  else
+    echo "ok: ${desc}"
+  fi
+}
+
+# Fixture: a tiny compressible raw field (zeros are fine for CLI plumbing).
+raw="${tmpdir}/in.f32"
+blob="${tmpdir}/out.pcwz"
+head -c 4096 /dev/zero >"${raw}"
+
+# Happy paths stay green.
+check "compress roundtrip" 0 "" \
+  "${pcwz}" compress "${raw}" "${blob}" --dims 1,1,1024 --eb 1e-3
+check "inspect" 0 "pcw::sz" "${pcwz}" inspect "${blob}"
+check "decompress" 0 "" "${pcwz}" decompress "${blob}" "${tmpdir}/back.f32"
+
+# Unknown flags: exit 2 + usage, on every subcommand.
+check "compress unknown flag" 2 "usage:" \
+  "${pcwz}" compress "${raw}" "${blob}" --dims 1,1,1024 --eb 1e-3 --bogus
+check "decompress unknown flag" 2 "usage:" \
+  "${pcwz}" decompress "${blob}" "${tmpdir}/back.f32" --bogus
+check "inspect unknown flag" 2 "usage:" "${pcwz}" inspect "${blob}" --bogus
+check "unknown command" 2 "usage:" "${pcwz}" frobnicate
+check "no args" 2 "usage:" "${pcwz}"
+
+# pcw5ls: unknown flag rejected before the file is even opened.
+check "pcw5ls unknown flag" 2 "usage:" "${pcw5ls}" "${tmpdir}/nope.pcw5" --bogus
+check "pcw5ls no args" 2 "usage:" "${pcw5ls}"
+# Known flags on a missing file still fail cleanly (rc 1, not a crash).
+check "pcw5ls missing file" 1 "error:" "${pcw5ls}" "${tmpdir}/nope.pcw5" --steps
+
+if [[ ${fails} -ne 0 ]]; then
+  echo "${fails} CLI contract check(s) failed"
+  exit 1
+fi
+echo "all CLI contract checks passed"

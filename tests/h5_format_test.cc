@@ -51,6 +51,10 @@ void expect_equal(const DatasetDesc& a, const DatasetDesc& b) {
   EXPECT_DOUBLE_EQ(a.abs_error_bound, b.abs_error_bound);
   EXPECT_EQ(a.file_offset, b.file_offset);
   EXPECT_EQ(a.nbytes, b.nbytes);
+  EXPECT_EQ(a.series_member, b.series_member);
+  EXPECT_EQ(a.series_base, b.series_base);
+  EXPECT_EQ(a.series_step, b.series_step);
+  EXPECT_EQ(a.series_ref_step, b.series_ref_step);
   ASSERT_EQ(a.partitions.size(), b.partitions.size());
   for (std::size_t i = 0; i < a.partitions.size(); ++i) {
     EXPECT_EQ(a.partitions[i].rank, b.partitions[i].rank);
@@ -106,6 +110,40 @@ TEST(H5Format, ParseRejectsTruncation) {
                                   bytes.begin() + static_cast<std::ptrdiff_t>(keep));
     EXPECT_THROW(parse_footer(cut), std::runtime_error) << "keep=" << keep;
   }
+}
+
+TEST(H5Format, SeriesMetadataRoundTrips) {
+  DatasetDesc d = sample_partitioned();
+  d.name = series_dataset_name("temperature", 42);
+  EXPECT_EQ(d.name, "temperature@t0042");
+  d.series_member = true;
+  d.series_base = "temperature";
+  d.series_step = 42;
+  d.series_ref_step = 41;
+  const auto out = parse_footer(serialize_footer({d, sample_contiguous()}));
+  ASSERT_EQ(out.size(), 2u);
+  expect_equal(d, out[0]);
+  EXPECT_FALSE(out[0].is_keyframe());
+  EXPECT_FALSE(out[1].series_member);  // non-members carry no series bytes
+
+  DatasetDesc key = d;
+  key.series_ref_step = 42;
+  EXPECT_TRUE(parse_footer(serialize_footer({key})).at(0).is_keyframe());
+}
+
+TEST(H5Format, ParseRejectsBadVersionsAndForwardReferences) {
+  const auto bytes = serialize_footer({sample_contiguous()});
+  EXPECT_NO_THROW(parse_footer(bytes, kVersion));
+  EXPECT_THROW(parse_footer(bytes, 0), std::runtime_error);
+  EXPECT_THROW(parse_footer(bytes, kVersion + 1), std::runtime_error);
+
+  // A step may never reference a later step (chain walks must descend).
+  DatasetDesc d = sample_partitioned();
+  d.series_member = true;
+  d.series_base = "temperature";
+  d.series_step = 5;
+  d.series_ref_step = 6;
+  EXPECT_THROW(parse_footer(serialize_footer({d})), std::runtime_error);
 }
 
 TEST(H5Format, ElementSizes) {

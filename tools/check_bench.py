@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Perf-ratchet for the checked-in BENCH_*.json baselines.
+
+One gate for all three perf surfaces (replacing the inline python that
+used to live in ci.yml):
+
+  * schema + scenario/stage coverage of every checked-in baseline, so a
+    baseline regeneration can never silently drop a scenario;
+  * the same validation for the CI smoke runs (``--smoke-dir``), plus a
+    smoke-tolerant throughput ratchet: a smoke run may be slower than the
+    committed baseline (tiny inputs, cold caches, shared runners), but a
+    serial-throughput drop of more than RATCHET (3x) fails the job;
+  * bench-specific invariants: sparse reads must decode strictly fewer
+    blocks than the container holds, the temporal predictor must keep its
+    >= 1.3x ratio edge over per-step spatial on the non-smoke baseline,
+    and every restart verification must be bit-exact.
+
+Usage:
+  tools/check_bench.py --baseline-dir . [--smoke-dir build] [--bench NAME ...]
+
+Exit code 0 = all gates green; 1 = any violation (each is printed).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+RATCHET = 3.0  # smoke serial throughput may not drop below baseline/3
+
+PROBLEMS = []
+
+
+def problem(msg):
+    PROBLEMS.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg):
+    print(f"ok: {msg}")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problem(f"{path}: unreadable ({e})")
+        return None
+
+
+def rows(doc, **match):
+    out = []
+    for r in doc.get("results", []):
+        if all(r.get(k) == v for k, v in match.items()):
+            out.append(r)
+    return out
+
+
+# --- per-bench validation rules --------------------------------------------
+
+
+def check_kernels(doc, path, smoke):
+    if doc.get("schema") != "pcw.bench_kernels.v1":
+        problem(f"{path}: schema {doc.get('schema')!r}")
+        return
+    stages = {r["stage"] for r in doc.get("results", [])}
+    want = {"quantize", "encode", "compress", "decompress"}
+    if not stages >= want:
+        problem(f"{path}: stages {sorted(stages)} lack {sorted(want - stages)}")
+        return
+    ok(f"{path}: pcw.bench_kernels.v1, stages {sorted(stages)}")
+
+
+def check_read(doc, path, smoke):
+    if doc.get("schema") != "pcw.bench_read.v1":
+        problem(f"{path}: schema {doc.get('schema')!r}")
+        return
+    scenarios = {r["scenario"] for r in doc.get("results", [])}
+    want = {"full_restart", "repartition", "sparse_slice"}
+    if not scenarios >= want:
+        problem(f"{path}: scenarios {sorted(scenarios)} lack {sorted(want - scenarios)}")
+        return
+    sparse = [r for r in rows(doc, scenario="sparse_slice") if r["label"] != "full_ref"]
+    # The property the block index exists for: sparse slices decode
+    # strictly fewer blocks than the container holds.
+    if not sparse or not all(r["blocks_decoded"] < r["blocks_total"] for r in sparse):
+        problem(f"{path}: sparse_slice rows not strictly partial: {sparse}")
+        return
+    ok(f"{path}: pcw.bench_read.v1, scenarios {sorted(scenarios)}")
+
+
+def check_timeseries(doc, path, smoke):
+    if doc.get("schema") != "pcw.bench_timeseries.v1":
+        problem(f"{path}: schema {doc.get('schema')!r}")
+        return
+    scenarios = {r["scenario"] for r in doc.get("results", [])}
+    want = {"write_series", "restart_mid_chain", "sparse_step_read"}
+    if not scenarios >= want:
+        problem(f"{path}: scenarios {sorted(scenarios)} lack {sorted(want - scenarios)}")
+        return
+    if not all(r.get("bit_exact", False) for r in rows(doc, scenario="restart_mid_chain")):
+        problem(f"{path}: restart verification not bit-exact")
+        return
+    sparse = rows(doc, scenario="sparse_step_read")
+    if not sparse or not all(r["blocks_decoded"] < r["blocks_total"] for r in sparse):
+        problem(f"{path}: sparse_step_read rows not strictly partial: {sparse}")
+        return
+    temporal = rows(doc, scenario="write_series", label="temporal")
+    spatial = rows(doc, scenario="write_series", label="spatial")
+    if len(temporal) != 1 or len(spatial) != 1:
+        problem(f"{path}: write_series needs exactly one temporal + one spatial row")
+        return
+    gain = temporal[0]["ratio"] / spatial[0]["ratio"]
+    # The acceptance bar holds on the real (non-smoke) baseline; the tiny
+    # smoke series is validated for coverage but its gain is reported only.
+    if not smoke and gain < 1.3:
+        problem(f"{path}: temporal ratio gain {gain:.2f}x < 1.3x")
+        return
+    ok(f"{path}: pcw.bench_timeseries.v1, temporal gain {gain:.2f}x")
+
+
+# Serial-throughput extractors for the ratchet: (description, selector).
+def serial_metrics(name, doc):
+    if name == "kernels":
+        return {
+            f"{r['stage']} t1": r["mb_per_s"]
+            for r in doc.get("results", [])
+            if r.get("threads") == 1
+        }
+    if name == "read":
+        return {
+            "full_restart serial": r["mb_per_s"]
+            for r in rows(doc, scenario="full_restart", label="serial")
+        }
+    if name == "timeseries":
+        return {
+            f"write_series {r['label']}": r["mb_per_s"]
+            for r in rows(doc, scenario="write_series")
+        }
+    return {}
+
+
+BENCHES = {
+    "kernels": check_kernels,
+    "read": check_read,
+    "timeseries": check_timeseries,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default=".",
+                    help="directory of the checked-in BENCH_*.json (default .)")
+    ap.add_argument("--smoke-dir", default=None,
+                    help="directory of CI smoke BENCH_*.json; enables the ratchet")
+    ap.add_argument("--bench", action="append", choices=sorted(BENCHES),
+                    help="restrict to specific benches (default: all)")
+    args = ap.parse_args()
+
+    names = args.bench or sorted(BENCHES)
+    for name in names:
+        fname = f"BENCH_{name}.json"
+        check = BENCHES[name]
+
+        base_path = os.path.join(args.baseline_dir, fname)
+        base = load(base_path)
+        if base is not None:
+            if base.get("case", {}).get("smoke"):
+                problem(f"{base_path}: checked-in baseline is a --smoke run")
+            else:
+                check(base, base_path, smoke=False)
+
+        if args.smoke_dir is None:
+            continue
+        smoke_path = os.path.join(args.smoke_dir, fname)
+        smoke = load(smoke_path)
+        if smoke is None:
+            continue
+        check(smoke, smoke_path, smoke=True)
+
+        if base is None:
+            continue
+        base_m = serial_metrics(name, base)
+        smoke_m = serial_metrics(name, smoke)
+        for key, base_v in sorted(base_m.items()):
+            if key not in smoke_m:
+                problem(f"{smoke_path}: smoke run dropped metric '{key}'")
+                continue
+            smoke_v = smoke_m[key]
+            if smoke_v <= 0 or base_v / smoke_v > RATCHET:
+                problem(f"{smoke_path}: {key} {smoke_v:.1f} MB/s vs baseline "
+                        f"{base_v:.1f} MB/s (> {RATCHET:.0f}x regression)")
+            else:
+                ok(f"{smoke_path}: {key} {smoke_v:.1f} MB/s within "
+                   f"{RATCHET:.0f}x of baseline {base_v:.1f} MB/s")
+
+    if PROBLEMS:
+        print(f"\n{len(PROBLEMS)} perf-gate violation(s)")
+        return 1
+    print("\nall perf gates green")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,16 @@
 // layout, storage accounting, per-block sz index summaries, and optional
 // full decode verification.
 //
-//   pcw5ls <file.pcw5> [--partitions] [--blocks] [--verify]
+//   pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "core/series.h"
 #include "h5/dataset_io.h"
 #include "h5/file.h"
 #include "sz/compressor.h"
@@ -93,19 +95,132 @@ void print_block_summaries(const pcw::h5::File& file) {
   table.print(std::cout);
 }
 
+/// Per-series step table: the restart-cost view. Chain length is how many
+/// blobs restart_at_step(t) decodes; temporal column counts the per-block
+/// predictor outcomes across the step's partitions.
+void print_step_tables(const pcw::h5::File& file) {
+  std::map<std::string, std::vector<const pcw::h5::DatasetDesc*>> series;
+  for (const auto& desc : file.datasets()) {
+    if (desc.series_member) series[desc.series_base].push_back(&desc);
+  }
+  if (series.empty()) {
+    std::printf("no time series\n");
+    return;
+  }
+  for (auto& [base, steps] : series) {
+    std::sort(steps.begin(), steps.end(),
+              [](const auto* a, const auto* b) { return a->series_step < b->series_step; });
+    std::printf("\nseries %s (%zu steps):\n", base.c_str(), steps.size());
+    pcw::util::Table table({"step", "kind", "ref", "chain", "parts", "stored",
+                            "temporal blks"});
+    // Chain length = blobs a restart actually decodes: walk the real
+    // reference links (refs may skip steps), "?" on a broken chain.
+    std::map<std::uint32_t, const pcw::h5::DatasetDesc*> by_step;
+    for (const auto* d : steps) by_step[d->series_step] = d;
+    auto chain_of = [&](const pcw::h5::DatasetDesc* d) -> std::string {
+      std::uint64_t len = 1;
+      while (!d->is_keyframe()) {
+        const auto it = by_step.find(d->series_ref_step);
+        if (it == by_step.end() || it->second->series_step >= d->series_step) return "?";
+        d = it->second;
+        ++len;
+      }
+      return std::to_string(len);
+    };
+    for (const auto* d : steps) {
+      std::uint64_t stored = 0;
+      std::uint64_t blocks = 0, temporal = 0;
+      for (const auto& part : d->partitions) {
+        stored += part.actual_bytes;
+        const std::uint64_t want =
+            std::min<std::uint64_t>(part.actual_bytes, pcw::sz::kMaxHeaderBytes);
+        const auto head = file.pread(part.file_offset, want);
+        for (const auto& blk : pcw::sz::inspect_blocks(head)) {
+          ++blocks;
+          temporal += blk.predictor == pcw::sz::Predictor::kTemporal ? 1 : 0;
+        }
+      }
+      table.add_row(
+          {std::to_string(d->series_step), d->is_keyframe() ? "keyframe" : "delta",
+           std::to_string(d->series_ref_step), chain_of(d),
+           std::to_string(d->partitions.size()),
+           pcw::util::Table::fmt_bytes(static_cast<double>(stored)),
+           std::to_string(temporal) + "/" + std::to_string(blocks)});
+    }
+    table.print(std::cout);
+  }
+}
+
+/// Verifies one series by walking its steps in order with a running
+/// reconstruction — O(steps) decodes instead of one full restart chain
+/// per step. A step whose reference is not the previously decoded one
+/// (gap refs are legal in the format) falls back to a real chain restart.
+template <typename T>
+void verify_series_chain(pcw::h5::File& file,
+                         const std::vector<const pcw::h5::DatasetDesc*>& steps) {
+  std::vector<T> prev;
+  std::uint32_t prev_step = 0;
+  for (const pcw::h5::DatasetDesc* d : steps) {
+    std::vector<T> out;
+    if (!d->is_keyframe() && (prev.empty() || d->series_ref_step != prev_step)) {
+      out = pcw::core::restart_at_step<T>(file, d->series_base, d->series_step);
+    } else {
+      out.resize(pcw::sz::element_count(d->global_dims));
+      for (const auto& part : d->partitions) {
+        // Same guards as h5::read_dataset: a corrupt footer or a blob
+        // whose stored extents disagree with the partition must fail
+        // cleanly, not scatter out of bounds.
+        if (part.elem_offset + part.elem_count > out.size() ||
+            part.elem_offset + part.elem_count < part.elem_offset ||
+            (!d->is_keyframe() && part.elem_offset + part.elem_count > prev.size())) {
+          throw std::runtime_error("series partition exceeds dataset extent");
+        }
+        const auto payload = pcw::h5::read_partition_payload(file, *d, part);
+        const std::span<const T> ref =
+            d->is_keyframe()
+                ? std::span<const T>{}
+                : std::span<const T>(prev.data() + part.elem_offset, part.elem_count);
+        const auto vals = pcw::sz::decompress<T>(payload, ref);
+        if (vals.size() != part.elem_count) {
+          throw std::runtime_error("series partition extents disagree with blob");
+        }
+        std::memcpy(out.data() + part.elem_offset, vals.data(),
+                    vals.size() * sizeof(T));
+      }
+    }
+    std::printf("  %-24s OK (%zu values, via chain)\n", d->name.c_str(), out.size());
+    prev = std::move(out);
+    prev_step = d->series_step;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--verify]\n");
+                 "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] "
+                 "[--verify]\n");
     return 2;
   }
-  bool show_partitions = false, show_blocks = false, verify = false;
+  bool show_partitions = false, show_blocks = false, show_steps = false, verify = false;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--partitions") == 0) show_partitions = true;
-    if (std::strcmp(argv[i], "--blocks") == 0) show_blocks = true;
-    if (std::strcmp(argv[i], "--verify") == 0) verify = true;
+    if (std::strcmp(argv[i], "--partitions") == 0) {
+      show_partitions = true;
+    } else if (std::strcmp(argv[i], "--blocks") == 0) {
+      show_blocks = true;
+    } else if (std::strcmp(argv[i], "--steps") == 0) {
+      show_steps = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown flag %s\n"
+                   "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] "
+                   "[--verify]\n",
+                   argv[i]);
+      return 2;
+    }
   }
 
   try {
@@ -166,9 +281,15 @@ int main(int argc, char** argv) {
       print_block_summaries(*file);
     }
 
+    if (show_steps) {
+      std::printf("\ntime-series steps (chain = blobs a restart decodes):\n");
+      print_step_tables(*file);
+    }
+
     if (verify) {
       std::printf("\nverifying (full decode of every dataset)...\n");
       for (const auto& desc : file->datasets()) {
+        if (desc.series_member) continue;  // verified chain-wise below
         try {
           if (desc.dtype == pcw::h5::DataType::kFloat32) {
             const auto v = pcw::h5::read_dataset<float>(*file, desc.name);
@@ -181,6 +302,28 @@ int main(int argc, char** argv) {
           }
         } catch (const std::exception& e) {
           std::printf("  %-24s FAILED: %s\n", desc.name.c_str(), e.what());
+          return 1;
+        }
+      }
+      // Series: temporal deltas cannot decode standalone, and chaining
+      // per step would redo shared prefixes — walk each series once in
+      // step order with a running reconstruction instead.
+      std::map<std::string, std::vector<const pcw::h5::DatasetDesc*>> series;
+      for (const auto& desc : file->datasets()) {
+        if (desc.series_member) series[desc.series_base].push_back(&desc);
+      }
+      for (auto& [base, steps] : series) {
+        std::sort(steps.begin(), steps.end(), [](const auto* a, const auto* b) {
+          return a->series_step < b->series_step;
+        });
+        try {
+          if (steps.front()->dtype == pcw::h5::DataType::kFloat32) {
+            verify_series_chain<float>(*file, steps);
+          } else {
+            verify_series_chain<double>(*file, steps);
+          }
+        } catch (const std::exception& e) {
+          std::printf("  %-24s FAILED: %s\n", base.c_str(), e.what());
           return 1;
         }
       }

@@ -122,6 +122,7 @@ bool is_zfp_blob(std::span<const std::uint8_t> blob) {
 
 int cmd_decompress(int argc, char** argv) {
   if (argc < 4) usage("decompress needs <in> <out>");
+  if (argc > 4) usage(("unknown flag " + std::string(argv[4])).c_str());
   const auto blob = read_file(argv[2]);
   util::Timer timer;
   std::vector<float> values;
@@ -139,6 +140,7 @@ int cmd_decompress(int argc, char** argv) {
 
 int cmd_inspect(int argc, char** argv) {
   if (argc < 3) usage("inspect needs <in>");
+  if (argc > 3) usage(("unknown flag " + std::string(argv[3])).c_str());
   const auto blob = read_file(argv[2]);
   if (is_zfp_blob(blob)) {
     sz::Dims dims;
@@ -153,6 +155,11 @@ int cmd_inspect(int argc, char** argv) {
   std::printf("codec: pcw::sz (error bounded)\n");
   std::printf("container: v%u, %u block%s\n", info.version, info.block_count,
               info.block_count == 1 ? "" : "s");
+  if (info.version >= 3) {
+    std::printf("predictor: %u/%u blocks temporal%s\n", info.temporal_blocks,
+                info.block_count,
+                info.temporal_blocks > 0 ? " (decoding needs the reference step)" : "");
+  }
   std::printf("dtype: %s\n", info.dtype == sz::DataType::kFloat32 ? "float32" : "float64");
   std::printf("dims: %zu x %zu x %zu (%zu values)\n", info.dims.d0, info.dims.d1,
               info.dims.d2, info.dims.count());
