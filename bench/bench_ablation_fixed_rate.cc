@@ -12,7 +12,7 @@
 // buys (an error bound) and what it costs.
 #include "bench_common.h"
 
-#include "zfp/zfp.h"
+#include "pcw/kernels.h"
 
 using namespace pcw;
 

@@ -14,13 +14,11 @@
 #include <string>
 #include <vector>
 
-#include "core/timing_engine.h"
-#include "data/workloads.h"
-#include "model/ratio_model.h"
-#include "sz/compressor.h"
-#include "util/stats.h"
-#include "util/table.h"
-#include "util/timer.h"
+#include "pcw/kernels.h"
+#include "pcw/models.h"
+#include "pcw/sim.h"
+#include "pcw/text.h"
+#include "pcw/workloads.h"
 
 namespace pcw::bench {
 

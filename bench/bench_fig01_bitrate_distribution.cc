@@ -3,7 +3,7 @@
 // The spread across partitions is the reason naive pre-allocation fails.
 #include "bench_common.h"
 
-#include "util/histogram.h"
+#include "pcw/text.h"
 
 int main() {
   using namespace pcw;

@@ -3,7 +3,7 @@
 // paper reports in §IV-B).
 #include "bench_common.h"
 
-#include "model/throughput_model.h"
+#include "pcw/models.h"
 
 using namespace pcw;
 

@@ -6,10 +6,8 @@
 
 #include <filesystem>
 
-#include "h5/file.h"
-#include "iosim/simulator.h"
-#include "model/throughput_model.h"
-#include "mpi/comm.h"
+#include "pcw/sim.h"
+#include "pcw/models.h"
 
 using namespace pcw;
 

@@ -3,7 +3,7 @@
 // 512 processes — and the resulting weight -> R_space mapping.
 #include "bench_common.h"
 
-#include "model/extra_space.h"
+#include "pcw/models.h"
 
 using namespace pcw;
 

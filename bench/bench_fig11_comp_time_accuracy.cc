@@ -4,8 +4,8 @@
 // fields and compares against measured times.
 #include "bench_common.h"
 
-#include "model/throughput_model.h"
-#include "util/stats.h"
+#include "pcw/models.h"
+#include "pcw/text.h"
 
 using namespace pcw;
 

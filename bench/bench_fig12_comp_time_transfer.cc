@@ -3,8 +3,8 @@
 // unchanged, to a larger volume split into 512 partitions.
 #include "bench_common.h"
 
-#include "model/throughput_model.h"
-#include "util/stats.h"
+#include "pcw/models.h"
+#include "pcw/text.h"
 
 using namespace pcw;
 

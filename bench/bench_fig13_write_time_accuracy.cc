@@ -6,10 +6,9 @@
 // that this does not matter for the ordering decisions.
 #include "bench_common.h"
 
-#include "core/scheduler.h"
-#include "iosim/simulator.h"
-#include "model/throughput_model.h"
-#include "util/stats.h"
+#include "pcw/sim.h"
+#include "pcw/models.h"
+#include "pcw/text.h"
 
 using namespace pcw;
 

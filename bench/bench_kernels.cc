@@ -16,14 +16,9 @@
 #include <string>
 #include <vector>
 
-#include "data/workloads.h"
-#include "sz/blocks.h"
-#include "sz/compressor.h"
-#include "sz/huffman.h"
-#include "sz/lorenzo.h"
-#include "util/bitstream.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
+#include "pcw/kernels.h"
+#include "pcw/text.h"
+#include "pcw/workloads.h"
 
 namespace {
 

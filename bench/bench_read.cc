@@ -1,6 +1,7 @@
 // Read-path benchmark: the measured baseline for the parallel restart /
 // read engine, emitted as machine-readable JSON with `--json` (schema
-// pcw.bench_read.v1 -> BENCH_read.json).
+// pcw.bench_read.v1 -> BENCH_read.json). Drives the engine through the
+// public pcw:: façade (Writer/Reader/run).
 //
 // Scenarios:
 //   * full_restart  — N ranks read every field whole, across a thread
@@ -25,21 +26,19 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <stdexcept>
 #include <vector>
 
-#include "core/engine.h"
-#include "core/read_engine.h"
-#include "core/read_planner.h"
-#include "data/workloads.h"
-#include "h5/dataset_io.h"
-#include "util/timer.h"
+#include "pcw/pcw.h"
+#include "pcw/text.h"
+#include "pcw/workloads.h"
 
 namespace {
 
 using namespace pcw;
 
 struct Options {
-  sz::Dims dims = sz::Dims::make_3d(128, 128, 128);
+  Dims dims = Dims::make_3d(128, 128, 128);
   int fields = 4;
   int write_ranks = 4;
   int reps = 3;
@@ -49,7 +48,7 @@ struct Options {
   std::string json_path = "BENCH_read.json";
 };
 
-struct Result {
+struct BenchResult {
   std::string scenario;
   std::string label;
   int ranks = 0;
@@ -122,7 +121,7 @@ Options parse_args(int argc, char** argv) {
         std::fprintf(stderr, "error: --dims expects X,Y,Z > 0\n");
         usage(2);
       }
-      opt.dims = sz::Dims::make_3d(v[0], v[1], v[2]);
+      opt.dims = Dims::make_3d(v[0], v[1], v[2]);
     } else if (arg == "--fields") {
       opt.fields = static_cast<int>(parse_count(next_value("--fields")));
     } else if (arg == "--write-ranks") {
@@ -144,7 +143,7 @@ Options parse_args(int argc, char** argv) {
     // Each of the 2 writers owns 32x64x32 = 65536 elements -> two sz
     // blocks per partition, so the sparse-slice rows keep a strict
     // blocks_decoded < blocks_total for CI to assert on.
-    opt.dims = sz::Dims::make_3d(64, 64, 32);
+    opt.dims = Dims::make_3d(64, 64, 32);
     opt.fields = 2;
     opt.write_ranks = 2;
     opt.reps = 1;
@@ -170,7 +169,7 @@ double best_seconds(int reps, Fn&& fn) {
   return best;
 }
 
-void emit_json(const Options& opt, const std::vector<Result>& results,
+void emit_json(const Options& opt, const std::vector<BenchResult>& results,
                std::uint64_t raw_bytes, std::uint64_t file_bytes) {
   std::ofstream out(opt.json_path);
   if (!out) {
@@ -192,7 +191,7 @@ void emit_json(const Options& opt, const std::vector<Result>& results,
   out << "  \"file_bytes\": " << file_bytes << ",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
+    const BenchResult& r = results[i];
     char line[320];
     std::snprintf(line, sizeof line,
                   "    {\"scenario\": \"%s\", \"label\": \"%s\", \"ranks\": %d, "
@@ -211,6 +210,11 @@ void emit_json(const Options& opt, const std::vector<Result>& results,
   std::printf("wrote %s\n", opt.json_path.c_str());
 }
 
+[[noreturn]] void die(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  std::exit(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,7 +229,7 @@ int main(int argc, char** argv) {
               opt.reps);
 
   // ---- checkpoint write (fixture, not timed) ------------------------------
-  const sz::Dims local = sz::Dims::make_3d(
+  const Dims local = Dims::make_3d(
       opt.dims.d0 / static_cast<std::size_t>(opt.write_ranks), opt.dims.d1,
       opt.dims.d2);
   std::vector<std::vector<std::vector<float>>> blocks(
@@ -241,39 +245,44 @@ int main(int argc, char** argv) {
     }
   }
   {
-    auto file = h5::File::create(path);
-    core::EngineConfig cfg;
-    cfg.mode = core::WriteMode::kOverlapReorder;
-    mpi::Runtime::run(opt.write_ranks, [&](mpi::Comm& comm) {
-      std::vector<core::FieldSpec<float>> specs(static_cast<std::size_t>(opt.fields));
+    Result<Writer> writer =
+        Writer::create(path, WriterOptions().with_mode(WriteMode::kOverlapReorder));
+    if (!writer.ok()) die(writer.status());
+    const Status ran = run(opt.write_ranks, [&](Rank& rank) {
+      std::vector<Field> fields(static_cast<std::size_t>(opt.fields));
       for (int f = 0; f < opt.fields; ++f) {
-        auto& spec = specs[static_cast<std::size_t>(f)];
+        auto& field = fields[static_cast<std::size_t>(f)];
         const auto info = data::nyx_field_info(static_cast<data::NyxField>(f));
-        spec.name = info.name;
-        spec.local = blocks[static_cast<std::size_t>(f)]
-                           [static_cast<std::size_t>(comm.rank())];
-        spec.local_dims = local;
-        spec.global_dims = opt.dims;
-        spec.params.error_bound = info.abs_error_bound;
+        field.name = info.name;
+        field.local = FieldView::of(blocks[static_cast<std::size_t>(f)]
+                                          [static_cast<std::size_t>(rank.rank())],
+                                    local);
+        field.global_dims = opt.dims;
+        field.codec = CodecOptions().with_error_bound(info.abs_error_bound);
       }
-      core::write_fields<float>(comm, *file, specs, cfg);
-      file->close_collective(comm);
+      const Result<WriteReport> report = writer->write(rank, fields);
+      if (!report.ok()) throw std::runtime_error(report.status().to_string());
+      const Status closed = writer->close(rank);
+      if (!closed.ok()) throw std::runtime_error(closed.to_string());
     });
+    if (!ran.ok()) die(ran);
   }
-  auto file = h5::File::open(path);
+  const Result<Reader> probe = Reader::open(path);
+  if (!probe.ok()) die(probe.status());
+  const std::uint64_t file_bytes = probe->file_bytes();
   const std::uint64_t raw_bytes =
       static_cast<std::uint64_t>(opt.fields) * opt.dims.count() * sizeof(float);
-  std::printf("checkpoint: %.2f MB on disk (raw %.2f MB)\n", file->file_bytes() / 1e6,
+  std::printf("checkpoint: %.2f MB on disk (raw %.2f MB)\n", file_bytes / 1e6,
               static_cast<double>(raw_bytes) / 1e6);
 
-  std::vector<core::ReadSpec> all_fields(static_cast<std::size_t>(opt.fields));
+  std::vector<ReadRequest> all_fields(static_cast<std::size_t>(opt.fields));
   for (int f = 0; f < opt.fields; ++f) {
     all_fields[static_cast<std::size_t>(f)].name =
         data::nyx_field_info(static_cast<data::NyxField>(f)).name;
   }
 
-  std::vector<Result> results;
-  auto record = [&](Result r) {
+  std::vector<BenchResult> results;
+  auto record = [&](BenchResult r) {
     std::printf("  %-14s %-10s ranks=%d threads=%u pipeline=%d  %8.4f s  %9.1f MB/s"
                 "  (%llu/%llu blocks)\n",
                 r.scenario.c_str(), r.label.empty() ? "-" : r.label.c_str(), r.ranks,
@@ -284,26 +293,33 @@ int main(int argc, char** argv) {
   };
 
   /// One timed restart: `ranks` ranks, each reading `region_of(rank)` (or
-  /// everything when it returns nullopt) for every field.
+  /// everything when it returns nullopt) for every field. The Reader is
+  /// opened per configuration (untimed); only the reads are measured.
   auto timed_restart = [&](const char* scenario, const char* label, int ranks,
                            unsigned threads, bool pipeline, auto&& region_of) {
-    Result res;
+    BenchResult res;
     res.scenario = scenario;
     res.label = label;
     res.ranks = ranks;
     res.threads = threads;
     res.pipeline = pipeline;
-    std::vector<core::ReadReport> reports(static_cast<std::size_t>(ranks));
+    const Result<Reader> reader = Reader::open(
+        path,
+        ReaderOptions().with_decompress_threads(threads).with_pipeline(pipeline));
+    if (!reader.ok()) die(reader.status());
+    std::vector<ReadReport> reports(static_cast<std::size_t>(ranks));
     res.seconds = best_seconds(opt.reps, [&] {
-      mpi::Runtime::run(ranks, [&](mpi::Comm& comm) {
-        std::vector<core::ReadSpec> specs = all_fields;
-        for (auto& spec : specs) spec.region = region_of(comm.rank());
-        core::ReadEngineConfig cfg;
-        cfg.decompress_threads = threads;
-        cfg.pipeline = pipeline;
-        core::read_fields<float>(comm, *file, specs, cfg,
-                                 &reports[static_cast<std::size_t>(comm.rank())]);
+      reports.assign(static_cast<std::size_t>(ranks), ReadReport{});
+      const Status ran = run(ranks, [&](Rank& rank) {
+        std::vector<ReadRequest> requests = all_fields;
+        for (auto& req : requests) req.region = region_of(rank.rank());
+        const auto got = reader->read_fields<float>(
+            rank, requests, &reports[static_cast<std::size_t>(rank.rank())]);
+        // Thrown failures abort the whole rank group cleanly (exit()
+        // from a rank thread would leave siblings blocked in barriers).
+        if (!got.ok()) throw std::runtime_error(got.status().to_string());
       });
+      if (!ran.ok()) die(ran);
     });
     std::uint64_t delivered = 0;
     for (const auto& rep : reports) {
@@ -320,7 +336,7 @@ int main(int argc, char** argv) {
     record(std::move(res));
   };
 
-  auto whole_field = [](int) { return std::optional<sz::Region>{}; };
+  auto whole_field = [](int) { return std::optional<Region>{}; };
 
   // ---- scenario 1: full restart, thread sweep + serial baseline ----------
   std::printf("full restart (%d ranks, every field whole):\n", opt.write_ranks);
@@ -338,7 +354,7 @@ int main(int argc, char** argv) {
   for (const int ranks : read_rank_counts) {
     std::printf("repartitioned restart (%d -> %d ranks):\n", opt.write_ranks, ranks);
     timed_restart("repartition", "", ranks, 1, /*pipeline=*/true, [&](int rank) {
-      return std::optional<sz::Region>(core::restart_region(opt.dims, rank, ranks));
+      return std::optional<Region>(restart_region(opt.dims, rank, ranks));
     });
   }
 
@@ -346,7 +362,7 @@ int main(int argc, char** argv) {
   std::printf("sparse analysis slices (1 rank):\n");
   struct Slice {
     const char* label;
-    sz::Region region;
+    Region region;
   };
   const std::size_t midx = opt.dims.d0 / 2;
   const std::size_t box = std::min<std::size_t>(
@@ -354,26 +370,27 @@ int main(int argc, char** argv) {
   const Slice slices[] = {
       {"plane", {{midx, 0, 0}, {midx + 1, opt.dims.d1, opt.dims.d2}}},
       {"box8", {{midx, 0, 0}, {midx + box, box, box}}},
-      {"full_ref", sz::Region::of(opt.dims)},
+      {"full_ref", Region::of(opt.dims)},
   };
   const std::string field0 = all_fields[0].name;
   for (const Slice& s : slices) {
-    Result res;
+    BenchResult res;
     res.scenario = "sparse_slice";
     res.label = s.label;
     res.ranks = 1;
     res.threads = 1;
     res.pipeline = false;
-    h5::RegionReadStats stats;
+    ReadReport stats;
     res.seconds = best_seconds(opt.reps, [&] {
-      stats = {};
-      const auto out = h5::read_region<float>(*file, field0, s.region, {}, &stats);
-      if (out.size() != s.region.count()) {
+      stats = ReadReport{};
+      const auto out = probe->read_region<float>(field0, s.region, &stats);
+      if (!out.ok()) die(out.status());
+      if (out->size() != s.region.count()) {
         std::fprintf(stderr, "error: region element count\n");
         std::exit(1);
       }
     });
-    res.bytes_read = stats.payload_bytes;
+    res.bytes_read = stats.bytes_read;
     res.blocks_decoded = stats.blocks_decoded;
     res.blocks_total = stats.blocks_total;
     // Rate against the bytes the slice delivers, not the whole field.
@@ -392,7 +409,7 @@ int main(int argc, char** argv) {
   // The acceptance gate this bench exists for: a multi-threaded pipelined
   // full restart must not lose to the serial baseline.
   double serial = 0.0, best_mt = 1e300;
-  for (const Result& r : results) {
+  for (const BenchResult& r : results) {
     if (r.scenario != "full_restart") continue;
     if (r.label == "serial") serial = r.seconds;
     else if (r.threads > 1) best_mt = std::min(best_mt, r.seconds);
@@ -402,8 +419,7 @@ int main(int argc, char** argv) {
                 serial, best_mt, serial / best_mt);
   }
 
-  if (opt.json) emit_json(opt, results, raw_bytes, file->file_bytes());
-  file.reset();
+  if (opt.json) emit_json(opt, results, raw_bytes, file_bytes);
   std::filesystem::remove(path);
   return 0;
 }

@@ -1,7 +1,8 @@
 // Time-series benchmark: the measured baseline for the temporal-predictor
 // series engine, emitted as machine-readable JSON with `--json` (schema
 // pcw.bench_timeseries.v1 -> BENCH_timeseries.json, gated in CI by
-// tools/check_bench.py).
+// tools/check_bench.py). Drives the engine through the public pcw::
+// façade (SeriesWriter / restart / the blob-level codec surface).
 //
 // Scenarios:
 //   * write_series      — S steps of every field through SeriesWriter,
@@ -11,7 +12,7 @@
 //                         The ratio column is the acceptance metric: the
 //                         temporal predictor must buy >= 1.3x on a smooth
 //                         series.
-//   * restart_mid_chain — restart_at_step mid-chain (worst case) and at a
+//   * restart_mid_chain — restart() mid-chain (worst case) and at a
 //                         keyframe (best case), verified bit-for-bit
 //                         against a from-scratch chain of full decodes.
 //   * sparse_step_read  — one plane of a late step: only the touched
@@ -29,20 +30,20 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "core/series.h"
-#include "data/workloads.h"
-#include "h5/dataset_io.h"
-#include "util/timer.h"
+#include "pcw/pcw.h"
+#include "pcw/text.h"
+#include "pcw/workloads.h"
 
 namespace {
 
 using namespace pcw;
 
 struct Options {
-  sz::Dims dims = sz::Dims::make_3d(128, 64, 64);
+  Dims dims = Dims::make_3d(128, 64, 64);
   int fields = 2;
   int steps = 12;
   std::uint32_t interval = 6;
@@ -53,7 +54,7 @@ struct Options {
   std::string json_path = "BENCH_timeseries.json";
 };
 
-struct Result {
+struct BenchResult {
   std::string scenario;
   std::string label;
   double seconds = 0.0;
@@ -128,7 +129,7 @@ Options parse_args(int argc, char** argv) {
         std::fprintf(stderr, "error: --dims expects X,Y,Z > 0\n");
         usage(2);
       }
-      opt.dims = sz::Dims::make_3d(v[0], v[1], v[2]);
+      opt.dims = Dims::make_3d(v[0], v[1], v[2]);
     } else if (arg == "--fields") {
       opt.fields = static_cast<int>(parse_count(next_value("--fields")));
     } else if (arg == "--steps") {
@@ -148,7 +149,7 @@ Options parse_args(int argc, char** argv) {
     // Each of the 2 writers owns 32x64x32 = 65536 elements -> two sz
     // blocks per partition, so sparse_step_read keeps a strict
     // blocks_decoded < blocks_total for the ratchet to assert on.
-    opt.dims = sz::Dims::make_3d(64, 64, 32);
+    opt.dims = Dims::make_3d(64, 64, 32);
     opt.fields = 2;
     opt.steps = 6;
     opt.interval = 3;
@@ -171,8 +172,8 @@ Options parse_args(int argc, char** argv) {
 /// the in-situ shape the temporal predictor targets.
 constexpr double kStepTime = 0.02;
 
-void fill_step(std::span<float> out, const sz::Dims& local,
-               const std::array<std::size_t, 3>& origin, const sz::Dims& global, int f,
+void fill_step(std::span<float> out, const Dims& local,
+               const std::array<std::size_t, 3>& origin, const Dims& global, int f,
                int t) {
   data::fill_nyx_field(out, local, origin, global, static_cast<data::NyxField>(f), 1234,
                        kStepTime * t);
@@ -189,7 +190,7 @@ double best_seconds(int reps, Fn&& fn) {
   return best;
 }
 
-void emit_json(const Options& opt, const std::vector<Result>& results) {
+void emit_json(const Options& opt, const std::vector<BenchResult>& results) {
   std::ofstream out(opt.json_path);
   if (!out) {
     std::fprintf(stderr, "error: cannot write %s\n", opt.json_path.c_str());
@@ -210,7 +211,7 @@ void emit_json(const Options& opt, const std::vector<Result>& results) {
   out << "  },\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
+    const BenchResult& r = results[i];
     char line[400];
     std::snprintf(line, sizeof line,
                   "    {\"scenario\": \"%s\", \"label\": \"%s\", \"seconds\": %.6f, "
@@ -231,28 +232,36 @@ void emit_json(const Options& opt, const std::vector<Result>& results) {
   std::printf("wrote %s\n", opt.json_path.c_str());
 }
 
+[[noreturn]] void die(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  std::exit(1);
+}
+
 /// From-scratch reference: chain full partition decodes from the nearest
-/// keyframe, independently of the engine under test.
-std::vector<float> reference_at_step(const h5::File& file, const std::string& base,
+/// keyframe through the blob-level codec surface, independently of the
+/// restart engine under test.
+std::vector<float> reference_at_step(const Reader& reader, const std::string& base,
                                      std::uint32_t step, std::uint32_t interval) {
   const std::uint32_t key = step - step % interval;
   std::vector<float> full;
   for (std::uint32_t s = key; s <= step; ++s) {
-    const h5::DatasetDesc* desc = file.find_series(base, s);
-    if (desc == nullptr) {
-      std::fprintf(stderr, "error: missing series step %u\n", s);
-      std::exit(1);
-    }
-    std::vector<float> out(sz::element_count(desc->global_dims));
-    for (const auto& part : desc->partitions) {
-      const auto payload = h5::read_partition_payload(file, *desc, part);
-      const std::span<const float> prev =
-          full.empty() ? std::span<const float>{}
-                       : std::span<const float>(full.data() + part.elem_offset,
-                                                part.elem_count);
-      const auto vals = sz::decompress<float>(payload, prev);
-      std::memcpy(out.data() + part.elem_offset, vals.data(),
-                  vals.size() * sizeof(float));
+    const Result<DatasetInfo> desc = reader.series_step(base, s);
+    if (!desc.ok()) die(desc.status());
+    std::vector<float> out(desc->dims.count());
+    for (std::size_t p = 0; p < desc->partitions.size(); ++p) {
+      const PartitionInfo& part = desc->partitions[p];
+      const auto payload = reader.partition_payload(desc->name, p);
+      if (!payload.ok()) die(payload.status());
+      FieldView prev;
+      if (!full.empty()) {
+        prev = FieldView::of(
+            std::span<const float>(full.data() + part.elem_offset, part.elem_count),
+            Dims::make_1d(part.elem_count));
+      }
+      const Result<DecodedBlob> decoded = decode_blob(*payload, prev);
+      if (!decoded.ok()) die(decoded.status());
+      std::memcpy(out.data() + part.elem_offset, decoded->bytes.data(),
+                  decoded->bytes.size());
     }
     full = std::move(out);
   }
@@ -269,7 +278,7 @@ int main(int argc, char** argv) {
       opt.dims.d0, opt.dims.d1, opt.dims.d2, opt.fields, opt.steps, opt.interval,
       opt.write_ranks, opt.reps);
 
-  const sz::Dims local = sz::Dims::make_3d(
+  const Dims local = Dims::make_3d(
       opt.dims.d0 / static_cast<std::size_t>(opt.write_ranks), opt.dims.d1,
       opt.dims.d2);
   const std::uint64_t raw_bytes_per_series = static_cast<std::uint64_t>(opt.fields) *
@@ -293,8 +302,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<Result> results;
-  auto record = [&](Result r) {
+  std::vector<BenchResult> results;
+  auto record = [&](BenchResult r) {
     std::printf("  %-18s %-10s %8.4f s %9.1f MB/s  ratio %5.2fx  chain %llu  "
                 "(%llu/%llu blocks)%s\n",
                 r.scenario.c_str(), r.label.empty() ? "-" : r.label.c_str(), r.seconds,
@@ -311,41 +320,48 @@ int main(int argc, char** argv) {
        ("pcw_bench_ts_" + std::to_string(::getpid())))
           .string();
   auto write_series_once = [&](const std::string& path, std::uint32_t interval,
-                               Result* res) {
+                               BenchResult* res) {
     std::filesystem::remove(path);
-    auto file = h5::File::create(path);
-    core::SeriesConfig cfg;
-    cfg.keyframe_interval = interval;
-    std::vector<core::SeriesStepReport> reports(static_cast<std::size_t>(opt.steps));
-    mpi::Runtime::run(opt.write_ranks, [&](mpi::Comm& comm) {
-      core::SeriesWriter<float> writer(*file, cfg);
+    Result<Writer> writer = Writer::create(path);
+    if (!writer.ok()) die(writer.status());
+    std::vector<SeriesStepReport> reports(static_cast<std::size_t>(opt.steps));
+    const Status ran = run(opt.write_ranks, [&](Rank& rank) {
+      // Thrown failures abort the whole rank group cleanly (exit() from
+      // a rank thread would leave siblings blocked in collectives).
+      Result<SeriesWriter> series = SeriesWriter::create(
+          *writer, SeriesOptions().with_keyframe_interval(interval));
+      if (!series.ok()) throw std::runtime_error(series.status().to_string());
       for (int t = 0; t < opt.steps; ++t) {
-        std::vector<core::FieldSpec<float>> specs(static_cast<std::size_t>(opt.fields));
+        std::vector<Field> fields(static_cast<std::size_t>(opt.fields));
         for (int f = 0; f < opt.fields; ++f) {
-          auto& spec = specs[static_cast<std::size_t>(f)];
+          auto& field = fields[static_cast<std::size_t>(f)];
           const auto info = data::nyx_field_info(static_cast<data::NyxField>(f));
-          spec.name = info.name;
-          spec.local = slabs[static_cast<std::size_t>(f * opt.steps + t)]
-                            [static_cast<std::size_t>(comm.rank())];
-          spec.local_dims = local;
-          spec.global_dims = opt.dims;
-          spec.params.error_bound = info.abs_error_bound;
+          field.name = info.name;
+          field.local =
+              FieldView::of(slabs[static_cast<std::size_t>(f * opt.steps + t)]
+                                 [static_cast<std::size_t>(rank.rank())],
+                            local);
+          field.global_dims = opt.dims;
+          field.codec = CodecOptions().with_error_bound(info.abs_error_bound);
         }
-        const auto report = writer.write_step(comm, specs);
-        if (comm.rank() == 0) reports[static_cast<std::size_t>(t)] = report;
+        const Result<SeriesStepReport> report = series->write_step(rank, fields);
+        if (!report.ok()) throw std::runtime_error(report.status().to_string());
+        if (rank.rank() == 0) reports[static_cast<std::size_t>(t)] = *report;
       }
-      file->close_collective(comm);
+      const Status closed = writer->close(rank);
+      if (!closed.ok()) throw std::runtime_error(closed.to_string());
     });
+    if (!ran.ok()) die(ran);
     if (res != nullptr) {
       for (const auto& r : reports) res->temporal_blocks += r.temporal_blocks;
     }
-    return file->file_bytes();
+    return writer->file_bytes();
   };
 
   std::printf("series write (%d steps x %d fields):\n", opt.steps, opt.fields);
   const std::string path_t = path_base + "_temporal.pcw5";
   const std::string path_s = path_base + "_spatial.pcw5";
-  Result wt, ws;
+  BenchResult wt, ws;
   wt.scenario = ws.scenario = "write_series";
   wt.label = "temporal";
   ws.label = "spatial";
@@ -357,7 +373,7 @@ int main(int argc, char** argv) {
   ws.seconds = best_seconds(opt.reps, [&] {
     file_bytes_s = write_series_once(path_s, 1, nullptr);
   });
-  for (Result* r : {&wt, &ws}) {
+  for (BenchResult* r : {&wt, &ws}) {
     r->raw_bytes = raw_bytes_per_series;
     r->compressed_bytes = r == &wt ? file_bytes_t : file_bytes_s;
     r->ratio = static_cast<double>(r->raw_bytes) / static_cast<double>(r->compressed_bytes);
@@ -369,7 +385,8 @@ int main(int argc, char** argv) {
   std::printf("  temporal/spatial compression-ratio gain: %.2fx\n", ratio_gain);
 
   // ---- scenario 2: mid-chain + keyframe restart, verified bit-for-bit ----
-  auto file = h5::File::open(path_t);
+  const Result<Reader> reader = Reader::open(path_t);
+  if (!reader.ok()) die(reader.status());
   const std::string field0 = data::nyx_field_info(data::NyxField::kBaryonDensity).name;
   struct RestartCase {
     const char* label;
@@ -384,15 +401,19 @@ int main(int argc, char** argv) {
   };
   std::printf("restart (chain decode, 1 rank, full field):\n");
   for (const RestartCase& rc : restarts) {
-    Result res;
+    BenchResult res;
     res.scenario = "restart_mid_chain";
     res.label = rc.label;
-    core::SeriesReadReport rep;
+    SeriesReadReport rep;
     std::vector<float> got;
     res.seconds = best_seconds(opt.reps, [&] {
-      got = core::restart_at_step<float>(*file, field0, rc.step, std::nullopt, {}, &rep);
+      rep = SeriesReadReport{};
+      Result<std::vector<float>> out =
+          restart<float>(*reader, field0, rc.step, std::nullopt, {}, &rep);
+      if (!out.ok()) die(out.status());
+      got = std::move(*out);
     });
-    const auto want = reference_at_step(*file, field0, rc.step, opt.interval);
+    const auto want = reference_at_step(*reader, field0, rc.step, opt.interval);
     res.bit_exact = got.size() == want.size() &&
                     std::memcmp(got.data(), want.data(), got.size() * sizeof(float)) == 0;
     res.raw_bytes = got.size() * sizeof(float);
@@ -409,15 +430,18 @@ int main(int argc, char** argv) {
   std::printf("sparse plane read at step %d:\n", opt.steps - 1);
   {
     const std::size_t midx = opt.dims.d0 / 2;
-    const sz::Region plane{{midx, 0, 0}, {midx + 1, opt.dims.d1, opt.dims.d2}};
-    Result res;
+    const Region plane{{midx, 0, 0}, {midx + 1, opt.dims.d1, opt.dims.d2}};
+    BenchResult res;
     res.scenario = "sparse_step_read";
     res.label = "plane";
-    core::SeriesReadReport rep;
+    SeriesReadReport rep;
     std::vector<float> got;
     res.seconds = best_seconds(opt.reps, [&] {
-      got = core::restart_at_step<float>(
-          *file, field0, static_cast<std::uint32_t>(opt.steps - 1), plane, {}, &rep);
+      rep = SeriesReadReport{};
+      Result<std::vector<float>> out = restart<float>(
+          *reader, field0, static_cast<std::uint32_t>(opt.steps - 1), plane, {}, &rep);
+      if (!out.ok()) die(out.status());
+      got = std::move(*out);
     });
     res.raw_bytes = got.size() * sizeof(float);
     res.compressed_bytes = rep.bytes_read;
@@ -432,7 +456,7 @@ int main(int argc, char** argv) {
   }
 
   bool ok = true;
-  for (const Result& r : results) ok = ok && r.bit_exact;
+  for (const BenchResult& r : results) ok = ok && r.bit_exact;
   if (ratio_gain < 1.3) {
     std::printf("WARNING: temporal ratio gain %.2fx below the 1.3x acceptance bar\n",
                 ratio_gain);
@@ -440,7 +464,6 @@ int main(int argc, char** argv) {
   }
   if (opt.json) emit_json(opt, results);
 
-  file.reset();
   std::filesystem::remove(path_t);
   std::filesystem::remove(path_s);
   return ok ? 0 : 1;

@@ -1,7 +1,8 @@
-// In-situ time-series checkpointing with the temporal predictor:
+// In-situ time-series checkpointing with the temporal predictor, driven
+// entirely through the public pcw:: façade:
 //
 //   * 4 simulated ranks run 12 steps of a drifting Nyx field pair,
-//     appending each step through core::SeriesWriter (spatial keyframe
+//     appending each step through pcw::SeriesWriter (spatial keyframe
 //     every 4 steps, temporal deltas between them);
 //   * a restart reconstructs a mid-chain step bit-for-bit from the
 //     nearest keyframe forward;
@@ -11,78 +12,106 @@
 // Run:  ./in_situ_series   (writes/removes a scratch file in $TMPDIR)
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <vector>
 
-#include "core/series.h"
-#include "data/workloads.h"
-#include "h5/file.h"
+#include "pcw/pcw.h"
+#include "pcw/workloads.h"
 
 using namespace pcw;
 
 int main() {
   const std::string path =
       (std::filesystem::temp_directory_path() / "pcw_in_situ_series.pcw5").string();
-  const sz::Dims global = sz::Dims::make_3d(64, 64, 64);
+  const Dims global = Dims::make_3d(64, 64, 64);
   const int nranks = 4, steps = 12;
-  const sz::Dims local = sz::Dims::make_3d(global.d0 / nranks, global.d1, global.d2);
+  const Dims local = Dims::make_3d(global.d0 / nranks, global.d1, global.d2);
   const data::NyxField fields[] = {data::NyxField::kBaryonDensity,
                                    data::NyxField::kTemperature};
 
   // ---- simulation loop: one write_step per time step ----------------------
-  auto file = h5::File::create(path);
-  core::SeriesConfig cfg;
-  cfg.keyframe_interval = 4;
+  Result<Writer> writer = Writer::create(path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "error: %s\n", writer.status().to_string().c_str());
+    return 1;
+  }
   std::uint64_t raw = 0, temporal = 0, spatial = 0;
-  mpi::Runtime::run(nranks, [&](mpi::Comm& comm) {
-    core::SeriesWriter<float> writer(*file, cfg);
+  // Failures inside the rank body are thrown: the runtime aborts the
+  // whole group (no rank is left blocked in a collective) and run()
+  // reports the first failure as its Status.
+  const Status ran = run(nranks, [&](Rank& rank) {
+    Result<SeriesWriter> series =
+        SeriesWriter::create(*writer, SeriesOptions().with_keyframe_interval(4));
+    if (!series.ok()) throw std::runtime_error(series.status().to_string());
     std::vector<std::vector<float>> bufs(2, std::vector<float>(local.count()));
     for (int t = 0; t < steps; ++t) {
-      std::vector<core::FieldSpec<float>> specs(2);
+      std::vector<Field> step_fields(2);
       for (int f = 0; f < 2; ++f) {
         const auto info = data::nyx_field_info(fields[f]);
         data::fill_nyx_field(
             bufs[f], local,
-            {static_cast<std::size_t>(comm.rank()) * local.d0, 0, 0}, global,
+            {static_cast<std::size_t>(rank.rank()) * local.d0, 0, 0}, global,
             fields[f], 7, 0.02 * t);
-        specs[f] = {info.name, bufs[f], local, global, {}};
-        specs[f].params.error_bound = info.abs_error_bound;
+        step_fields[f].name = info.name;
+        step_fields[f].local = FieldView::of(bufs[f], local);
+        step_fields[f].global_dims = global;
+        step_fields[f].codec = CodecOptions().with_error_bound(info.abs_error_bound);
       }
-      const auto rep = writer.write_step(comm, specs);
-      if (comm.rank() == 0) {
-        raw += rep.raw_bytes * nranks;  // every rank owns an equal slab here
-        temporal += rep.temporal_blocks;
-        spatial += rep.spatial_blocks;
+      const Result<SeriesStepReport> rep = series->write_step(rank, step_fields);
+      if (!rep.ok()) throw std::runtime_error(rep.status().to_string());
+      if (rank.rank() == 0) {
+        raw += rep->raw_bytes * nranks;  // every rank owns an equal slab here
+        temporal += rep->temporal_blocks;
+        spatial += rep->spatial_blocks;
       }
     }
-    file->close_collective(comm);
+    const Status closed = writer->close(rank);
+    if (!closed.ok()) throw std::runtime_error(closed.to_string());
   });
+  if (!ran.ok()) {
+    std::fprintf(stderr, "error: %s\n", ran.to_string().c_str());
+    return 1;
+  }
   std::printf("wrote %d steps x 2 fields: %.1f MB raw -> %.2f MB stored (%.1fx)\n",
-              steps, raw / 1e6, static_cast<double>(file->file_bytes()) / 1e6,
-              static_cast<double>(raw) / static_cast<double>(file->file_bytes()));
+              steps, raw / 1e6, static_cast<double>(writer->file_bytes()) / 1e6,
+              static_cast<double>(raw) / static_cast<double>(writer->file_bytes()));
   std::printf("rank-0 predictor choices: %llu temporal / %llu spatial blocks\n",
               static_cast<unsigned long long>(temporal),
               static_cast<unsigned long long>(spatial));
 
   // ---- restart: reconstruct step 10 (chain: keyframe 8 -> 10) -------------
-  auto reopened = h5::File::open(path);
-  core::SeriesReadReport rep;
-  const auto rho = core::restart_at_step<float>(*reopened, "baryon_density", 10,
-                                                std::nullopt, {}, &rep);
+  Result<Reader> reader = Reader::open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s\n", reader.status().to_string().c_str());
+    return 1;
+  }
+  SeriesReadReport rep;
+  const Result<std::vector<float>> rho = restart<float>(*reader, "baryon_density", 10,
+                                                        std::nullopt, {}, &rep);
+  if (!rho.ok()) {
+    std::fprintf(stderr, "error: %s\n", rho.status().to_string().c_str());
+    return 1;
+  }
   std::printf("restart at step 10: %zu values via a %llu-link chain (%.2f MB read)\n",
-              rho.size(), static_cast<unsigned long long>(rep.steps_chained),
+              rho->size(), static_cast<unsigned long long>(rep.steps_chained),
               rep.bytes_read / 1e6);
 
   // ---- analysis: one plane of the last step, partial chain decode ---------
-  const sz::Region plane{{32, 0, 0}, {33, global.d1, global.d2}};
-  const auto slice = core::restart_at_step<float>(*reopened, "baryon_density",
-                                                  steps - 1, plane, {}, &rep);
+  rep = {};
+  const Region plane{{32, 0, 0}, {33, global.d1, global.d2}};
+  const Result<std::vector<float>> slice =
+      restart<float>(*reader, "baryon_density", steps - 1, plane, {}, &rep);
+  if (!slice.ok()) {
+    std::fprintf(stderr, "error: %s\n", slice.status().to_string().c_str());
+    return 1;
+  }
   std::printf("plane probe at step %d: %zu values, decoded %llu of %llu blocks\n",
-              steps - 1, slice.size(),
+              steps - 1, slice->size(),
               static_cast<unsigned long long>(rep.blocks_decoded),
               static_cast<unsigned long long>(rep.blocks_total));
 
-  reopened.reset();
-  file.reset();
+  reader = Reader();  // drop the handles before removing the scratch file
+  writer = Writer();
   std::filesystem::remove(path);
   return 0;
 }

@@ -2,6 +2,7 @@
 // science-vetted error bounds ([13], [31]) and compare all four write
 // modes on the same data — a miniature of the paper's Fig.-16 experiment
 // running for real (threads + a real file) rather than in the simulator.
+// Uses the public pcw:: façade end to end.
 //
 //   $ ./examples/nyx_snapshot [ranks=8] [edge=96]
 #include <cmath>
@@ -9,21 +10,21 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <stdexcept>
 #include <vector>
 
-#include "core/engine.h"
-#include "data/workloads.h"
-#include "h5/dataset_io.h"
-#include "util/table.h"
-#include "util/timer.h"
+#include "pcw/pcw.h"
+#include "pcw/text.h"
+#include "pcw/workloads.h"
 
 int main(int argc, char** argv) {
   using namespace pcw;
   const int ranks = argc > 1 ? std::atoi(argv[1]) : 8;
   const std::size_t edge = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 96;
 
-  const sz::Dims global = sz::Dims::make_3d(edge, edge, edge);
+  const Dims global = Dims::make_3d(edge, edge, edge);
   const auto dec = data::decompose(global, ranks);
+  const Dims local = as_dims(dec.local);
   std::printf("Nyx snapshot %zu^3, %d ranks, 6 fields, paper error bounds\n\n", edge,
               ranks);
 
@@ -33,8 +34,8 @@ int main(int argc, char** argv) {
   for (int r = 0; r < ranks; ++r) {
     blocks[r].resize(data::kNyxPrimaryFields);
     for (int f = 0; f < data::kNyxPrimaryFields; ++f) {
-      blocks[r][f].resize(dec.local.count());
-      data::fill_nyx_field(blocks[r][f], dec.local, dec.origin_of(r), global,
+      blocks[r][f].resize(local.count());
+      data::fill_nyx_field(blocks[r][f], local, dec.origin_of(r), global,
                            static_cast<data::NyxField>(f), 7);
     }
   }
@@ -45,32 +46,40 @@ int main(int argc, char** argv) {
                         data::kNyxPrimaryFields / 1e6;
 
   for (const auto mode :
-       {core::WriteMode::kNoCompression, core::WriteMode::kFilterCollective,
-        core::WriteMode::kOverlap, core::WriteMode::kOverlapReorder}) {
+       {WriteMode::kNoCompression, WriteMode::kFilterCollective, WriteMode::kOverlap,
+        WriteMode::kOverlapReorder}) {
     const std::string path =
         "nyx_snapshot_" + std::to_string(static_cast<int>(mode)) + ".pcw5";
-    auto file = h5::File::create(path);
-    core::EngineConfig config;
-    config.mode = mode;
+    Result<Writer> writer = Writer::create(path, WriterOptions().with_mode(mode));
+    if (!writer.ok()) {
+      std::fprintf(stderr, "error: %s\n", writer.status().to_string().c_str());
+      return 1;
+    }
 
-    std::vector<core::RankReport> reports(ranks);
+    std::vector<WriteReport> reports(ranks);
     util::Timer wall;
-    mpi::Runtime::run(ranks, [&](mpi::Comm& comm) {
-      std::vector<core::FieldSpec<float>> fields(data::kNyxPrimaryFields);
+    const Status ran = run(ranks, [&](Rank& rank) {
+      std::vector<Field> fields(data::kNyxPrimaryFields);
       for (int f = 0; f < data::kNyxPrimaryFields; ++f) {
         const auto info = data::nyx_field_info(static_cast<data::NyxField>(f));
         fields[f].name = info.name;
-        fields[f].local = blocks[comm.rank()][f];
-        fields[f].local_dims = dec.local;
+        fields[f].local = FieldView::of(blocks[rank.rank()][f], local);
         fields[f].global_dims = global;
-        fields[f].params.error_bound = info.abs_error_bound;
+        fields[f].codec = CodecOptions().with_error_bound(info.abs_error_bound);
       }
-      reports[comm.rank()] = core::write_fields<float>(comm, *file, fields, config);
-      file->close_collective(comm);
+      Result<WriteReport> report = writer->write(rank, fields);
+      if (!report.ok()) throw std::runtime_error(report.status().to_string());
+      reports[rank.rank()] = std::move(*report);
+      const Status closed = writer->close(rank);
+      if (!closed.ok()) throw std::runtime_error(closed.to_string());
     });
+    if (!ran.ok()) {
+      std::fprintf(stderr, "error: %s\n", ran.to_string().c_str());
+      return 1;
+    }
     const double wall_s = wall.seconds();
-    const double file_mb = static_cast<double>(file->file_bytes()) / 1e6;
-    table.add_row({core::to_string(mode), util::Table::fmt(wall_s, 3),
+    const double file_mb = static_cast<double>(writer->file_bytes()) / 1e6;
+    table.add_row({to_string(mode), util::Table::fmt(wall_s, 3),
                    util::Table::fmt(reports[0].compress_seconds, 3),
                    util::Table::fmt(reports[0].write_seconds, 3),
                    util::Table::fmt(file_mb, 1),

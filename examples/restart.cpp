@@ -2,18 +2,16 @@
 // predictive overlap engine, then restart it on 4 ranks — each restart
 // rank reads its own hyperslab through the parallel read engine, and a
 // final analysis slice shows the v2 block index skipping most of the
-// decode work.
+// decode work. Everything goes through the public pcw:: façade.
 //
 //   $ ./examples/restart [checkpoint.pcw5]
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <vector>
 
-#include "core/engine.h"
-#include "core/read_engine.h"
-#include "core/read_planner.h"
-#include "data/workloads.h"
-#include "h5/dataset_io.h"
+#include "pcw/pcw.h"
+#include "pcw/workloads.h"
 
 int main(int argc, char** argv) {
   using namespace pcw;
@@ -24,9 +22,8 @@ int main(int argc, char** argv) {
   // A 128x64x64 density+temperature checkpoint, x-slab decomposed: each
   // writer owns 16 planes (65536 elements -> two sz blocks), so partial
   // reads have blocks to skip inside every partition.
-  const sz::Dims global = sz::Dims::make_3d(128, 64, 64);
-  const sz::Dims local = sz::Dims::make_3d(global.d0 / write_ranks, global.d1,
-                                           global.d2);
+  const Dims global = Dims::make_3d(128, 64, 64);
+  const Dims local = Dims::make_3d(global.d0 / write_ranks, global.d1, global.d2);
   const data::NyxField kinds[] = {data::NyxField::kBaryonDensity,
                                   data::NyxField::kTemperature};
   std::vector<std::vector<std::vector<float>>> blocks(2);
@@ -41,41 +38,61 @@ int main(int argc, char** argv) {
   }
 
   // ---- checkpoint: the paper's full write pipeline ------------------------
-  auto file = h5::File::create(path);
-  core::EngineConfig wcfg;
-  wcfg.mode = core::WriteMode::kOverlapReorder;
-  mpi::Runtime::run(write_ranks, [&](mpi::Comm& comm) {
-    std::vector<core::FieldSpec<float>> specs(2);
+  Result<Writer> writer =
+      Writer::create(path, WriterOptions().with_mode(WriteMode::kOverlapReorder));
+  if (!writer.ok()) {
+    std::fprintf(stderr, "error: %s\n", writer.status().to_string().c_str());
+    return 1;
+  }
+  // Failed writes/reads are thrown inside the rank body: the runtime
+  // aborts the group and run() reports the first failure as its Status.
+  const Status wrote = run(write_ranks, [&](Rank& rank) {
+    std::vector<Field> fields(2);
     for (std::size_t f = 0; f < 2; ++f) {
       const auto info = data::nyx_field_info(kinds[f]);
-      specs[f].name = info.name;
-      specs[f].local = blocks[f][static_cast<std::size_t>(comm.rank())];
-      specs[f].local_dims = local;
-      specs[f].global_dims = global;
-      specs[f].params.error_bound = info.abs_error_bound;
+      fields[f].name = info.name;
+      fields[f].local =
+          FieldView::of(blocks[f][static_cast<std::size_t>(rank.rank())], local);
+      fields[f].global_dims = global;
+      fields[f].codec = CodecOptions().with_error_bound(info.abs_error_bound);
     }
-    core::write_fields<float>(comm, *file, specs, wcfg);
-    file->close_collective(comm);
+    const Result<WriteReport> report = writer->write(rank, fields);
+    if (!report.ok()) throw std::runtime_error(report.status().to_string());
+    const Status closed = writer->close(rank);
+    if (!closed.ok()) throw std::runtime_error(closed.to_string());
   });
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "error: %s\n", wrote.to_string().c_str());
+    return 1;
+  }
   std::printf("checkpoint %s: %.2f MB (raw %.2f MB)\n", path.c_str(),
-              file->file_bytes() / 1e6, 2 * global.count() * 4 / 1e6);
+              writer->file_bytes() / 1e6, 2 * global.count() * 4 / 1e6);
 
   // ---- restart on a different rank count ----------------------------------
-  auto reread = h5::File::open(path);
-  std::vector<std::vector<std::vector<float>>> restart(restart_ranks);
-  std::vector<core::ReadReport> reports(restart_ranks);
-  mpi::Runtime::run(restart_ranks, [&](mpi::Comm& comm) {
-    std::vector<core::ReadSpec> specs(2);
+  const Result<Reader> reader =
+      Reader::open(path, ReaderOptions().with_decompress_threads(2));
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s\n", reader.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<std::vector<std::vector<float>>> restarted(restart_ranks);
+  std::vector<ReadReport> reports(restart_ranks);
+  const Status read_back = run(restart_ranks, [&](Rank& rank) {
+    std::vector<ReadRequest> requests(2);
     for (std::size_t f = 0; f < 2; ++f) {
-      specs[f].name = data::nyx_field_info(kinds[f]).name;
+      requests[f].name = data::nyx_field_info(kinds[f]).name;
       // Each restart rank owns an x-slab of the new decomposition.
-      specs[f].region = core::restart_region(global, comm.rank(), restart_ranks);
+      requests[f].region = restart_region(global, rank.rank(), restart_ranks);
     }
-    core::ReadEngineConfig rcfg;
-    rcfg.decompress_threads = 2;  // block-parallel decode per partition
-    restart[static_cast<std::size_t>(comm.rank())] = core::read_fields<float>(
-        comm, *reread, specs, rcfg, &reports[static_cast<std::size_t>(comm.rank())]);
+    Result<std::vector<std::vector<float>>> got = reader->read_fields<float>(
+        rank, requests, &reports[static_cast<std::size_t>(rank.rank())]);
+    if (!got.ok()) throw std::runtime_error(got.status().to_string());
+    restarted[static_cast<std::size_t>(rank.rank())] = std::move(*got);
   });
+  if (!read_back.ok()) {
+    std::fprintf(stderr, "error: %s\n", read_back.to_string().c_str());
+    return 1;
+  }
 
   // Each restart rank's slab must match the original data within each
   // field's own error bound.
@@ -85,14 +102,15 @@ int main(int argc, char** argv) {
   for (std::size_t f = 0; f < 2; ++f) {
     double max_err = 0.0;
     for (int r = 0; r < restart_ranks; ++r) {
-      const sz::Region slab = core::restart_region(global, r, restart_ranks);
-      const auto& got = restart[static_cast<std::size_t>(r)][f];
+      const Region slab = restart_region(global, r, restart_ranks);
+      const auto& got = restarted[static_cast<std::size_t>(r)][f];
       std::size_t i = 0;
       for (std::size_t x = slab.lo[0]; x < slab.hi[0]; ++x) {
-        const int writer = static_cast<int>(x / local.d0);
+        const int writer_rank = static_cast<int>(x / local.d0);
         const std::size_t plane = (x % local.d0) * global.d1 * global.d2;
         for (std::size_t j = 0; j < global.d1 * global.d2; ++j, ++i) {
-          const double want = blocks[f][static_cast<std::size_t>(writer)][plane + j];
+          const double want =
+              blocks[f][static_cast<std::size_t>(writer_rank)][plane + j];
           max_err = std::max(max_err, std::abs(got[i] - want));
         }
       }
@@ -105,14 +123,18 @@ int main(int argc, char** argv) {
   std::printf("restart read %.2f MB of compressed payload\n", bytes_read / 1e6);
 
   // ---- sparse analysis read: the block index at work ----------------------
-  h5::RegionReadStats stats;
-  const sz::Region plane{{global.d0 / 2, 0, 0},
-                         {global.d0 / 2 + 1, global.d1, global.d2}};
-  const auto slice = h5::read_region<float>(
-      *reread, data::nyx_field_info(kinds[0]).name, plane, {}, &stats);
+  ReadReport stats;
+  const Region plane{{global.d0 / 2, 0, 0},
+                     {global.d0 / 2 + 1, global.d1, global.d2}};
+  const Result<std::vector<float>> slice = reader->read_region<float>(
+      data::nyx_field_info(kinds[0]).name, plane, &stats);
+  if (!slice.ok()) {
+    std::fprintf(stderr, "error: %s\n", slice.status().to_string().c_str());
+    return 1;
+  }
   std::printf("analysis slice (1 plane, %zu values): decoded %llu of %llu blocks in "
               "%llu of %llu partitions\n",
-              slice.size(), static_cast<unsigned long long>(stats.blocks_decoded),
+              slice->size(), static_cast<unsigned long long>(stats.blocks_decoded),
               static_cast<unsigned long long>(stats.blocks_total),
               static_cast<unsigned long long>(stats.partitions_read),
               static_cast<unsigned long long>(stats.partitions_total));

@@ -1,23 +1,26 @@
 // Extra-space tuning walkthrough (§III-D): shows how a user picks the
 // R_space knob. Sweeps the supported interval on real data, reports the
 // overflow count and storage cost at each setting, and demonstrates the
-// weight->R_space convenience mapping (Fig. 9).
+// weight->R_space convenience mapping (Fig. 9). Writes go through the
+// public pcw:: façade; the mapping comes from the models toolkit.
 //
 //   $ ./examples/tune_extra_space
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <vector>
 
-#include "core/engine.h"
-#include "data/workloads.h"
-#include "model/extra_space.h"
-#include "util/table.h"
+#include "pcw/models.h"
+#include "pcw/pcw.h"
+#include "pcw/text.h"
+#include "pcw/workloads.h"
 
 int main() {
   using namespace pcw;
   const int ranks = 8;
-  const sz::Dims global = sz::Dims::make_3d(64, 64, 64);
+  const Dims global = Dims::make_3d(64, 64, 64);
   const auto dec = data::decompose(global, ranks);
+  const Dims local = as_dims(dec.local);
 
   // Velocity fields compress past 32x here, so the Eq.-(3) boosted regime
   // is exercised alongside the normal one.
@@ -28,8 +31,8 @@ int main() {
   for (int r = 0; r < ranks; ++r) {
     blocks[r].resize(3);
     for (int f = 0; f < 3; ++f) {
-      blocks[r][f].resize(dec.local.count());
-      data::fill_nyx_field(blocks[r][f], dec.local, dec.origin_of(r), global,
+      blocks[r][f].resize(local.count());
+      data::fill_nyx_field(blocks[r][f], local, dec.origin_of(r), global,
                            field_ids[f], 99);
     }
   }
@@ -40,23 +43,32 @@ int main() {
                      "overflow partitions"});
   for (const double rspace : {1.10, 1.18, 1.25, 1.33, 1.43}) {
     const std::string path = "tune_extra_space.pcw5";
-    auto file = h5::File::create(path);
-    core::EngineConfig config;
-    config.rspace = rspace;
-    std::vector<core::RankReport> reports(ranks);
-    mpi::Runtime::run(ranks, [&](mpi::Comm& comm) {
-      std::vector<core::FieldSpec<float>> fields(3);
+    Result<Writer> writer =
+        Writer::create(path, WriterOptions().with_extra_space(rspace));
+    if (!writer.ok()) {
+      std::fprintf(stderr, "error: %s\n", writer.status().to_string().c_str());
+      return 1;
+    }
+    std::vector<WriteReport> reports(ranks);
+    const Status ran = run(ranks, [&](Rank& rank) {
+      std::vector<Field> fields(3);
       for (int f = 0; f < 3; ++f) {
         const auto info = data::nyx_field_info(field_ids[f]);
         fields[f].name = info.name;
-        fields[f].local = blocks[comm.rank()][f];
-        fields[f].local_dims = dec.local;
+        fields[f].local = FieldView::of(blocks[rank.rank()][f], local);
         fields[f].global_dims = global;
-        fields[f].params.error_bound = info.abs_error_bound;
+        fields[f].codec = CodecOptions().with_error_bound(info.abs_error_bound);
       }
-      reports[comm.rank()] = core::write_fields<float>(comm, *file, fields, config);
-      file->close_collective(comm);
+      Result<WriteReport> report = writer->write(rank, fields);
+      if (!report.ok()) throw std::runtime_error(report.status().to_string());
+      reports[rank.rank()] = std::move(*report);
+      const Status closed = writer->close(rank);
+      if (!closed.ok()) throw std::runtime_error(closed.to_string());
     });
+    if (!ran.ok()) {
+      std::fprintf(stderr, "error: %s\n", ran.to_string().c_str());
+      return 1;
+    }
     double reserved = 0, actual = 0;
     int overflows = 0;
     for (const auto& rep : reports) {

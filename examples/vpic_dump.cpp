@@ -2,19 +2,20 @@
 // eight VPIC-style particle fields (positions, momenta, energy, weight)
 // from 16 ranks with the predictive engine, reads them back, and reports
 // per-field ratios plus a physics sanity check on the reconstructed data
-// (energy conservation within the error bounds).
+// (energy conservation within the error bounds). Uses the public pcw::
+// façade end to end.
 //
 //   $ ./examples/vpic_dump [particles=2097152] [ranks=16]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <vector>
 
-#include "core/engine.h"
-#include "data/workloads.h"
-#include "h5/dataset_io.h"
-#include "util/table.h"
+#include "pcw/pcw.h"
+#include "pcw/text.h"
+#include "pcw/workloads.h"
 
 int main(int argc, char** argv) {
   using namespace pcw;
@@ -25,41 +26,51 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(per_rank * ranks), ranks);
 
   const std::string path = "vpic_dump.pcw5";
-  auto file = h5::File::create(path);
-  core::EngineConfig config;  // overlap + reorder
+  Result<Writer> writer = Writer::create(path);  // overlap + reorder
+  if (!writer.ok()) {
+    std::fprintf(stderr, "error: %s\n", writer.status().to_string().c_str());
+    return 1;
+  }
 
-  mpi::Runtime::run(ranks, [&](mpi::Comm& comm) {
-    const std::uint64_t offset = static_cast<std::uint64_t>(comm.rank()) * per_rank;
+  const Status ran = run(ranks, [&](Rank& rank) {
+    const std::uint64_t offset = static_cast<std::uint64_t>(rank.rank()) * per_rank;
     std::vector<std::vector<float>> mine(data::kVpicAllFields);
-    std::vector<core::FieldSpec<float>> fields(data::kVpicAllFields);
+    std::vector<Field> fields(data::kVpicAllFields);
     for (int f = 0; f < data::kVpicAllFields; ++f) {
       mine[f].resize(per_rank);
       data::fill_vpic_field(mine[f], offset, per_rank * ranks,
                             static_cast<data::VpicField>(f), 2023);
       const auto info = data::vpic_field_info(static_cast<data::VpicField>(f));
       fields[f].name = info.name;
-      fields[f].local = mine[f];
-      fields[f].local_dims = sz::Dims::make_1d(per_rank);
-      fields[f].global_dims = sz::Dims::make_1d(per_rank * ranks);
-      fields[f].params.error_bound = info.abs_error_bound;
+      fields[f].local = FieldView::of(mine[f], Dims::make_1d(per_rank));
+      fields[f].global_dims = Dims::make_1d(per_rank * ranks);
+      fields[f].codec = CodecOptions().with_error_bound(info.abs_error_bound);
     }
-    core::write_fields<float>(comm, *file, fields, config);
-    file->close_collective(comm);
+    // Thrown failures abort the whole group; run() reports the first one.
+    const Result<WriteReport> report = writer->write(rank, fields);
+    if (!report.ok()) throw std::runtime_error(report.status().to_string());
+    const Status closed = writer->close(rank);
+    if (!closed.ok()) throw std::runtime_error(closed.to_string());
   });
+  if (!ran.ok()) {
+    std::fprintf(stderr, "error: %s\n", ran.to_string().c_str());
+    return 1;
+  }
 
   // Per-field storage accounting from the file's own metadata.
-  auto reread = h5::File::open(path);
+  const Result<Reader> reader = Reader::open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s\n", reader.status().to_string().c_str());
+    return 1;
+  }
   util::Table table({"field", "error bound", "stored", "ratio"});
-  for (const auto& desc : reread->datasets()) {
-    std::uint64_t stored = 0, elems = 0;
-    for (const auto& part : desc.partitions) {
-      stored += part.actual_bytes;
-      elems += part.elem_count;
-    }
-    table.add_row({desc.name, util::Table::fmt(desc.abs_error_bound, 5),
-                   util::Table::fmt_bytes(static_cast<double>(stored)),
+  for (const DatasetInfo& info : reader->datasets()) {
+    std::uint64_t elems = 0;
+    for (const PartitionInfo& part : info.partitions) elems += part.elem_count;
+    table.add_row({info.name, util::Table::fmt(info.error_bound, 5),
+                   util::Table::fmt_bytes(static_cast<double>(info.stored_bytes)),
                    util::Table::fmt(static_cast<double>(elems * 4) /
-                                        static_cast<double>(stored),
+                                        static_cast<double>(info.stored_bytes),
                                     1) +
                        "x"});
   }
@@ -67,22 +78,30 @@ int main(int argc, char** argv) {
 
   // Physics check: reconstructed kinetic energy must match the energy
   // recomputed from reconstructed momenta within the propagated bounds.
-  const auto ux = h5::read_dataset<float>(*reread, "ux");
-  const auto uy = h5::read_dataset<float>(*reread, "uy");
-  const auto uz = h5::read_dataset<float>(*reread, "uz");
-  const auto ke = h5::read_dataset<float>(*reread, "ke");
+  const auto ux = reader->read<float>("ux");
+  const auto uy = reader->read<float>("uy");
+  const auto uz = reader->read<float>("uz");
+  const auto ke = reader->read<float>("ke");
+  if (!ux.ok() || !uy.ok() || !uz.ok() || !ke.ok()) {
+    std::fprintf(stderr, "error: %s\n", (!ux.ok() ? ux : !uy.ok() ? uy : !uz.ok() ? uz : ke)
+                                            .status()
+                                            .to_string()
+                                            .c_str());
+    return 1;
+  }
   const double du = data::vpic_field_info(data::VpicField::kUx).abs_error_bound;
   const double dke = data::vpic_field_info(data::VpicField::kKineticEnergy).abs_error_bound;
   double worst = 0.0;
-  for (std::size_t i = 0; i < ke.size(); ++i) {
+  for (std::size_t i = 0; i < ke->size(); ++i) {
     const double recomputed =
-        0.5 * (static_cast<double>(ux[i]) * ux[i] + static_cast<double>(uy[i]) * uy[i] +
-               static_cast<double>(uz[i]) * uz[i]);
+        0.5 * (static_cast<double>((*ux)[i]) * (*ux)[i] +
+               static_cast<double>((*uy)[i]) * (*uy)[i] +
+               static_cast<double>((*uz)[i]) * (*uz)[i]);
     // First-order propagated tolerance: |u| ~ O(1) here.
-    const double tol = dke + 3.0 * du * (std::abs(static_cast<double>(ux[i])) +
-                                         std::abs(static_cast<double>(uy[i])) +
-                                         std::abs(static_cast<double>(uz[i])) + du);
-    worst = std::max(worst, std::abs(recomputed - static_cast<double>(ke[i])) - tol);
+    const double tol = dke + 3.0 * du * (std::abs(static_cast<double>((*ux)[i])) +
+                                         std::abs(static_cast<double>((*uy)[i])) +
+                                         std::abs(static_cast<double>((*uz)[i])) + du);
+    worst = std::max(worst, std::abs(recomputed - static_cast<double>((*ke)[i])) - tol);
   }
   std::printf("\nenergy-consistency check: worst excess over tolerance = %.3g -> %s\n",
               worst, worst <= 0.0 ? "OK" : "FAIL");

@@ -1,0 +1,29 @@
+// pcw toolkit — bridges between the public façade value types and the
+// engine-internal ones, for in-tree code that mixes the façade with the
+// toolkit headers (workloads/models/sim/kernels).
+//
+// In-tree convenience surface; not part of the installed API.
+#pragma once
+
+#include "pcw/types.h"
+#include "sz/dims.h"
+
+namespace pcw {
+
+inline Dims as_dims(const sz::Dims& d) { return {d.d0, d.d1, d.d2}; }
+inline sz::Dims as_internal(const Dims& d) { return {d.d0, d.d1, d.d2}; }
+
+inline Region as_region(const sz::Region& r) {
+  Region out;
+  out.lo = r.lo;
+  out.hi = r.hi;
+  return out;
+}
+inline sz::Region as_internal(const Region& r) {
+  sz::Region out;
+  out.lo = r.lo;
+  out.hi = r.hi;
+  return out;
+}
+
+}  // namespace pcw

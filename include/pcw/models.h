@@ -1,0 +1,12 @@
+// pcw toolkit — the paper's analytic models: compression-ratio
+// estimation, compression/write throughput fits, and the extra-space
+// (R_space) policy.
+//
+// In-tree convenience surface: re-exports the library's model layer so
+// examples/tools/bench compile against "pcw/" headers only. Not part of
+// the installed API (see docs/public_api.md).
+#pragma once
+
+#include "model/extra_space.h"       // IWYU pragma: export
+#include "model/ratio_model.h"       // IWYU pragma: export
+#include "model/throughput_model.h"  // IWYU pragma: export

@@ -1,0 +1,42 @@
+// pcw public API — the SPMD runtime handle.
+//
+// The engine's collective operations (parallel writes, repartitioned
+// restarts) run SPMD: N ranks execute the same code against one shared
+// file, exactly like an MPI program. pcw::run spawns the ranks (threads
+// over shared memory) and hands each a Rank handle; Writer/Reader methods
+// taking a Rank& are collective — every rank must call them in the same
+// order with agreeing metadata.
+#pragma once
+
+#include <functional>
+
+#include "pcw/status.h"
+
+namespace pcw {
+
+/// One rank's handle inside a pcw::run region. Not constructible by user
+/// code; valid only for the duration of the callback it is passed to.
+class Rank {
+ public:
+  struct Impl;
+
+  int rank() const;
+  int size() const;
+  void barrier();
+
+  /// Internal accessor (stable across versions, not for user code).
+  Impl& impl() const { return *impl_; }
+
+  explicit Rank(Impl* impl) : impl_(impl) {}
+
+ private:
+  Impl* impl_;
+};
+
+/// Runs `body` on `ranks` SPMD ranks and blocks until all complete. If
+/// any rank throws or fails, the group is aborted (ranks blocked in
+/// collectives wake up) and the first failure comes back as an error
+/// Status — exceptions never escape.
+Status run(int ranks, const std::function<void(Rank&)>& body);
+
+}  // namespace pcw

@@ -1,0 +1,15 @@
+// pcw toolkit — the figure-reproduction simulation stack: the timing
+// engine, the Algorithm-1 scheduler, the I/O-platform simulator, the
+// simulated-MPI runtime, and the raw h5lite file handle they drive.
+//
+// In-tree convenience surface for the bench/ executables that replay the
+// paper's figures; applications use the pcw::Writer/Reader façade
+// instead. Not part of the installed API (see docs/public_api.md).
+#pragma once
+
+#include "core/scheduler.h"      // IWYU pragma: export
+#include "core/timing_engine.h"  // IWYU pragma: export
+#include "h5/file.h"             // IWYU pragma: export
+#include "iosim/platform.h"      // IWYU pragma: export
+#include "iosim/simulator.h"     // IWYU pragma: export
+#include "mpi/comm.h"            // IWYU pragma: export

@@ -1,0 +1,81 @@
+// pcw public API — error model.
+//
+// The façade never lets an exception cross the library boundary: internal
+// throws (std::invalid_argument, std::runtime_error, ...) are caught at
+// the pcw:: surface and converted to a Status carrying the failing
+// dataset/partition context in its message. Result<T> is the value-or-
+// Status return used by every fallible accessor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace pcw {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,  // caller bug: bad dims/region/params/flag
+  kNotFound = 2,         // unknown dataset, series, step, or codec id
+  kCorruptData = 3,      // malformed container/footer, size mismatch
+  kIoError = 4,          // open/read/write failure on the file
+  kFailedPrecondition = 5,  // call sequencing (closed writer, mixed dtypes)
+  kAlreadyExists = 6,    // duplicate codec id / dataset name
+  kInternal = 7,         // anything that escaped classification
+};
+
+const char* to_string(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status Error(StatusCode code, std::string message) {
+    return {code, std::move(message)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status. value()/operator* on an error Result returns the
+/// default-constructed T placeholder — there is no trap or throw; always
+/// test ok() first (or use value_or).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}    // NOLINT(google-explicit-constructor)
+  Result(StatusCode code, std::string message) : status_(code, std::move(message)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  T value_or(T fallback) const& { return ok() ? value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace pcw

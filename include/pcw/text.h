@@ -1,0 +1,12 @@
+// pcw toolkit — terminal tables, summary statistics, histograms, and the
+// wall-clock timer the examples/tools/benches format their output with.
+//
+// In-tree convenience surface: re-exports the library's util formatting
+// layer so examples/tools/bench compile against "pcw/" headers only. Not
+// part of the installed API (see docs/public_api.md).
+#pragma once
+
+#include "util/histogram.h"  // IWYU pragma: export
+#include "util/stats.h"      // IWYU pragma: export
+#include "util/table.h"      // IWYU pragma: export
+#include "util/timer.h"      // IWYU pragma: export

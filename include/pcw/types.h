@@ -1,0 +1,113 @@
+// pcw public API — shared value types.
+//
+// These mirror the engine's internal extent/region/dtype types with
+// plain, dependency-free definitions so installed headers stand alone;
+// the façade converts at the boundary. A FieldView is the type-erased
+// handle the whole surface trades in: a dtype tag, a raw byte span, and
+// logical extents — no per-call-site templating on the element type.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace pcw {
+
+enum class DType : std::uint8_t { kFloat32 = 0, kFloat64 = 1, kBytes = 2 };
+
+template <typename T>
+constexpr DType dtype_of();
+template <>
+constexpr DType dtype_of<float>() {
+  return DType::kFloat32;
+}
+template <>
+constexpr DType dtype_of<double>() {
+  return DType::kFloat64;
+}
+
+inline std::size_t element_size(DType t) {
+  switch (t) {
+    case DType::kFloat32: return 4;
+    case DType::kFloat64: return 8;
+    case DType::kBytes: return 1;
+  }
+  return 1;
+}
+
+const char* to_string(DType t);
+
+/// Logical extents, row-major C order: d0 slowest, d2 fastest. 1-D data
+/// is {1, 1, n}; 2-D data is {1, rows, cols}.
+struct Dims {
+  std::size_t d0 = 1;
+  std::size_t d1 = 1;
+  std::size_t d2 = 1;
+
+  static Dims make_1d(std::size_t n) { return {1, 1, n}; }
+  static Dims make_2d(std::size_t rows, std::size_t cols) { return {1, rows, cols}; }
+  static Dims make_3d(std::size_t x, std::size_t y, std::size_t z) { return {x, y, z}; }
+
+  std::size_t count() const { return d0 * d1 * d2; }
+
+  bool operator==(const Dims&) const = default;
+};
+
+/// Half-open axis-aligned box [lo, hi) in Dims coordinates.
+struct Region {
+  std::array<std::size_t, 3> lo{0, 0, 0};
+  std::array<std::size_t, 3> hi{0, 0, 0};
+
+  static Region of(const Dims& d) { return {{0, 0, 0}, {d.d0, d.d1, d.d2}}; }
+
+  bool empty() const { return hi[0] <= lo[0] || hi[1] <= lo[1] || hi[2] <= lo[2]; }
+
+  Dims extents() const {
+    if (empty()) return Dims{0, 0, 0};
+    return Dims{hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]};
+  }
+
+  std::size_t count() const { return empty() ? 0 : extents().count(); }
+
+  bool operator==(const Region&) const = default;
+};
+
+/// Type-erased read-only view of one field's elements: dtype tag + byte
+/// span + logical extents. Replaces per-call-site templating on T — the
+/// façade dispatches on `dtype` internally.
+struct FieldView {
+  DType dtype = DType::kFloat32;
+  std::span<const std::uint8_t> bytes;
+  Dims dims;
+
+  template <typename T>
+  static FieldView of(std::span<const T> data, const Dims& dims) {
+    FieldView v;
+    v.dtype = dtype_of<T>();
+    v.bytes = {reinterpret_cast<const std::uint8_t*>(data.data()), data.size_bytes()};
+    v.dims = dims;
+    return v;
+  }
+  template <typename T>
+  static FieldView of(const std::vector<T>& data, const Dims& dims) {
+    return of(std::span<const T>(data), dims);
+  }
+
+  std::size_t elements() const { return bytes.size() / element_size(dtype); }
+};
+
+/// Reinterprets a byte buffer as `T` elements (the typed convenience over
+/// the type-erased core; sizes must divide evenly).
+template <typename T>
+std::vector<T> bytes_as(const std::vector<std::uint8_t>& bytes) {
+  std::vector<T> out(bytes.size() / sizeof(T));
+  if (!out.empty()) {
+    std::memcpy(out.data(), bytes.data(), out.size() * sizeof(T));
+  }
+  return out;
+}
+
+}  // namespace pcw

@@ -105,21 +105,28 @@ void decode_chain(const h5::File& file, const ChainPlan& plan,
       report.bytes_read += payload.size();
 
       phase.reset();
+      const std::string where = "dataset '" + plan.chain[s]->name + "' partition " +
+                                std::to_string(ps.part_index) + ": ";
       const sz::Dims stored = sz::inspect(payload).dims;
       if (s == 0) {
         if (sz::element_count(stored) != part.elem_count) {
-          throw std::runtime_error("series: partition extents disagree with blob");
+          throw std::runtime_error(where + "partition extents disagree with blob");
         }
         local_dims = stored;
         cover = sz::covering_region(local_dims, ps.flat_lo - part.elem_offset,
                                     ps.flat_hi - part.elem_offset);
         cover_lo = sz::region_flat_lo(cover, local_dims);
       } else if (!(stored == local_dims)) {
-        throw std::runtime_error("series: partition extents changed along the chain");
+        throw std::runtime_error(where + "partition extents changed along the chain");
       }
       sz::RegionDecodeStats dstats;
-      buf = sz::decompress_region<T>(payload, cover, std::span<const T>(buf), threads,
-                                     &dstats);
+      try {
+        buf = sz::decompress_region<T>(payload, cover, std::span<const T>(buf), threads,
+                                       &dstats);
+      } catch (const std::exception& e) {
+        // Chain decode failures name the failing link, not just "series".
+        throw std::runtime_error(where + e.what());
+      }
       report.blocks_total += dstats.blocks_total;
       report.blocks_decoded += dstats.blocks_decoded;
       report.decompress_seconds += phase.seconds();

@@ -1,0 +1,93 @@
+#include "h5/codec_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcw::h5 {
+namespace {
+
+std::string known_ids_of(const std::vector<CodecEntry>& entries) {
+  std::string out;
+  for (const CodecEntry& e : entries) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(e.id) + " (" + e.name + ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+CodecRegistry::CodecRegistry() {
+  // Built-ins. Capability flags mirror the Filter implementations: only
+  // the sz container carries a block index (partial decode) and the
+  // temporal predictor.
+  entries_.push_back({static_cast<std::uint32_t>(FilterId::kNone), "none",
+                      /*supports_decode_region=*/false, /*supports_temporal=*/false,
+                      /*builtin=*/true,
+                      [](const FilterParams&) -> std::unique_ptr<Filter> {
+                        return std::make_unique<NullFilter>();
+                      }});
+  entries_.push_back({static_cast<std::uint32_t>(FilterId::kSz), "sz",
+                      /*supports_decode_region=*/true, /*supports_temporal=*/true,
+                      /*builtin=*/true,
+                      [](const FilterParams& p) -> std::unique_ptr<Filter> {
+                        return std::make_unique<SzFilter>(p.sz);
+                      }});
+  entries_.push_back({static_cast<std::uint32_t>(FilterId::kZfp), "zfp",
+                      /*supports_decode_region=*/false, /*supports_temporal=*/false,
+                      /*builtin=*/true,
+                      [](const FilterParams& p) -> std::unique_ptr<Filter> {
+                        return std::make_unique<ZfpFilter>(p.zfp);
+                      }});
+}
+
+CodecRegistry& CodecRegistry::instance() {
+  static CodecRegistry registry;
+  return registry;
+}
+
+void CodecRegistry::add(CodecEntry entry) {
+  if (entry.name.empty()) throw std::invalid_argument("codec: empty name");
+  if (!entry.make) throw std::invalid_argument("codec: empty factory");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CodecEntry& e : entries_) {
+    if (e.id == entry.id) {
+      throw std::runtime_error("codec: filter id " + std::to_string(entry.id) +
+                               " already registered as '" + e.name + "'");
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+bool CodecRegistry::contains(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const CodecEntry& e) { return e.id == id; });
+}
+
+CodecEntry CodecRegistry::info(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CodecEntry& e : entries_) {
+    if (e.id == id) return e;
+  }
+  throw std::invalid_argument("codec: no codec registered for filter id " +
+                              std::to_string(id) + " (registered: " +
+                              known_ids_of(entries_) + ")");
+}
+
+std::vector<CodecEntry> CodecRegistry::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CodecEntry> out = entries_;
+  std::stable_sort(out.begin(), out.end(), [](const CodecEntry& a, const CodecEntry& b) {
+    if (a.builtin != b.builtin) return a.builtin;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::unique_ptr<Filter> CodecRegistry::make(std::uint32_t id,
+                                            const FilterParams& params) const {
+  return info(id).make(params);
+}
+
+}  // namespace pcw::h5

@@ -1,0 +1,71 @@
+// The codec registry: the single authority mapping on-disk filter ids to
+// Filter factories plus capability flags.
+//
+// Replaces the hardwired kNone/kSz/kZfp switch that used to live in
+// make_filter: dataset_io and the read engines resolve every filter here,
+// so a codec registered at runtime (pcw::register_codec) round-trips
+// through the h5 layer without that layer knowing it exists. Built-ins
+// self-register on first use; registration is thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "h5/filter.h"
+
+namespace pcw::h5 {
+
+/// Knob bundle handed to every factory; each codec reads the slice it
+/// understands (sz the error-bound family, zfp the rate, customs none).
+struct FilterParams {
+  sz::Params sz;
+  zfp::Params zfp;
+};
+
+struct CodecEntry {
+  std::uint32_t id = 0;
+  std::string name;
+  /// Capability metadata (surfaced via pcw::registered_codecs); the
+  /// decode paths key off the Filter virtuals themselves — see
+  /// Filter::stored_dims / decode_region.
+  bool supports_decode_region = false;
+  bool supports_temporal = false;
+  bool builtin = false;
+  std::function<std::unique_ptr<Filter>(const FilterParams&)> make;
+};
+
+class CodecRegistry {
+ public:
+  /// The process-wide registry, built-ins pre-registered.
+  static CodecRegistry& instance();
+
+  /// Registers a codec. Throws std::invalid_argument on an empty
+  /// name/factory and std::runtime_error on an already-taken id.
+  void add(CodecEntry entry);
+
+  bool contains(std::uint32_t id) const;
+
+  /// Entry metadata (factory included); throws std::invalid_argument with
+  /// the known-id list on an unknown id.
+  CodecEntry info(std::uint32_t id) const;
+
+  /// All entries: built-ins first, then customs, each group by id.
+  std::vector<CodecEntry> entries() const;
+
+  /// Instantiates the filter for `id`; unknown ids throw
+  /// std::invalid_argument naming the id and the registered set (the
+  /// clean "file needs a codec this build does not have" error).
+  std::unique_ptr<Filter> make(std::uint32_t id, const FilterParams& params = {}) const;
+
+ private:
+  CodecRegistry();
+
+  mutable std::mutex mu_;
+  std::vector<CodecEntry> entries_;
+};
+
+}  // namespace pcw::h5

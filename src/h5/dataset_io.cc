@@ -17,6 +17,22 @@ std::span<const std::uint8_t> as_bytes_span(const void* p, std::size_t bytes) {
   return {static_cast<const std::uint8_t*>(p), bytes};
 }
 
+/// Rethrows the in-flight exception with the failing dataset/partition
+/// prepended, preserving the exception type callers dispatch on. Filter
+/// decode errors used to surface as bare size-mismatch text with no
+/// location; every decode site below funnels through here.
+[[noreturn]] void rethrow_with_location(const std::string& dataset, std::size_t part) {
+  const std::string where =
+      "dataset '" + dataset + "' partition " + std::to_string(part) + ": ";
+  try {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(where + e.what());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(where + e.what());
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -158,9 +174,15 @@ std::vector<T> read_dataset(const File& file, const std::string& name,
   }
 
   const auto filter = make_filter(desc->filter, sz_params);
-  for (const auto& part : desc->partitions) {
+  for (std::size_t p = 0; p < desc->partitions.size(); ++p) {
+    const auto& part = desc->partitions[p];
     const auto payload = read_partition_payload(file, *desc, part);
-    const auto raw = filter->decode(payload, desc->dtype, part.elem_count);
+    std::vector<std::uint8_t> raw;
+    try {
+      raw = filter->decode(payload, desc->dtype, part.elem_count);
+    } catch (const std::exception&) {
+      rethrow_with_location(desc->name, p);
+    }
     if (part.elem_offset + part.elem_count > total) {
       throw std::runtime_error("h5: partition exceeds dataset extent");
     }
@@ -337,16 +359,22 @@ void scatter_selection_part(const DatasetDesc& desc, const RegionSelection& sel,
   }
 
   const PartitionRecord& part = desc.partitions[ps.part_index];
-  // Decode coordinate system: sz blobs carry their true local extents
-  // (which is what unlocks the block-indexed partial decode); other
-  // filters are sliced in flat {1,1,n} order.
+  const auto filter = make_filter(desc.filter);
+  // Decode coordinate system: self-describing blobs carry their true
+  // local extents (which is what unlocks the block-indexed partial
+  // decode); codecs without stored extents are sliced in flat {1,1,n}
+  // order. The registry-made filter answers for itself — no per-id
+  // switch here.
   sz::Dims local_dims = sz::Dims::make_1d(part.elem_count);
-  if (desc.filter == FilterId::kSz) {
-    const sz::Dims stored = sz::inspect(payload).dims;
-    if (sz::element_count(stored) != part.elem_count) {
-      throw std::runtime_error("h5: partition extents disagree with blob");
+  try {
+    if (const auto stored = filter->stored_dims(payload)) {
+      if (sz::element_count(*stored) != part.elem_count) {
+        throw std::runtime_error("h5: partition extents disagree with blob");
+      }
+      local_dims = *stored;
     }
-    local_dims = stored;
+  } catch (const std::exception&) {
+    rethrow_with_location(desc.name, ps.part_index);
   }
 
   // The needed flat interval, as the smallest covering box of the
@@ -357,8 +385,12 @@ void scatter_selection_part(const DatasetDesc& desc, const RegionSelection& sel,
   const std::size_t cover_lo = sz::region_flat_lo(cover, local_dims);
 
   sz::RegionDecodeStats dstats;
-  const std::vector<std::uint8_t> bytes = make_filter(desc.filter)
-      ->decode_region(payload, desc.dtype, local_dims, cover, threads, &dstats);
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = filter->decode_region(payload, desc.dtype, local_dims, cover, threads, &dstats);
+  } catch (const std::exception&) {
+    rethrow_with_location(desc.name, ps.part_index);
+  }
   if (stats != nullptr) {
     stats->blocks_total += dstats.blocks_total;
     stats->blocks_decoded += dstats.blocks_decoded;

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "h5/codec_registry.h"
+
 namespace pcw::h5 {
 
 std::vector<std::uint8_t> Filter::decode_region(std::span<const std::uint8_t> blob,
@@ -120,6 +122,10 @@ std::vector<std::uint8_t> SzFilter::decode_region(std::span<const std::uint8_t> 
   throw std::invalid_argument("h5: unknown dtype");
 }
 
+std::optional<sz::Dims> SzFilter::stored_dims(std::span<const std::uint8_t> blob) const {
+  return sz::inspect(blob).dims;
+}
+
 std::vector<std::uint8_t> ZfpFilter::encode(std::span<const std::uint8_t> raw,
                                             DataType dtype, const sz::Dims& dims) const {
   if (dtype != DataType::kFloat32) {
@@ -147,15 +153,10 @@ std::vector<std::uint8_t> ZfpFilter::decode(std::span<const std::uint8_t> blob,
 
 std::unique_ptr<Filter> make_filter(FilterId id, const sz::Params& sz_params,
                                     const zfp::Params& zfp_params) {
-  switch (id) {
-    case FilterId::kNone:
-      return std::make_unique<NullFilter>();
-    case FilterId::kSz:
-      return std::make_unique<SzFilter>(sz_params);
-    case FilterId::kZfp:
-      return std::make_unique<ZfpFilter>(zfp_params);
-  }
-  throw std::invalid_argument("h5: unknown filter id");
+  FilterParams params;
+  params.sz = sz_params;
+  params.zfp = zfp_params;
+  return CodecRegistry::instance().make(static_cast<std::uint32_t>(id), params);
 }
 
 }  // namespace pcw::h5

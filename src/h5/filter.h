@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -45,6 +46,15 @@ class Filter {
                                                   const sz::Region& region,
                                                   unsigned threads,
                                                   sz::RegionDecodeStats* stats) const;
+
+  /// The logical extents a self-describing blob carries, when the codec's
+  /// container records them (what unlocks block-indexed partial decode in
+  /// the blob's own coordinate system). nullopt for codecs whose blobs
+  /// are not self-describing — callers then slice in flat order.
+  virtual std::optional<sz::Dims> stored_dims(std::span<const std::uint8_t> blob) const {
+    (void)blob;
+    return std::nullopt;
+  }
 };
 
 /// Identity filter (uncompressed partitioned layout).
@@ -76,6 +86,7 @@ class SzFilter final : public Filter {
                                           DataType dtype, const sz::Dims& local_dims,
                                           const sz::Region& region, unsigned threads,
                                           sz::RegionDecodeStats* stats) const override;
+  std::optional<sz::Dims> stored_dims(std::span<const std::uint8_t> blob) const override;
 
   const sz::Params& params() const { return params_; }
 
@@ -102,7 +113,10 @@ class ZfpFilter final : public Filter {
   zfp::Params params_;
 };
 
-/// Factory keyed by the on-disk FilterId.
+/// Factory keyed by the on-disk FilterId, resolved through the
+/// CodecRegistry — registered out-of-tree codecs instantiate here exactly
+/// like the built-ins. Unknown ids throw std::invalid_argument naming the
+/// registered set.
 std::unique_ptr<Filter> make_filter(FilterId id, const sz::Params& sz_params = {},
                                     const zfp::Params& zfp_params = {});
 

@@ -1,0 +1,172 @@
+// Internal glue for the pcw:: façade: conversions between the public
+// value types (pcw/types.h) and the engine's internal ones, plus the
+// exception → Status boundary every façade entry point funnels through.
+#pragma once
+
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "h5/format.h"
+#include "pcw/bridge.h"
+#include "pcw/codec.h"
+#include "pcw/status.h"
+#include "pcw/types.h"
+#include "sz/compressor.h"
+#include "sz/dims.h"
+#include "zfp/zfp.h"
+
+namespace pcw::detail {
+
+// Extent/region conversions delegate to the single authority in
+// pcw/bridge.h (the toolkit header the in-tree consumers use too).
+inline sz::Dims to_sz(const Dims& d) { return as_internal(d); }
+inline Dims from_sz(const sz::Dims& d) { return as_dims(d); }
+inline sz::Region to_sz(const Region& r) { return as_internal(r); }
+inline Region from_sz(const sz::Region& r) { return as_region(r); }
+
+inline h5::DataType to_h5(DType t) {
+  switch (t) {
+    case DType::kFloat32: return h5::DataType::kFloat32;
+    case DType::kFloat64: return h5::DataType::kFloat64;
+    case DType::kBytes: return h5::DataType::kBytes;
+  }
+  return h5::DataType::kBytes;
+}
+inline DType from_h5(h5::DataType t) {
+  switch (t) {
+    case h5::DataType::kFloat32: return DType::kFloat32;
+    case h5::DataType::kFloat64: return DType::kFloat64;
+    case h5::DataType::kBytes: return DType::kBytes;
+  }
+  return DType::kBytes;
+}
+inline DType from_sz(sz::DataType t) {
+  return t == sz::DataType::kFloat32 ? DType::kFloat32 : DType::kFloat64;
+}
+
+inline sz::Params to_sz_params(const CodecOptions& c) {
+  sz::Params p;
+  p.mode = c.mode == ErrorBoundMode::kRelative ? sz::ErrorBoundMode::kRelative
+                                               : sz::ErrorBoundMode::kAbsolute;
+  p.error_bound = c.error_bound;
+  p.radius = c.radius;
+  p.lossless = c.lossless;
+  return p;
+}
+
+inline zfp::Params to_zfp_params(const CodecOptions& c) {
+  zfp::Params p;
+  p.rate_bits = static_cast<int>(c.rate_bits);
+  return p;
+}
+
+/// Copies a typed vector out as raw element bytes (the type-erased return
+/// convention of the façade's *_bytes methods).
+template <typename T>
+std::vector<std::uint8_t> to_bytes(const std::vector<T>& vals) {
+  std::vector<std::uint8_t> out(vals.size() * sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), vals.data(), out.size());
+  return out;
+}
+
+/// Erases a typed read result to the byte-vector convention of the
+/// façade's `*_bytes` methods.
+template <typename T>
+Result<std::vector<std::uint8_t>> erase_typed(Result<std::vector<T>> r) {
+  if (!r.ok()) return r.status();
+  return to_bytes(*r);
+}
+template <typename T>
+Result<std::vector<std::vector<std::uint8_t>>> erase_typed(
+    Result<std::vector<std::vector<T>>> r) {
+  if (!r.ok()) return r.status();
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(r->size());
+  for (const auto& vals : *r) out.push_back(to_bytes(vals));
+  return out;
+}
+
+/// Dispatches a runtime dtype tag onto a typed callable (invoked with a
+/// float or double tag value); the byte dtype is uniformly unsupported
+/// at the façade.
+template <typename Fn>
+auto dispatch_dtype(DType expected, Fn&& fn) -> decltype(fn(float{})) {
+  if (expected == DType::kFloat32) return fn(float{});
+  if (expected == DType::kFloat64) return fn(double{});
+  return Status(StatusCode::kInvalidArgument,
+                "pcw: raw-bytes datasets are not supported; use kFloat32/kFloat64");
+}
+
+/// Thrown inside a guarded() body for call-sequencing errors that must
+/// surface as kFailedPrecondition (a plain runtime_error would classify
+/// as kCorruptData).
+class FailedPreconditionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Maps the in-flight exception to a Status. Classification keys off the
+/// exception type first and well-known message prefixes second (the
+/// engine throws std::invalid_argument for caller bugs and
+/// std::runtime_error for corrupt data / I/O, with "no dataset named" /
+/// "already registered" / errno text distinguishing the finer codes).
+inline Status status_from_current_exception() {
+  auto classify = [](StatusCode fallback, const std::string& msg) {
+    const auto has = [&](const char* needle) {
+      return msg.find(needle) != std::string::npos;
+    };
+    if (has("no dataset named") || has("no codec registered") || has("no series") ||
+        has("unknown series") || has("unknown step") || has("no step")) {
+      return StatusCode::kNotFound;
+    }
+    if (has("already registered") || has("duplicate dataset")) {
+      return StatusCode::kAlreadyExists;
+    }
+    if (has("open for read") || has("open for create") || has("pread") ||
+        has("pwrite")) {
+      return StatusCode::kIoError;
+    }
+    return fallback;
+  };
+  try {
+    throw;
+  } catch (const FailedPreconditionError& e) {
+    return {StatusCode::kFailedPrecondition, e.what()};
+  } catch (const std::invalid_argument& e) {
+    return {classify(StatusCode::kInvalidArgument, e.what()), e.what()};
+  } catch (const std::runtime_error& e) {
+    return {classify(StatusCode::kCorruptData, e.what()), e.what()};
+  } catch (const std::exception& e) {
+    return {StatusCode::kInternal, e.what()};
+  } catch (...) {
+    return {StatusCode::kInternal, "unknown exception"};
+  }
+}
+
+/// Runs `fn` inside the exception → Status boundary. `fn` returns the
+/// Result's value type.
+template <typename Fn>
+auto guarded(Fn&& fn) -> Result<decltype(fn())> {
+  try {
+    return std::forward<Fn>(fn)();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+/// Status-returning variant for void operations.
+template <typename Fn>
+Status guarded_status(Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+    return Status::Ok();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+}  // namespace pcw::detail

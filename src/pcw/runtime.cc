@@ -1,0 +1,22 @@
+#include "pcw/runtime.h"
+
+#include "mpi/comm.h"
+#include "pcw/facade_impl.h"
+
+namespace pcw {
+
+int Rank::rank() const { return impl_->comm.rank(); }
+int Rank::size() const { return impl_->comm.size(); }
+void Rank::barrier() { impl_->comm.barrier(); }
+
+Status run(int ranks, const std::function<void(Rank&)>& body) {
+  return detail::guarded_status([&] {
+    mpi::Runtime::run(ranks, [&](mpi::Comm& comm) {
+      Rank::Impl impl{comm};
+      Rank rank(&impl);
+      body(rank);
+    });
+  });
+}
+
+}  // namespace pcw

@@ -1,0 +1,71 @@
+// Minimal find_package(pcw) consumer: exercises the installed façade —
+// SPMD write, read-back, a region read, and the blob-level codec surface
+// — using nothing but the installed pcw/ headers.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "pcw/pcw.h"
+
+int main() {
+  using namespace pcw;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pcw_consumer.pcw5").string();
+  const Dims global = Dims::make_3d(8, 16, 16);
+  const Dims local = Dims::make_3d(4, 16, 16);
+  const int ranks = 2;
+  const double eb = 1e-3;
+
+  std::vector<std::vector<float>> slabs(ranks, std::vector<float>(local.count()));
+  for (int r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < slabs[r].size(); ++i) {
+      slabs[r][i] = std::sin(0.01 * static_cast<double>(i + 1) * (r + 1));
+    }
+  }
+
+  Result<Writer> writer = Writer::create(path);
+  if (!writer.ok()) return 1;
+  const Status ran = run(ranks, [&](Rank& rank) {
+    Field field;
+    field.name = "wave";
+    field.local = FieldView::of(slabs[rank.rank()], local);
+    field.global_dims = global;
+    field.codec = CodecOptions().with_error_bound(eb);
+    const Result<WriteReport> report = writer->write(rank, {&field, 1});
+    if (!report.ok()) throw std::runtime_error(report.status().to_string());
+    const Status closed = writer->close(rank);
+    if (!closed.ok()) throw std::runtime_error(closed.to_string());
+  });
+  if (!ran.ok()) return 1;
+
+  Result<Reader> reader = Reader::open(path);
+  if (!reader.ok()) return 1;
+  const Result<std::vector<float>> full = reader->read<float>("wave");
+  if (!full.ok() || full->size() != global.count()) return 1;
+  double max_err = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < slabs[r].size(); ++i) {
+      const double got = (*full)[static_cast<std::size_t>(r) * local.count() + i];
+      max_err = std::max(max_err, std::abs(got - slabs[r][i]));
+    }
+  }
+  if (max_err > eb) return 1;
+
+  const Region plane{{4, 0, 0}, {5, global.d1, global.d2}};
+  const Result<std::vector<float>> slice = reader->read_region<float>("wave", plane);
+  if (!slice.ok() || slice->size() != plane.count()) return 1;
+
+  const Result<std::vector<std::uint8_t>> blob =
+      encode_blob(FieldView::of(slabs[0], local), CodecOptions().with_error_bound(eb));
+  if (!blob.ok()) return 1;
+  const Result<BlobInfo> info = inspect_blob(*blob);
+  if (!info.ok() || info->codec != "sz") return 1;
+
+  reader = Reader();
+  writer = Writer();
+  std::filesystem::remove(path);
+  std::printf("pcw consumer OK (max err %.3g <= %.3g)\n", max_err, eb);
+  return 0;
+}

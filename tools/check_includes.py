@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Include-boundary check for the public pcw:: facade.
+
+examples/, tools/, and bench/ must compile against the public surface
+only: every quoted include must be either a "pcw/..." header or a local
+helper header living in the same directory (bench_common.h,
+cli_common.h). Internal layers (core/, sz/, h5/, model/, util/, ...) are
+off limits -- that is what keeps the facade from silently eroding back
+into everyone reaching around it.
+
+Run from anywhere:  python3 tools/check_includes.py
+Registered as a tier1 CTest and a CI step.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+CHECKED_DIRS = ("examples", "tools", "bench")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def violations():
+    found = []
+    for dirname in CHECKED_DIRS:
+        directory = ROOT / dirname
+        sources = sorted(
+            p for ext in ("*.cc", "*.cpp", "*.h") for p in directory.rglob(ext)
+        )
+        for path in sources:
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                match = INCLUDE_RE.match(line)
+                if match is None:
+                    continue
+                include = match.group(1)
+                if include.startswith("pcw/"):
+                    continue
+                # Same-directory helper headers (they are checked themselves).
+                if "/" not in include and (path.parent / include).is_file():
+                    continue
+                found.append(
+                    f'{path.relative_to(ROOT)}:{lineno}: includes internal header "{include}"'
+                )
+    return found
+
+
+def main():
+    bad = violations()
+    if bad:
+        print(
+            "include-boundary violations (examples/, tools/, and bench/ must "
+            'include only "pcw/..." public headers or same-directory helpers):'
+        )
+        print("\n".join(bad))
+        return 1
+    count = sum(
+        len(list((ROOT / d).rglob(ext)))
+        for d in CHECKED_DIRS
+        for ext in ("*.cc", "*.cpp", "*.h")
+    )
+    print(f"include boundary OK: {count} sources in {', '.join(CHECKED_DIRS)} are pcw/-only")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Install-package smoke: `cmake --install` the built tree into a scratch
+# prefix, then configure/build/run the out-of-tree find_package(pcw)
+# consumer (tests/consumer) against it. Proves the export set resolves
+# and the installed pcw/ headers stand alone.
+#
+#   tools/check_install.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+scratch="$(mktemp -d)"
+trap 'rm -rf "${scratch}"' EXIT
+
+cmake --install "${build_dir}" --prefix "${scratch}/prefix" >/dev/null
+cmake -S tests/consumer -B "${scratch}/consumer-build" \
+  -DCMAKE_PREFIX_PATH="${scratch}/prefix" \
+  -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${scratch}/consumer-build" >/dev/null
+"${scratch}/consumer-build/pcw_consumer"
+echo "find_package(pcw) install check OK"

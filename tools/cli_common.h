@@ -1,0 +1,71 @@
+// Shared CLI plumbing for the pcwz / pcw5ls front ends: the usage/exit-2
+// contract (tests/cli_test.sh pins that unknown flags and commands exit 2
+// with a usage message), sequential flag parsing with unknown-flag
+// rejection, and raw-file I/O helpers. This used to be duplicated —
+// slightly divergently — in both tools.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace pcw::cli {
+
+/// Prints "error: <why>" (when given) plus the tool's usage text to
+/// stderr and exits 2 — the misuse exit code the CLI contract pins.
+[[noreturn]] inline void usage_exit(const char* usage_text, const std::string& why = {}) {
+  if (!why.empty()) std::fprintf(stderr, "error: %s\n\n", why.c_str());
+  std::fputs(usage_text, stderr);
+  std::exit(2);
+}
+
+/// Sequential cursor over argv[start..): next()/arg() iterate, value()
+/// consumes the current flag's argument or usage-exits, unknown()
+/// rejects the current argument under the shared exit-2 contract.
+class ArgCursor {
+ public:
+  ArgCursor(int argc, char** argv, int start, const char* usage_text)
+      : argc_(argc), argv_(argv), i_(start - 1), usage_(usage_text) {}
+
+  bool next() { return ++i_ < argc_; }
+  std::string arg() const { return argv_[i_]; }
+
+  std::string value(const char* flag) {
+    if (i_ + 1 >= argc_) usage_exit(usage_, std::string(flag) + " needs a value");
+    return argv_[++i_];
+  }
+
+  [[noreturn]] void unknown() const { usage_exit(usage_, "unknown flag " + arg()); }
+
+ private:
+  int argc_;
+  char** argv_;
+  int i_;
+  const char* usage_;
+};
+
+/// Slurps a file or exits 1 (runtime failure, not misuse).
+inline std::vector<std::uint8_t> read_file_or_exit(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+inline void write_file_or_exit(const std::string& path, const void* data,
+                               std::size_t bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out ||
+      !out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes))) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace pcw::cli

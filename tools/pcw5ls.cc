@@ -1,6 +1,7 @@
 // pcw5ls — inspect a .pcw5 shared file: dataset table, per-partition
-// layout, storage accounting, per-block sz index summaries, and optional
-// full decode verification.
+// layout, storage accounting, per-block codec index summaries, and
+// optional full decode verification. Built entirely on the pcw:: façade
+// (Reader + the blob-level codec surface).
 //
 //   pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify]
 #include <algorithm>
@@ -11,70 +12,50 @@
 #include <string>
 #include <vector>
 
-#include "core/series.h"
-#include "h5/dataset_io.h"
-#include "h5/file.h"
-#include "sz/compressor.h"
-#include "util/table.h"
+#include "cli_common.h"
+#include "pcw/pcw.h"
+#include "pcw/text.h"
 
 namespace {
 
-const char* filter_name(pcw::h5::FilterId id) {
-  switch (id) {
-    case pcw::h5::FilterId::kNone: return "none";
-    case pcw::h5::FilterId::kSz: return "sz";
-    case pcw::h5::FilterId::kZfp: return "zfp";
-  }
-  return "?";
+using namespace pcw;
+
+constexpr const char* kUsage =
+    "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify]\n";
+
+std::string filter_name(std::uint32_t filter_id) {
+  const Result<CodecInfo> info = find_codec(filter_id);
+  return info.ok() ? info->name : "?";
 }
 
-const char* dtype_name(pcw::h5::DataType t) {
-  switch (t) {
-    case pcw::h5::DataType::kFloat32: return "float32";
-    case pcw::h5::DataType::kFloat64: return "float64";
-    case pcw::h5::DataType::kBytes: return "bytes";
-  }
-  return "?";
-}
-
-/// Per-dataset sz container summary: version(s), codec, and the compressed
-/// block-size distribution across every partition's block index — what a
-/// partial (region) read of this dataset will cost per decoded block.
-void print_block_summaries(const pcw::h5::File& file) {
-  pcw::util::Table table({"dataset", "container", "codec", "blocks", "min blk",
-                          "median blk", "max blk", "lz"});
+/// Per-dataset codec container summary: version(s), codec, and the
+/// compressed block-size distribution across every partition's block
+/// index — what a partial (region) read of this dataset will cost per
+/// decoded block.
+void print_block_summaries(const Reader& reader) {
+  util::Table table({"dataset", "container", "codec", "blocks", "min blk",
+                     "median blk", "max blk", "lz"});
   bool any = false;
-  for (const auto& desc : file.datasets()) {
-    if (desc.layout != pcw::h5::Layout::kPartitioned ||
-        desc.filter != pcw::h5::FilterId::kSz) {
-      continue;
-    }
+  for (const DatasetInfo& info : reader.datasets()) {
+    if (info.layout != Layout::kPartitioned || info.filter_id != kCodecSz) continue;
     any = true;
-    const std::size_t esize = pcw::h5::element_size(desc.dtype);
     std::vector<std::uint64_t> block_bytes;
     std::uint32_t vmin = 0, vmax = 0;
     int lz_parts = 0;
-    // The sz header + block index live in the blob's first
-    // kMaxHeaderBytes, so summarizing costs header-sized reads, not full
-    // payloads — the same economy partial reads themselves enjoy. The
-    // prefix may straddle slot and overflow.
-    for (const auto& part : desc.partitions) {
-      const std::uint64_t want =
-          std::min<std::uint64_t>(part.actual_bytes, pcw::sz::kMaxHeaderBytes);
-      const std::uint64_t in_slot =
-          std::min(want, std::min(part.actual_bytes, part.reserved_bytes));
-      auto payload = file.pread(part.file_offset, in_slot);
-      if (want > in_slot) {
-        const auto tail = file.pread(part.overflow_offset, want - in_slot);
-        payload.insert(payload.end(), tail.begin(), tail.end());
-      }
-      const auto info = pcw::sz::inspect(payload);
-      vmin = vmin == 0 ? info.version : std::min(vmin, info.version);
-      vmax = std::max(vmax, info.version);
-      lz_parts += info.lz_applied ? 1 : 0;
-      for (const auto& blk : pcw::sz::inspect_blocks(payload)) {
-        block_bytes.push_back(blk.stored_bytes(esize));
-      }
+    // The container header + block index live in the blob's first
+    // kMaxBlobHeaderBytes, so summarizing costs header-sized reads, not
+    // full payloads — the same economy partial reads themselves enjoy.
+    for (std::size_t p = 0; p < info.partitions.size(); ++p) {
+      const auto head = reader.partition_prefix(info.name, p, kMaxBlobHeaderBytes);
+      if (!head.ok()) throw std::runtime_error(head.status().message());
+      const Result<BlobInfo> blob = inspect_blob(*head);
+      if (!blob.ok()) throw std::runtime_error(blob.status().message());
+      vmin = vmin == 0 ? blob->version : std::min(vmin, blob->version);
+      vmax = std::max(vmax, blob->version);
+      lz_parts += blob->lz_applied ? 1 : 0;
+      const auto blocks = inspect_blob_blocks(*head);
+      if (!blocks.ok()) throw std::runtime_error(blocks.status().message());
+      for (const BlobBlockInfo& blk : *blocks) block_bytes.push_back(blk.stored_bytes);
     }
     std::sort(block_bytes.begin(), block_bytes.end());
     const std::uint64_t median = block_bytes[block_bytes.size() / 2];
@@ -82,11 +63,11 @@ void print_block_summaries(const pcw::h5::File& file) {
         vmin == vmax ? "v" + std::to_string(vmin)
                      : "v" + std::to_string(vmin) + "/v" + std::to_string(vmax);
     table.add_row(
-        {desc.name, container, "sz", std::to_string(block_bytes.size()),
-         pcw::util::Table::fmt_bytes(static_cast<double>(block_bytes.front())),
-         pcw::util::Table::fmt_bytes(static_cast<double>(median)),
-         pcw::util::Table::fmt_bytes(static_cast<double>(block_bytes.back())),
-         std::to_string(lz_parts) + "/" + std::to_string(desc.partitions.size())});
+        {info.name, container, "sz", std::to_string(block_bytes.size()),
+         util::Table::fmt_bytes(static_cast<double>(block_bytes.front())),
+         util::Table::fmt_bytes(static_cast<double>(median)),
+         util::Table::fmt_bytes(static_cast<double>(block_bytes.back())),
+         std::to_string(lz_parts) + "/" + std::to_string(info.partitions.size())});
   }
   if (!any) {
     std::printf("no sz-filtered datasets\n");
@@ -96,12 +77,12 @@ void print_block_summaries(const pcw::h5::File& file) {
 }
 
 /// Per-series step table: the restart-cost view. Chain length is how many
-/// blobs restart_at_step(t) decodes; temporal column counts the per-block
+/// blobs restart(t) decodes; temporal column counts the per-block
 /// predictor outcomes across the step's partitions.
-void print_step_tables(const pcw::h5::File& file) {
-  std::map<std::string, std::vector<const pcw::h5::DatasetDesc*>> series;
-  for (const auto& desc : file.datasets()) {
-    if (desc.series_member) series[desc.series_base].push_back(&desc);
+void print_step_tables(const Reader& reader) {
+  std::map<std::string, std::vector<DatasetInfo>> series;
+  for (const DatasetInfo& info : reader.datasets()) {
+    if (info.series_member) series[info.series_base].push_back(info);
   }
   if (series.empty()) {
     std::printf("no time series\n");
@@ -109,15 +90,15 @@ void print_step_tables(const pcw::h5::File& file) {
   }
   for (auto& [base, steps] : series) {
     std::sort(steps.begin(), steps.end(),
-              [](const auto* a, const auto* b) { return a->series_step < b->series_step; });
+              [](const auto& a, const auto& b) { return a.series_step < b.series_step; });
     std::printf("\nseries %s (%zu steps):\n", base.c_str(), steps.size());
-    pcw::util::Table table({"step", "kind", "ref", "chain", "parts", "stored",
-                            "temporal blks"});
+    util::Table table({"step", "kind", "ref", "chain", "parts", "stored",
+                       "temporal blks"});
     // Chain length = blobs a restart actually decodes: walk the real
     // reference links (refs may skip steps), "?" on a broken chain.
-    std::map<std::uint32_t, const pcw::h5::DatasetDesc*> by_step;
-    for (const auto* d : steps) by_step[d->series_step] = d;
-    auto chain_of = [&](const pcw::h5::DatasetDesc* d) -> std::string {
+    std::map<std::uint32_t, const DatasetInfo*> by_step;
+    for (const DatasetInfo& d : steps) by_step[d.series_step] = &d;
+    auto chain_of = [&](const DatasetInfo* d) -> std::string {
       std::uint64_t len = 1;
       while (!d->is_keyframe()) {
         const auto it = by_step.find(d->series_ref_step);
@@ -127,25 +108,26 @@ void print_step_tables(const pcw::h5::File& file) {
       }
       return std::to_string(len);
     };
-    for (const auto* d : steps) {
+    for (const DatasetInfo& d : steps) {
       std::uint64_t stored = 0;
       std::uint64_t blocks = 0, temporal = 0;
-      for (const auto& part : d->partitions) {
-        stored += part.actual_bytes;
-        const std::uint64_t want =
-            std::min<std::uint64_t>(part.actual_bytes, pcw::sz::kMaxHeaderBytes);
-        const auto head = file.pread(part.file_offset, want);
-        for (const auto& blk : pcw::sz::inspect_blocks(head)) {
+      for (std::size_t p = 0; p < d.partitions.size(); ++p) {
+        stored += d.partitions[p].actual_bytes;
+        const auto head = reader.partition_prefix(d.name, p, kMaxBlobHeaderBytes);
+        if (!head.ok()) throw std::runtime_error(head.status().message());
+        const auto blks = inspect_blob_blocks(*head);
+        if (!blks.ok()) throw std::runtime_error(blks.status().message());
+        for (const BlobBlockInfo& blk : *blks) {
           ++blocks;
-          temporal += blk.predictor == pcw::sz::Predictor::kTemporal ? 1 : 0;
+          temporal += blk.temporal ? 1 : 0;
         }
       }
-      table.add_row(
-          {std::to_string(d->series_step), d->is_keyframe() ? "keyframe" : "delta",
-           std::to_string(d->series_ref_step), chain_of(d),
-           std::to_string(d->partitions.size()),
-           pcw::util::Table::fmt_bytes(static_cast<double>(stored)),
-           std::to_string(temporal) + "/" + std::to_string(blocks)});
+      table.add_row({std::to_string(d.series_step),
+                     d.is_keyframe() ? "keyframe" : "delta",
+                     std::to_string(d.series_ref_step), chain_of(&d),
+                     std::to_string(d.partitions.size()),
+                     util::Table::fmt_bytes(static_cast<double>(stored)),
+                     std::to_string(temporal) + "/" + std::to_string(blocks)});
     }
     table.print(std::cout);
   }
@@ -156,31 +138,38 @@ void print_step_tables(const pcw::h5::File& file) {
 /// per step. A step whose reference is not the previously decoded one
 /// (gap refs are legal in the format) falls back to a real chain restart.
 template <typename T>
-void verify_series_chain(pcw::h5::File& file,
-                         const std::vector<const pcw::h5::DatasetDesc*>& steps) {
+void verify_series_chain(const Reader& reader, const std::vector<DatasetInfo>& steps) {
   std::vector<T> prev;
   std::uint32_t prev_step = 0;
-  for (const pcw::h5::DatasetDesc* d : steps) {
+  for (const DatasetInfo& d : steps) {
     std::vector<T> out;
-    if (!d->is_keyframe() && (prev.empty() || d->series_ref_step != prev_step)) {
-      out = pcw::core::restart_at_step<T>(file, d->series_base, d->series_step);
+    if (!d.is_keyframe() && (prev.empty() || d.series_ref_step != prev_step)) {
+      Result<std::vector<T>> chained = restart<T>(reader, d.series_base, d.series_step);
+      if (!chained.ok()) throw std::runtime_error(chained.status().message());
+      out = std::move(*chained);
     } else {
-      out.resize(pcw::sz::element_count(d->global_dims));
-      for (const auto& part : d->partitions) {
-        // Same guards as h5::read_dataset: a corrupt footer or a blob
-        // whose stored extents disagree with the partition must fail
-        // cleanly, not scatter out of bounds.
+      out.resize(d.dims.count());
+      for (std::size_t p = 0; p < d.partitions.size(); ++p) {
+        const PartitionInfo& part = d.partitions[p];
+        // Same guards as the library read path: a corrupt footer or a
+        // blob whose stored extents disagree with the partition must
+        // fail cleanly, not scatter out of bounds.
         if (part.elem_offset + part.elem_count > out.size() ||
             part.elem_offset + part.elem_count < part.elem_offset ||
-            (!d->is_keyframe() && part.elem_offset + part.elem_count > prev.size())) {
+            (!d.is_keyframe() && part.elem_offset + part.elem_count > prev.size())) {
           throw std::runtime_error("series partition exceeds dataset extent");
         }
-        const auto payload = pcw::h5::read_partition_payload(file, *d, part);
-        const std::span<const T> ref =
-            d->is_keyframe()
-                ? std::span<const T>{}
-                : std::span<const T>(prev.data() + part.elem_offset, part.elem_count);
-        const auto vals = pcw::sz::decompress<T>(payload, ref);
+        const auto payload = reader.partition_payload(d.name, p);
+        if (!payload.ok()) throw std::runtime_error(payload.status().message());
+        FieldView ref;
+        if (!d.is_keyframe()) {
+          ref = FieldView::of(
+              std::span<const T>(prev.data() + part.elem_offset, part.elem_count),
+              Dims::make_1d(part.elem_count));
+        }
+        const Result<DecodedBlob> decoded = decode_blob(*payload, ref);
+        if (!decoded.ok()) throw std::runtime_error(decoded.status().message());
+        const std::vector<T> vals = decoded->as<T>();
         if (vals.size() != part.elem_count) {
           throw std::runtime_error("series partition extents disagree with blob");
         }
@@ -188,149 +177,147 @@ void verify_series_chain(pcw::h5::File& file,
                     vals.size() * sizeof(T));
       }
     }
-    std::printf("  %-24s OK (%zu values, via chain)\n", d->name.c_str(), out.size());
+    std::printf("  %-24s OK (%zu values, via chain)\n", d.name.c_str(), out.size());
     prev = std::move(out);
-    prev_step = d->series_step;
+    prev_step = d.series_step;
   }
+}
+
+int run(const std::string& path, bool show_partitions, bool show_blocks,
+        bool show_steps, bool verify) {
+  const Result<Reader> opened = Reader::open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().message().c_str());
+    return 1;
+  }
+  const Reader& reader = *opened;
+  const std::vector<DatasetInfo> datasets = reader.datasets();
+  std::printf("%s: %llu bytes, %zu dataset(s)\n\n", path.c_str(),
+              static_cast<unsigned long long>(reader.file_bytes()), datasets.size());
+
+  util::Table table({"dataset", "dtype", "dims", "filter", "parts", "stored",
+                     "reserved", "ratio", "overflows"});
+  for (const DatasetInfo& info : datasets) {
+    std::uint64_t reserved = 0;
+    int overflows = 0;
+    if (info.layout == Layout::kContiguous) {
+      reserved = info.stored_bytes;
+    } else {
+      for (const PartitionInfo& part : info.partitions) {
+        reserved += std::max(part.reserved_bytes, part.actual_bytes);
+        overflows += part.overflow_bytes > 0;
+      }
+    }
+    const double raw =
+        static_cast<double>(info.dims.count() * element_size(info.dtype));
+    char dims_str[64];
+    std::snprintf(dims_str, sizeof(dims_str), "%zux%zux%zu", info.dims.d0,
+                  info.dims.d1, info.dims.d2);
+    table.add_row({info.name, to_string(info.dtype), dims_str,
+                   filter_name(info.filter_id), std::to_string(info.partitions.size()),
+                   util::Table::fmt_bytes(static_cast<double>(info.stored_bytes)),
+                   util::Table::fmt_bytes(static_cast<double>(reserved)),
+                   util::Table::fmt(raw / static_cast<double>(info.stored_bytes), 1) + "x",
+                   std::to_string(overflows)});
+  }
+  table.print(std::cout);
+
+  if (show_partitions) {
+    for (const DatasetInfo& info : datasets) {
+      if (info.layout != Layout::kPartitioned) continue;
+      std::printf("\n%s partitions:\n", info.name.c_str());
+      util::Table pt({"rank", "elems", "offset", "reserved", "actual", "overflow"});
+      for (const PartitionInfo& part : info.partitions) {
+        pt.add_row({std::to_string(part.rank), std::to_string(part.elem_count),
+                    std::to_string(part.file_offset),
+                    std::to_string(part.reserved_bytes),
+                    std::to_string(part.actual_bytes),
+                    part.overflow_bytes > 0
+                        ? std::to_string(part.overflow_bytes) + "@" +
+                              std::to_string(part.overflow_offset)
+                        : "-"});
+      }
+      pt.print(std::cout);
+    }
+  }
+
+  if (show_blocks) {
+    std::printf("\nsz block index (per-block cost of partial reads):\n");
+    print_block_summaries(reader);
+  }
+
+  if (show_steps) {
+    std::printf("\ntime-series steps (chain = blobs a restart decodes):\n");
+    print_step_tables(reader);
+  }
+
+  if (verify) {
+    std::printf("\nverifying (full decode of every dataset)...\n");
+    for (const DatasetInfo& info : datasets) {
+      if (info.series_member) continue;  // verified chain-wise below
+      if (info.dtype == DType::kBytes) {
+        std::printf("  %-24s skipped (raw bytes)\n", info.name.c_str());
+        continue;
+      }
+      const Result<std::vector<std::uint8_t>> v = reader.read_bytes(info.name, info.dtype);
+      if (!v.ok()) {
+        std::printf("  %-24s FAILED: %s\n", info.name.c_str(),
+                    v.status().message().c_str());
+        return 1;
+      }
+      std::printf("  %-24s OK (%zu values)\n", info.name.c_str(),
+                  v->size() / element_size(info.dtype));
+    }
+    // Series: temporal deltas cannot decode standalone, and chaining per
+    // step would redo shared prefixes — walk each series once in step
+    // order with a running reconstruction instead.
+    std::map<std::string, std::vector<DatasetInfo>> series;
+    for (const DatasetInfo& info : datasets) {
+      if (info.series_member) series[info.series_base].push_back(info);
+    }
+    for (auto& [base, steps] : series) {
+      std::sort(steps.begin(), steps.end(), [](const auto& a, const auto& b) {
+        return a.series_step < b.series_step;
+      });
+      try {
+        if (steps.front().dtype == DType::kFloat32) {
+          verify_series_chain<float>(reader, steps);
+        } else {
+          verify_series_chain<double>(reader, steps);
+        }
+      } catch (const std::exception& e) {
+        std::printf("  %-24s FAILED: %s\n", base.c_str(), e.what());
+        return 1;
+      }
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] "
-                 "[--verify]\n");
-    return 2;
-  }
+  if (argc < 2) cli::usage_exit(kUsage);
   bool show_partitions = false, show_blocks = false, show_steps = false, verify = false;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--partitions") == 0) {
+  cli::ArgCursor args(argc, argv, 2, kUsage);
+  while (args.next()) {
+    const std::string arg = args.arg();
+    if (arg == "--partitions") {
       show_partitions = true;
-    } else if (std::strcmp(argv[i], "--blocks") == 0) {
+    } else if (arg == "--blocks") {
       show_blocks = true;
-    } else if (std::strcmp(argv[i], "--steps") == 0) {
+    } else if (arg == "--steps") {
       show_steps = true;
-    } else if (std::strcmp(argv[i], "--verify") == 0) {
+    } else if (arg == "--verify") {
       verify = true;
     } else {
-      std::fprintf(stderr,
-                   "error: unknown flag %s\n"
-                   "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] "
-                   "[--verify]\n",
-                   argv[i]);
-      return 2;
+      args.unknown();
     }
   }
-
   try {
-    auto file = pcw::h5::File::open(argv[1]);
-    std::printf("%s: %llu bytes, %zu dataset(s)\n\n", argv[1],
-                static_cast<unsigned long long>(file->file_bytes()),
-                file->datasets().size());
-
-    pcw::util::Table table({"dataset", "dtype", "dims", "filter", "parts", "stored",
-                            "reserved", "ratio", "overflows"});
-    for (const auto& desc : file->datasets()) {
-      std::uint64_t stored = 0, reserved = 0, elems = desc.global_dims.count();
-      int overflows = 0;
-      if (desc.layout == pcw::h5::Layout::kContiguous) {
-        stored = reserved = desc.nbytes;
-      } else {
-        for (const auto& part : desc.partitions) {
-          stored += part.actual_bytes;
-          reserved += std::max(part.reserved_bytes, part.actual_bytes);
-          overflows += part.overflow_bytes > 0;
-        }
-      }
-      const double raw =
-          static_cast<double>(elems * pcw::h5::element_size(desc.dtype));
-      char dims_str[64];
-      std::snprintf(dims_str, sizeof(dims_str), "%zux%zux%zu", desc.global_dims.d0,
-                    desc.global_dims.d1, desc.global_dims.d2);
-      table.add_row({desc.name, dtype_name(desc.dtype), dims_str,
-                     filter_name(desc.filter), std::to_string(desc.partitions.size()),
-                     pcw::util::Table::fmt_bytes(static_cast<double>(stored)),
-                     pcw::util::Table::fmt_bytes(static_cast<double>(reserved)),
-                     pcw::util::Table::fmt(raw / static_cast<double>(stored), 1) + "x",
-                     std::to_string(overflows)});
-    }
-    table.print(std::cout);
-
-    if (show_partitions) {
-      for (const auto& desc : file->datasets()) {
-        if (desc.layout != pcw::h5::Layout::kPartitioned) continue;
-        std::printf("\n%s partitions:\n", desc.name.c_str());
-        pcw::util::Table pt({"rank", "elems", "offset", "reserved", "actual", "overflow"});
-        for (const auto& part : desc.partitions) {
-          pt.add_row({std::to_string(part.rank), std::to_string(part.elem_count),
-                      std::to_string(part.file_offset),
-                      std::to_string(part.reserved_bytes),
-                      std::to_string(part.actual_bytes),
-                      part.overflow_bytes > 0
-                          ? std::to_string(part.overflow_bytes) + "@" +
-                                std::to_string(part.overflow_offset)
-                          : "-"});
-        }
-        pt.print(std::cout);
-      }
-    }
-
-    if (show_blocks) {
-      std::printf("\nsz block index (per-block cost of partial reads):\n");
-      print_block_summaries(*file);
-    }
-
-    if (show_steps) {
-      std::printf("\ntime-series steps (chain = blobs a restart decodes):\n");
-      print_step_tables(*file);
-    }
-
-    if (verify) {
-      std::printf("\nverifying (full decode of every dataset)...\n");
-      for (const auto& desc : file->datasets()) {
-        if (desc.series_member) continue;  // verified chain-wise below
-        try {
-          if (desc.dtype == pcw::h5::DataType::kFloat32) {
-            const auto v = pcw::h5::read_dataset<float>(*file, desc.name);
-            std::printf("  %-24s OK (%zu values)\n", desc.name.c_str(), v.size());
-          } else if (desc.dtype == pcw::h5::DataType::kFloat64) {
-            const auto v = pcw::h5::read_dataset<double>(*file, desc.name);
-            std::printf("  %-24s OK (%zu values)\n", desc.name.c_str(), v.size());
-          } else {
-            std::printf("  %-24s skipped (raw bytes)\n", desc.name.c_str());
-          }
-        } catch (const std::exception& e) {
-          std::printf("  %-24s FAILED: %s\n", desc.name.c_str(), e.what());
-          return 1;
-        }
-      }
-      // Series: temporal deltas cannot decode standalone, and chaining
-      // per step would redo shared prefixes — walk each series once in
-      // step order with a running reconstruction instead.
-      std::map<std::string, std::vector<const pcw::h5::DatasetDesc*>> series;
-      for (const auto& desc : file->datasets()) {
-        if (desc.series_member) series[desc.series_base].push_back(&desc);
-      }
-      for (auto& [base, steps] : series) {
-        std::sort(steps.begin(), steps.end(), [](const auto* a, const auto* b) {
-          return a->series_step < b->series_step;
-        });
-        try {
-          if (steps.front()->dtype == pcw::h5::DataType::kFloat32) {
-            verify_series_chain<float>(*file, steps);
-          } else {
-            verify_series_chain<double>(*file, steps);
-          }
-        } catch (const std::exception& e) {
-          std::printf("  %-24s FAILED: %s\n", base.c_str(), e.what());
-          return 1;
-        }
-      }
-    }
+    return run(argv[1], show_partitions, show_blocks, show_steps, verify);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

@@ -1,4 +1,5 @@
-// pcwz — command-line front end for the pcw::sz / pcw::zfp compressors.
+// pcwz — command-line front end for the pcw standalone codec surface
+// (pcw/codec.h: the sz error-bounded and zfp fixed-rate compressors).
 //
 //   pcwz compress   <in.f32> <out.pcwz> --dims D0,D1,D2 --eb 1e-3 [--rel]
 //                   [--radius N] [--no-lossless]
@@ -9,149 +10,119 @@
 // Raw files are little-endian float32 arrays (numpy `.tofile` format).
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "sz/compressor.h"
-#include "util/timer.h"
-#include "zfp/zfp.h"
+#include "cli_common.h"
+#include "pcw/codec.h"
+#include "pcw/text.h"
 
 namespace {
 
 using namespace pcw;
 
-[[noreturn]] void usage(const char* msg = nullptr) {
-  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
-  std::fprintf(stderr,
-               "usage:\n"
-               "  pcwz compress   <in.f32> <out> --dims D0,D1,D2 --eb B [--rel]\n"
-               "                  [--radius N] [--no-lossless]\n"
-               "  pcwz compress   <in.f32> <out> --dims D0,D1,D2 --zfp-rate R\n"
-               "  pcwz decompress <in> <out.f32>\n"
-               "  pcwz inspect    <in>\n");
-  std::exit(2);
+constexpr const char* kUsage =
+    "usage:\n"
+    "  pcwz compress   <in.f32> <out> --dims D0,D1,D2 --eb B [--rel]\n"
+    "                  [--radius N] [--no-lossless]\n"
+    "  pcwz compress   <in.f32> <out> --dims D0,D1,D2 --zfp-rate R\n"
+    "  pcwz decompress <in> <out.f32>\n"
+    "  pcwz inspect    <in>\n";
+
+[[noreturn]] int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.message().c_str());
+  std::exit(1);
 }
 
-std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    std::exit(1);
-  }
-  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
-}
-
-void write_file(const std::string& path, const void* data, std::size_t bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out || !out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes))) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    std::exit(1);
-  }
-}
-
-sz::Dims parse_dims(const std::string& spec) {
-  sz::Dims dims;
+Dims parse_dims(const std::string& spec) {
+  Dims dims;
   if (std::sscanf(spec.c_str(), "%zu,%zu,%zu", &dims.d0, &dims.d1, &dims.d2) != 3) {
-    usage("--dims expects D0,D1,D2 (use 1 for unused dimensions)");
+    cli::usage_exit(kUsage, "--dims expects D0,D1,D2 (use 1 for unused dimensions)");
   }
   return dims;
 }
 
 int cmd_compress(int argc, char** argv) {
-  if (argc < 4) usage("compress needs <in> <out>");
+  if (argc < 4) cli::usage_exit(kUsage, "compress needs <in> <out>");
   const std::string in_path = argv[2], out_path = argv[3];
-  std::optional<sz::Dims> dims;
-  sz::Params sz_params;
-  std::optional<int> zfp_rate;
-  for (int i = 4; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto need_value = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) usage((std::string(flag) + " needs a value").c_str());
-      return argv[++i];
-    };
+  std::optional<Dims> dims;
+  CodecOptions options;  // defaults to the sz error-bounded codec
+  cli::ArgCursor args(argc, argv, 4, kUsage);
+  while (args.next()) {
+    const std::string arg = args.arg();
     if (arg == "--dims") {
-      dims = parse_dims(need_value("--dims"));
+      dims = parse_dims(args.value("--dims"));
     } else if (arg == "--eb") {
-      sz_params.error_bound = std::stod(need_value("--eb"));
+      options.with_error_bound(std::stod(args.value("--eb")));
     } else if (arg == "--rel") {
-      sz_params.mode = sz::ErrorBoundMode::kRelative;
+      options.with_relative();
     } else if (arg == "--radius") {
-      sz_params.radius = static_cast<std::uint32_t>(std::stoul(need_value("--radius")));
+      options.with_radius(static_cast<std::uint32_t>(std::stoul(args.value("--radius"))));
     } else if (arg == "--no-lossless") {
-      sz_params.lossless = false;
+      options.with_lossless(false);
     } else if (arg == "--zfp-rate") {
-      zfp_rate = std::stoi(need_value("--zfp-rate"));
+      options.with_zfp_rate(static_cast<std::uint32_t>(std::stoul(args.value("--zfp-rate"))));
     } else {
-      usage(("unknown flag " + arg).c_str());
+      args.unknown();
     }
   }
-  if (!dims) usage("--dims is required");
+  if (!dims) cli::usage_exit(kUsage, "--dims is required");
 
-  const auto raw = read_file(in_path);
+  const auto raw = cli::read_file_or_exit(in_path);
   if (raw.size() != dims->count() * sizeof(float)) {
     std::fprintf(stderr, "error: %s holds %zu bytes but dims need %zu\n",
                  in_path.c_str(), raw.size(), dims->count() * sizeof(float));
     return 1;
   }
-  std::span<const float> data{reinterpret_cast<const float*>(raw.data()), dims->count()};
+  FieldView field;
+  field.dtype = DType::kFloat32;
+  field.bytes = raw;
+  field.dims = *dims;
 
   util::Timer timer;
-  std::vector<std::uint8_t> blob;
-  if (zfp_rate) {
-    zfp::Params zp;
-    zp.rate_bits = *zfp_rate;
-    blob = zfp::compress(data, *dims, zp);
-  } else {
-    blob = sz::compress<float>(data, *dims, sz_params);
-  }
+  const Result<std::vector<std::uint8_t>> blob = encode_blob(field, options);
+  if (!blob.ok()) fail(blob.status());
   const double seconds = timer.seconds();
-  write_file(out_path, blob.data(), blob.size());
+  cli::write_file_or_exit(out_path, blob->data(), blob->size());
   std::printf("%s: %zu -> %zu bytes (%.2fx, %.2f bits/value) in %.3f s (%.1f MB/s)\n",
-              out_path.c_str(), raw.size(), blob.size(),
-              static_cast<double>(raw.size()) / static_cast<double>(blob.size()),
-              sz::bit_rate(blob.size(), dims->count()), seconds,
+              out_path.c_str(), raw.size(), blob->size(),
+              static_cast<double>(raw.size()) / static_cast<double>(blob->size()),
+              bit_rate(blob->size(), dims->count()), seconds,
               static_cast<double>(raw.size()) / seconds / 1e6);
   return 0;
 }
 
-bool is_zfp_blob(std::span<const std::uint8_t> blob) {
-  return blob.size() >= 4 && std::memcmp(blob.data(), "PZFP", 4) == 0;
-}
-
 int cmd_decompress(int argc, char** argv) {
-  if (argc < 4) usage("decompress needs <in> <out>");
-  if (argc > 4) usage(("unknown flag " + std::string(argv[4])).c_str());
-  const auto blob = read_file(argv[2]);
+  if (argc < 4) cli::usage_exit(kUsage, "decompress needs <in> <out>");
+  if (argc > 4) cli::usage_exit(kUsage, "unknown flag " + std::string(argv[4]));
+  const auto blob = cli::read_file_or_exit(argv[2]);
   util::Timer timer;
-  std::vector<float> values;
-  if (is_zfp_blob(blob)) {
-    values = zfp::decompress(blob);
-  } else {
-    values = sz::decompress<float>(blob);
-  }
+  const Result<DecodedBlob> decoded = decode_blob(blob);
+  if (!decoded.ok()) fail(decoded.status());
   const double seconds = timer.seconds();
-  write_file(argv[3], values.data(), values.size() * sizeof(float));
-  std::printf("%s: %zu values in %.3f s (%.1f MB/s)\n", argv[3], values.size(), seconds,
-              static_cast<double>(values.size() * 4) / seconds / 1e6);
+  cli::write_file_or_exit(argv[3], decoded->bytes.data(), decoded->bytes.size());
+  const std::size_t values = decoded->dims.count();
+  std::printf("%s: %zu values in %.3f s (%.1f MB/s)\n", argv[3], values, seconds,
+              static_cast<double>(decoded->bytes.size()) / seconds / 1e6);
   return 0;
 }
 
 int cmd_inspect(int argc, char** argv) {
-  if (argc < 3) usage("inspect needs <in>");
-  if (argc > 3) usage(("unknown flag " + std::string(argv[3])).c_str());
-  const auto blob = read_file(argv[2]);
-  if (is_zfp_blob(blob)) {
-    sz::Dims dims;
-    (void)zfp::decompress(blob, &dims);  // validates and yields extents
+  if (argc < 3) cli::usage_exit(kUsage, "inspect needs <in>");
+  if (argc > 3) cli::usage_exit(kUsage, "unknown flag " + std::string(argv[3]));
+  const auto blob = cli::read_file_or_exit(argv[2]);
+  const Result<BlobInfo> info_or = inspect_blob(blob);
+  if (!info_or.ok()) fail(info_or.status());
+  const BlobInfo& info = *info_or;
+
+  if (info.filter_id == kCodecZfp) {
     std::printf("codec: pcw::zfp (fixed rate)\n");
-    std::printf("dims: %zu x %zu x %zu (%zu values)\n", dims.d0, dims.d1, dims.d2,
-                dims.count());
-    std::printf("bit-rate: %.2f bits/value\n", sz::bit_rate(blob.size(), dims.count()));
+    std::printf("dims: %zu x %zu x %zu (%zu values)\n", info.dims.d0, info.dims.d1,
+                info.dims.d2, info.dims.count());
+    std::printf("bit-rate: %.2f bits/value\n", bit_rate(blob.size(), info.dims.count()));
     return 0;
   }
-  const sz::HeaderInfo info = sz::inspect(blob);
   std::printf("codec: pcw::sz (error bounded)\n");
   std::printf("container: v%u, %u block%s\n", info.version, info.block_count,
               info.block_count == 1 ? "" : "s");
@@ -160,7 +131,7 @@ int cmd_inspect(int argc, char** argv) {
                 info.block_count,
                 info.temporal_blocks > 0 ? " (decoding needs the reference step)" : "");
   }
-  std::printf("dtype: %s\n", info.dtype == sz::DataType::kFloat32 ? "float32" : "float64");
+  std::printf("dtype: %s\n", to_string(info.dtype));
   std::printf("dims: %zu x %zu x %zu (%zu values)\n", info.dims.d0, info.dims.d1,
               info.dims.d2, info.dims.count());
   std::printf("abs error bound: %g\n", info.abs_error_bound);
@@ -170,15 +141,17 @@ int cmd_inspect(int argc, char** argv) {
               100.0 * static_cast<double>(info.outlier_count) /
                   static_cast<double>(info.dims.count()));
   std::printf("lossless stage: %s\n", info.lz_applied ? "applied" : "skipped");
-  std::printf("bit-rate: %.2f bits/value\n", sz::bit_rate(blob.size(), info.dims.count()));
+  std::printf("bit-rate: %.2f bits/value\n", bit_rate(blob.size(), info.dims.count()));
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage();
+  if (argc < 2) cli::usage_exit(kUsage);
   const std::string cmd = argv[1];
+  // The façade returns Status instead of throwing, but flag parsing
+  // (std::stod/std::stoul) can still throw on malformed numbers.
   try {
     if (cmd == "compress") return cmd_compress(argc, argv);
     if (cmd == "decompress") return cmd_decompress(argc, argv);
@@ -187,5 +160,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage(("unknown command " + cmd).c_str());
+  cli::usage_exit(kUsage, "unknown command " + cmd);
 }
