@@ -7,6 +7,9 @@
 //   * full_restart  — N ranks read every field whole, across a thread
 //                     sweep and with the read/decode pipeline on/off
 //                     (threads=1 + pipeline=off is the serial baseline).
+//                     serial_noverify/serial_verify rows isolate the cost
+//                     of checksum verification (off vs blob-level CRC);
+//                     check_bench.py gates the overhead at < 5%.
 //   * repartition   — M != N ranks restart from an N-rank checkpoint via
 //                     restart_region hyperslabs.
 //   * sparse_slice  — analysis slices (one plane, a small box) where the
@@ -296,7 +299,8 @@ int main(int argc, char** argv) {
   /// everything when it returns nullopt) for every field. The Reader is
   /// opened per configuration (untimed); only the reads are measured.
   auto timed_restart = [&](const char* scenario, const char* label, int ranks,
-                           unsigned threads, bool pipeline, auto&& region_of) {
+                           unsigned threads, bool pipeline, auto&& region_of,
+                           VerifyMode verify = VerifyMode::kBlock) {
     BenchResult res;
     res.scenario = scenario;
     res.label = label;
@@ -304,8 +308,10 @@ int main(int argc, char** argv) {
     res.threads = threads;
     res.pipeline = pipeline;
     const Result<Reader> reader = Reader::open(
-        path,
-        ReaderOptions().with_decompress_threads(threads).with_pipeline(pipeline));
+        path, ReaderOptions()
+                  .with_decompress_threads(threads)
+                  .with_pipeline(pipeline)
+                  .with_verify(verify));
     if (!reader.ok()) die(reader.status());
     std::vector<ReadReport> reports(static_cast<std::size_t>(ranks));
     res.seconds = best_seconds(opt.reps, [&] {
@@ -342,6 +348,12 @@ int main(int argc, char** argv) {
   std::printf("full restart (%d ranks, every field whole):\n", opt.write_ranks);
   timed_restart("full_restart", "serial", opt.write_ranks, 1, /*pipeline=*/false,
                 whole_field);
+  // Verification cost, isolated on the serial path: no checks vs the
+  // blob-level CRC pass (one sequential CRC32C over every stored byte).
+  timed_restart("full_restart", "serial_noverify", opt.write_ranks, 1,
+                /*pipeline=*/false, whole_field, VerifyMode::kOff);
+  timed_restart("full_restart", "serial_verify", opt.write_ranks, 1,
+                /*pipeline=*/false, whole_field, VerifyMode::kBlob);
   for (const unsigned threads : opt.threads) {
     timed_restart("full_restart", "", opt.write_ranks, threads, /*pipeline=*/true,
                   whole_field);

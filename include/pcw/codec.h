@@ -135,6 +135,8 @@ struct BlobInfo {
   std::uint32_t version = 0;
   std::uint32_t block_count = 0;
   std::uint32_t temporal_blocks = 0;
+  /// True for sz container v4: the blob carries CRC32C checksums.
+  bool checksummed = false;
 };
 
 /// One per-block index entry of an sz blob (the marginal cost of decoding
@@ -187,5 +189,26 @@ Result<BlobInfo> inspect_blob(std::span<const std::uint8_t> blob);
 /// The per-block index of an sz blob (one synthetic whole-field entry for
 /// v1 containers); kInvalidArgument for non-sz blobs.
 Result<std::vector<BlobBlockInfo>> inspect_blob_blocks(std::span<const std::uint8_t> blob);
+
+/// verify_blob() outcome — a non-throwing damage report (`pcwz verify`).
+struct BlobVerifyReport {
+  bool parsed = false;        // container header parsed and consistent
+  std::uint32_t version = 0;  // container version (0 when unparseable)
+  bool checksummed = false;   // the blob carries CRCs to check (sz v4)
+  /// Parsed, structurally sound, and every applicable checksum matched.
+  /// For containers without checksums this is structural consistency only.
+  bool ok = false;
+  /// Deep mode, checksummed sz blobs: indices of blocks whose CRC failed.
+  std::vector<std::uint32_t> damaged_blocks;
+  std::string detail;  // first failure, human-readable ("" when ok)
+};
+
+/// Verifies a standalone blob without decoding it and without failing:
+/// damage comes back in the report, never as an error Status. The cheap
+/// pass checks structure plus (checksummed sz blobs) the header and
+/// stored-payload CRCs — enough to detect any corruption. `deep`
+/// additionally checks the codebook and every per-block CRC, localizing
+/// damage to block indices. Non-sz containers get a structural parse only.
+BlobVerifyReport verify_blob(std::span<const std::uint8_t> blob, bool deep = false);
 
 }  // namespace pcw

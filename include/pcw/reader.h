@@ -19,6 +19,15 @@
 
 namespace pcw {
 
+/// Checksum depth applied while decoding v4 containers (a no-op on blobs
+/// from earlier format versions, which carry no checksums).
+enum class VerifyMode : std::uint8_t {
+  kOff = 0,    // trust the bytes; fastest
+  kBlob = 1,   // header + whole-payload CRC in one pass, before any decode
+  kBlock = 2,  // header + codebook + per-decoded-block CRCs (partial reads
+               // verify only the blocks they touch); the default
+};
+
 struct ReaderOptions {
   /// Background I/O threads serving async payload prefetch.
   unsigned async_threads = 1;
@@ -27,10 +36,14 @@ struct ReaderOptions {
   /// true: multi-field reads prefetch payloads on the async queue so
   /// field k+1's I/O overlaps field k's decode.
   bool pipeline = true;
+  /// Checksum verification applied to every decoded container. Corruption
+  /// surfaces as kCorruptData naming dataset/partition/block.
+  VerifyMode verify = VerifyMode::kBlock;
 
   ReaderOptions& with_async_threads(unsigned n) { async_threads = n; return *this; }
   ReaderOptions& with_decompress_threads(unsigned n) { decompress_threads = n; return *this; }
   ReaderOptions& with_pipeline(bool on) { pipeline = on; return *this; }
+  ReaderOptions& with_verify(VerifyMode mode) { verify = mode; return *this; }
 };
 
 enum class Layout : std::uint8_t { kContiguous = 0, kPartitioned = 1 };
@@ -86,6 +99,34 @@ struct ReadReport {
   std::uint64_t blocks_decoded = 0;
 };
 
+// ---- scrub (offline damage audit) -----------------------------------------
+
+enum class ScrubHealth : std::uint8_t {
+  kClean = 0,       // every check passed
+  kDamaged = 1,     // some payload failed verification (or its chain did)
+  kUnreadable = 2,  // no payload byte of the dataset could even be read
+};
+
+struct ScrubDataset {
+  std::string name;
+  ScrubHealth state = ScrubHealth::kClean;
+  /// Damaged, but a degraded series read can still deliver data for this
+  /// dataset (its restart chain's keyframe is intact). False when clean.
+  bool salvageable = false;
+  std::uint64_t partitions = 0;
+  std::uint64_t damaged_partitions = 0;
+  /// First damage found, naming partition (and blocks when localized).
+  std::string detail;
+};
+
+struct ScrubReport {
+  std::vector<ScrubDataset> datasets;
+  std::uint64_t clean = 0;
+  std::uint64_t damaged = 0;
+  std::uint64_t unreadable = 0;
+  bool ok() const { return damaged == 0 && unreadable == 0; }
+};
+
 class Reader {
  public:
   struct Impl;
@@ -130,6 +171,14 @@ class Reader {
   Result<std::vector<std::uint8_t>> partition_prefix(const std::string& name,
                                                      std::size_t part_index,
                                                      std::uint64_t max_bytes) const;
+
+  /// Audits every dataset for damage without decoding payloads: extent
+  /// and structure checks plus, for checksummed (v4) containers, the
+  /// stored CRCs. `deep` additionally CRCs the codebook and every block,
+  /// localizing damage to block indices. Series steps whose restart chain
+  /// passes through a damaged ancestor are reported damaged too, with
+  /// `salvageable` telling whether a degraded read can still recover them.
+  Result<ScrubReport> scrub(bool deep = true) const;
 
   // ---- typed fast paths ---------------------------------------------------
   //

@@ -32,10 +32,15 @@ struct SeriesOptions {
   unsigned compress_threads = 1;
   /// true: async-write overlap (field k+1 compresses while field k lands).
   bool pipeline = true;
+  /// true: every write_step ends with a crash-consistent commit, bounding
+  /// data loss after a crash to one step at the cost of three fsyncs per
+  /// step. false: data becomes durable when the writer closes.
+  bool commit_every_step = false;
 
   SeriesOptions& with_keyframe_interval(std::uint32_t k) { keyframe_interval = k; return *this; }
   SeriesOptions& with_compress_threads(unsigned n) { compress_threads = n; return *this; }
   SeriesOptions& with_pipeline(bool on) { pipeline = on; return *this; }
+  SeriesOptions& with_commit_every_step(bool on) { commit_every_step = on; return *this; }
 };
 
 /// Per-rank outcome of one write_step call.
@@ -83,9 +88,29 @@ inline bool is_keyframe_step(std::uint32_t step, std::uint32_t interval) {
 struct SeriesReadOptions {
   unsigned decompress_threads = 1;
   bool pipeline = true;
+  /// Checksum depth applied at every link of the restart chain (no-op on
+  /// blobs from format versions without checksums).
+  VerifyMode verify = VerifyMode::kBlock;
+  /// true: when a non-keyframe link of a field's restart chain is corrupt,
+  /// deliver the chain's keyframe step for that whole field instead of
+  /// failing, recording the downgrade in SeriesReadReport::degraded. A
+  /// corrupt keyframe still fails with kCorruptData.
+  bool degraded = false;
 
   SeriesReadOptions& with_decompress_threads(unsigned n) { decompress_threads = n; return *this; }
   SeriesReadOptions& with_pipeline(bool on) { pipeline = on; return *this; }
+  SeriesReadOptions& with_verify(VerifyMode mode) { verify = mode; return *this; }
+  SeriesReadOptions& with_degraded(bool on) { degraded = on; return *this; }
+};
+
+/// One field the read had to time-travel: the requested step's chain was
+/// damaged, so the chain's keyframe step was delivered instead.
+struct DegradedRead {
+  std::string dataset;             // the damaged step dataset ("rho@t0005")
+  std::uint64_t partition = 0;     // partition whose payload was corrupt
+  std::uint32_t step_requested = 0;
+  std::uint32_t step_recovered = 0;  // keyframe step actually delivered
+  std::string detail;              // underlying error (names the block)
 };
 
 /// Outcome and cost accounting for a chained series read.
@@ -98,6 +123,8 @@ struct SeriesReadReport {
   double read_seconds = 0.0;
   double decompress_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Fields downgraded to their keyframe (SeriesReadOptions::degraded).
+  std::vector<DegradedRead> degraded;
 };
 
 /// Single-rank restart: reconstructs `field` at `step` (whole field, or

@@ -22,6 +22,7 @@ enum class StatusCode : std::uint8_t {
   kFailedPrecondition = 5,  // call sequencing (closed writer, mixed dtypes)
   kAlreadyExists = 6,    // duplicate codec id / dataset name
   kInternal = 7,         // anything that escaped classification
+  kResourceExhausted = 8,  // device or quota full (ENOSPC/EDQUOT): free space, retry
 };
 
 const char* to_string(StatusCode code);

@@ -38,11 +38,20 @@ struct WriterOptions {
   unsigned compress_threads = 1;
   /// Background I/O threads for the async write queue.
   unsigned async_threads = 1;
+  /// true: build the file under a temporary name and atomically rename it
+  /// into place at the first commit, so the final path never names a
+  /// half-written file. false: write in place (needed when the directory
+  /// forbids renames).
+  bool atomic_create = true;
+  /// Retries (with backoff) for transient I/O errors on the async queue.
+  unsigned write_retries = 3;
 
   WriterOptions& with_mode(WriteMode m) { mode = m; return *this; }
   WriterOptions& with_extra_space(double r) { extra_space = r; return *this; }
   WriterOptions& with_compress_threads(unsigned n) { compress_threads = n; return *this; }
   WriterOptions& with_async_threads(unsigned n) { async_threads = n; return *this; }
+  WriterOptions& with_atomic_create(bool on) { atomic_create = on; return *this; }
+  WriterOptions& with_write_retries(unsigned n) { write_retries = n; return *this; }
 };
 
 /// One field (dataset) as seen by one rank: this rank's slice, where it
@@ -89,6 +98,15 @@ class Writer {
   /// other codecs (built-in or registered) take the collective filter
   /// path; mode kNoCompression stores everything raw.
   Result<WriteReport> write(Rank& rank, std::span<const Field> fields);
+
+  /// Collective crash-consistent commit: flushes async writes, fsyncs the
+  /// data, lands a checksummed footer, and fsyncs again — after it
+  /// returns, everything written so far survives a crash (the previous
+  /// committed state stays intact as the fallback until then). Cheap
+  /// enough to call per checkpoint; close() commits implicitly.
+  Status commit(Rank& rank);
+  /// Non-collective commit for single-writer use.
+  Status commit();
 
   /// Collective close: flushes async writes, rank 0 lands the footer.
   Status close(Rank& rank);

@@ -60,7 +60,8 @@ std::vector<std::vector<T>> read_fields(mpi::Comm& comm, h5::File& file,
       phase.reset();
       h5::scatter_selection_part<T>(*plan.desc, plan.selection,
                                     plan.selection.parts[p], payload,
-                                    config.decompress_threads, results[f], &stats);
+                                    config.decompress_threads, results[f], &stats,
+                                    config.verify);
       report.decompress_seconds += phase.seconds();
     }
     inflight[f].clear();

@@ -17,6 +17,7 @@
 
 #include "core/read_planner.h"
 #include "mpi/comm.h"
+#include "sz/compressor.h"
 
 namespace pcw::core {
 
@@ -31,6 +32,10 @@ struct ReadEngineConfig {
   /// queue at all) — the strictly serial baseline bench_read compares
   /// against.
   bool pipeline = true;
+  /// Checksum depth applied to every v4 container decoded (no-op on
+  /// v1–v3 blobs). kBlock verifies exactly the blocks a partial read
+  /// touches; kBlob is one whole-payload CRC pass before any decode.
+  sz::VerifyMode verify = sz::VerifyMode::kBlock;
 };
 
 /// Per-rank outcome and phase timings (wall-clock, this rank).

@@ -74,17 +74,33 @@ ChainPlan plan_chain(const h5::File& file, const std::string& base, std::uint32_
   return plan;
 }
 
+/// Decode failure pinned to one link of a restart chain, so the degraded
+/// fallback can tell a corrupt delta step (recoverable from the keyframe)
+/// from a corrupt keyframe (not). Still a runtime_error whose what()
+/// names dataset, partition and block for callers that let it escape.
+class ChainLinkError : public std::runtime_error {
+ public:
+  ChainLinkError(std::size_t link, std::size_t partition, const std::string& what)
+      : std::runtime_error(what), link_(link), partition_(partition) {}
+  std::size_t link() const { return link_; }
+  std::size_t partition() const { return partition_; }
+
+ private:
+  std::size_t link_;
+  std::size_t partition_;
+};
+
 /// Chain-decodes one field's selection into `out` (sel.elements
 /// elements). `tickets`, when non-null, holds the prefetched payloads as
 /// [link][part]; otherwise payloads are fetched synchronously.
 template <typename T>
 void decode_chain(const h5::File& file, const ChainPlan& plan,
                   std::vector<std::vector<h5::PayloadTicket>>* tickets,
-                  unsigned threads, std::span<T> out, SeriesReadReport& report) {
+                  unsigned threads, sz::VerifyMode verify, std::span<T> out,
+                  SeriesReadReport& report) {
   const h5::RegionSelection& sel = plan.sel;
   const std::size_t n_links = plan.chain.size();
   report.steps_chained = std::max<std::uint64_t>(report.steps_chained, n_links);
-  report.elements_out += sel.elements;
   util::Timer phase;
 
   for (std::size_t p = 0; p < sel.parts.size(); ++p) {
@@ -107,7 +123,12 @@ void decode_chain(const h5::File& file, const ChainPlan& plan,
       phase.reset();
       const std::string where = "dataset '" + plan.chain[s]->name + "' partition " +
                                 std::to_string(ps.part_index) + ": ";
-      const sz::Dims stored = sz::inspect(payload).dims;
+      sz::Dims stored;
+      try {
+        stored = sz::inspect(payload).dims;
+      } catch (const std::exception& e) {
+        throw ChainLinkError(s, ps.part_index, where + e.what());
+      }
       if (s == 0) {
         if (sz::element_count(stored) != part.elem_count) {
           throw std::runtime_error(where + "partition extents disagree with blob");
@@ -122,10 +143,10 @@ void decode_chain(const h5::File& file, const ChainPlan& plan,
       sz::RegionDecodeStats dstats;
       try {
         buf = sz::decompress_region<T>(payload, cover, std::span<const T>(buf), threads,
-                                       &dstats);
+                                       &dstats, verify);
       } catch (const std::exception& e) {
         // Chain decode failures name the failing link, not just "series".
-        throw std::runtime_error(where + e.what());
+        throw ChainLinkError(s, ps.part_index, where + e.what());
       }
       report.blocks_total += dstats.blocks_total;
       report.blocks_decoded += dstats.blocks_decoded;
@@ -137,6 +158,31 @@ void decode_chain(const h5::File& file, const ChainPlan& plan,
       std::memcpy(out.data() + seg.out_offset, buf.data() + src, seg.len * sizeof(T));
     }
   }
+  report.elements_out += sel.elements;
+}
+
+/// Degraded fallback: re-decodes the *whole field* at the chain's
+/// keyframe step (chain length 1, synchronous fetches — the prefetched
+/// tickets belong to the broken chain) and records the downgrade. The
+/// selection re-uses the broken chain's plan, valid because plan_chain
+/// verified the layout identical along the chain.
+template <typename T>
+void decode_keyframe_fallback(const h5::File& file, const ChainPlan& plan,
+                              const ChainLinkError& err, std::uint32_t step,
+                              unsigned threads, sz::VerifyMode verify, std::span<T> out,
+                              SeriesReadReport& report) {
+  const h5::DatasetDesc* keyframe = plan.chain.front();
+  ChainPlan kplan;
+  kplan.chain = {keyframe};
+  kplan.sel = plan.sel;
+  decode_chain<T>(file, kplan, nullptr, threads, verify, out, report);
+  DegradedRead d;
+  d.dataset = plan.chain[err.link()]->name;
+  d.partition = err.partition();
+  d.step_requested = step;
+  d.step_recovered = keyframe->series_step;
+  d.detail = err.what();
+  report.degraded.push_back(std::move(d));
 }
 
 }  // namespace
@@ -263,6 +309,7 @@ SeriesStepReport SeriesWriter<T>::write_step(mpi::Comm& comm,
     }
   }
   comm.barrier();
+  if (config_.commit_every_step) file_->commit_collective(comm);
   // The step is fully committed (payloads durable, metadata registered):
   // only now do the reconstructions become the next temporal references,
   // together with the step counter.
@@ -312,8 +359,15 @@ std::vector<std::vector<T>> read_series(mpi::Comm& comm, h5::File& file,
       if (f + 1 < nfields) issue(f + 1);
     }
     results[f].resize(plans[f].sel.elements);
-    decode_chain<T>(file, plans[f], config.pipeline ? &inflight[f] : nullptr,
-                    config.decompress_threads, results[f], report);
+    try {
+      decode_chain<T>(file, plans[f], config.pipeline ? &inflight[f] : nullptr,
+                      config.decompress_threads, config.verify, results[f], report);
+    } catch (const ChainLinkError& e) {
+      // A corrupt keyframe (link 0) has nothing older to fall back to.
+      if (!config.degraded || e.link() == 0) throw;
+      decode_keyframe_fallback<T>(file, plans[f], e, step, config.decompress_threads,
+                                  config.verify, results[f], report);
+    }
     inflight[f].clear();
   }
 
@@ -343,8 +397,14 @@ std::vector<T> restart_at_step(h5::File& file, const std::string& field,
     }
   }
   std::vector<T> out(plan.sel.elements);
-  decode_chain<T>(file, plan, config.pipeline ? &inflight : nullptr,
-                  config.decompress_threads, out, report);
+  try {
+    decode_chain<T>(file, plan, config.pipeline ? &inflight : nullptr,
+                    config.decompress_threads, config.verify, out, report);
+  } catch (const ChainLinkError& e) {
+    if (!config.degraded || e.link() == 0) throw;
+    decode_keyframe_fallback<T>(file, plan, e, step, config.decompress_threads,
+                                config.verify, out, report);
+  }
   report.total_seconds = total.seconds();
   if (report_out != nullptr) *report_out = report;
   return out;

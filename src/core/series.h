@@ -49,6 +49,11 @@ struct SeriesConfig {
   /// true: payloads land on the file's async write queue so the next
   /// field's compression overlaps the write. false: synchronous pwrite.
   bool pipeline = true;
+  /// true: every write_step ends with a collective crash-consistent
+  /// commit (h5::File::commit_collective), bounding data loss to one
+  /// step at the cost of three fsyncs per step. false: data becomes
+  /// durable at close.
+  bool commit_every_step = false;
 };
 
 /// The keyframe planner: pure function of (step, K), identical on every
@@ -102,6 +107,26 @@ struct SeriesReadConfig {
   /// true: the whole chain's payloads are issued on the async read queue
   /// up front, overlapping I/O with decode. false: synchronous fetches.
   bool pipeline = true;
+  /// Checksum depth applied to every v4 container decoded along the
+  /// chain (no-op on v1–v3 blobs).
+  sz::VerifyMode verify = sz::VerifyMode::kBlock;
+  /// true: when a non-keyframe link of a field's restart chain is corrupt,
+  /// deliver the chain's keyframe step for that *whole field* instead of
+  /// failing the read, recording the downgrade in
+  /// SeriesReadReport::degraded (all partitions of a field always come
+  /// from the same step — never a mix). A corrupt keyframe still throws.
+  /// false: any corruption throws, naming dataset/partition/block.
+  bool degraded = false;
+};
+
+/// One field the read had to time-travel: the requested step's chain was
+/// damaged, the chain's keyframe was delivered instead.
+struct DegradedRead {
+  std::string dataset;            // the damaged step dataset ("rho@t0005")
+  std::uint64_t partition = 0;    // partition whose payload was corrupt
+  std::uint32_t step_requested = 0;
+  std::uint32_t step_recovered = 0;  // keyframe step actually delivered
+  std::string detail;             // underlying error (names the block)
 };
 
 /// Per-call outcome and cost accounting for a chained series read.
@@ -114,6 +139,8 @@ struct SeriesReadReport {
   double read_seconds = 0.0;         // time blocked on payload I/O
   double decompress_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Fields downgraded to their keyframe (SeriesReadConfig::degraded).
+  std::vector<DegradedRead> degraded;
 };
 
 /// Reads this rank's selection of every requested field at time step

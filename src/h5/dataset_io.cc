@@ -338,7 +338,8 @@ template <typename T>
 void scatter_selection_part(const DatasetDesc& desc, const RegionSelection& sel,
                             const PartitionSelection& ps,
                             std::span<const std::uint8_t> payload, unsigned threads,
-                            std::span<T> out, RegionReadStats* stats) {
+                            std::span<T> out, RegionReadStats* stats,
+                            sz::VerifyMode verify) {
   if (out.size() != sel.elements) {
     throw std::invalid_argument("h5: region buffer size mismatch");
   }
@@ -359,7 +360,9 @@ void scatter_selection_part(const DatasetDesc& desc, const RegionSelection& sel,
   }
 
   const PartitionRecord& part = desc.partitions[ps.part_index];
-  const auto filter = make_filter(desc.filter);
+  sz::Params filter_params;
+  filter_params.verify = verify;
+  const auto filter = make_filter(desc.filter, filter_params);
   // Decode coordinate system: self-describing blobs carry their true
   // local extents (which is what unlocks the block-indexed partial
   // decode); codecs without stored extents are sliced in flat {1,1,n}
@@ -419,7 +422,8 @@ std::vector<T> read_region(const File& file, const std::string& name,
   std::vector<T> out(sel.elements);
   for (const PartitionSelection& ps : sel.parts) {
     const std::vector<std::uint8_t> payload = read_selection_payload(file, *desc, ps);
-    scatter_selection_part<T>(*desc, sel, ps, payload, sz_params.threads, out, stats);
+    scatter_selection_part<T>(*desc, sel, ps, payload, sz_params.threads, out, stats,
+                              sz_params.verify);
   }
   return out;
 }
@@ -427,11 +431,13 @@ std::vector<T> read_region(const File& file, const std::string& name,
 template void scatter_selection_part<float>(const DatasetDesc&, const RegionSelection&,
                                             const PartitionSelection&,
                                             std::span<const std::uint8_t>, unsigned,
-                                            std::span<float>, RegionReadStats*);
+                                            std::span<float>, RegionReadStats*,
+                                            sz::VerifyMode);
 template void scatter_selection_part<double>(const DatasetDesc&, const RegionSelection&,
                                              const PartitionSelection&,
                                              std::span<const std::uint8_t>, unsigned,
-                                             std::span<double>, RegionReadStats*);
+                                             std::span<double>, RegionReadStats*,
+                                             sz::VerifyMode);
 template std::vector<float> read_region<float>(const File&, const std::string&,
                                                const sz::Region&, const sz::Params&,
                                                RegionReadStats*);

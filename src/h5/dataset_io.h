@@ -144,12 +144,14 @@ std::vector<std::uint8_t> read_selection_payload(const File& file,
 /// Decodes one planned partition from its payload into the region output
 /// buffer (`out` has sel.elements elements). For sz partitions only the
 /// blocks overlapping the selection are decoded, fanned out across
-/// `threads`. `stats`, when non-null, is accumulated into.
+/// `threads`; `verify` sets the checksum depth applied to v4 containers.
+/// `stats`, when non-null, is accumulated into.
 template <typename T>
 void scatter_selection_part(const DatasetDesc& desc, const RegionSelection& sel,
                             const PartitionSelection& part_sel,
                             std::span<const std::uint8_t> payload, unsigned threads,
-                            std::span<T> out, RegionReadStats* stats);
+                            std::span<T> out, RegionReadStats* stats,
+                            sz::VerifyMode verify = sz::VerifyMode::kBlock);
 
 /// Reads one hyperslab of a dataset, decoding only what the selection
 /// needs (synchronous; the pipelined multi-field version is

@@ -69,6 +69,15 @@ struct FileOptions {
   /// path, payload prefetch on the read path). The paper's async VOL uses
   /// one background thread; more can be useful on real parallel FS.
   unsigned async_threads = 1;
+  /// Create via a temp file ("<path>.tmp") promoted by an atomic rename
+  /// at the first commit, so a crash before any commit leaves nothing at
+  /// the final path. Disable to write the final path in place (a reader
+  /// of a never-committed file then gets a clean "no committed footer").
+  bool atomic_create = true;
+  /// Bounded retry budget for *transient* I/O errors (EIO/EAGAIN) in the
+  /// async write queue: total attempts = 1 + write_retries, with
+  /// escalating backoff. Permanent errors (ENOSPC, crash) never retry.
+  unsigned write_retries = 3;
 };
 
 class File {
@@ -107,7 +116,12 @@ class File {
   /// payload reads of field k+1 (the write pipeline run in reverse).
   ReadTicket async_read(std::uint64_t offset, std::uint64_t size);
 
-  /// Waits until every queued async write has completed.
+  /// Waits until every queued async write has completed, then rethrows
+  /// the first write error whose WriteTicket nobody waited on. The error
+  /// is sticky: a payload that never reached the disk cannot be made
+  /// durable by a later commit, so every flush/commit/close after a
+  /// failed write keeps failing rather than sealing a footer over the
+  /// hole.
   void flush_async();
 
   // ---- metadata -----------------------------------------------------------
@@ -126,11 +140,27 @@ class File {
   /// (DatasetDesc::series_base); nullptr when absent.
   const DatasetDesc* find_series(const std::string& base, std::uint32_t step) const;
 
-  /// Collective close: barrier, async flush, then rank 0 writes the footer
-  /// and patches the superblock. The File stays usable read-only.
+  /// Crash-consistent commit: drain the async queue, fsync the data,
+  /// append a sealed footer, fsync, publish it in the alternate
+  /// superblock slot, fsync again. The file stays writable; each commit
+  /// supersedes the previous one while the previous footer remains intact
+  /// on disk as the shadow copy a reader falls back to if the newest
+  /// commit is torn. The first commit of an atomic_create file also
+  /// promotes the temp file to the final path.
+  void commit();
+
+  /// Collective commit: barriers around the queue drain, then rank 0
+  /// commits. Call after each step's metadata is registered to bound data
+  /// loss to one step.
+  void commit_collective(mpi::Comm& comm);
+
+  /// Collective close: barrier, async flush, then rank 0 commits. The
+  /// File stays usable read-only.
   void close_collective(mpi::Comm& comm);
 
-  /// Non-collective close for single-writer use.
+  /// Non-collective close for single-writer use. Surfaces any pending
+  /// I/O or fsync error — data is not durable until this (or commit())
+  /// returns.
   void close_single();
 
   std::uint64_t data_end() const { return cursor_.load(); }
@@ -142,17 +172,26 @@ class File {
 
  private:
   File() = default;
-  void write_footer_and_superblock();
+  void commit_locked();
+  void promote_temp();
 
-  std::string path_;
+  std::string path_;        // final path (what path() reports)
+  std::string write_path_;  // where bytes land: path_ or path_ + ".tmp"
   int fd_ = -1;
   bool writable_ = false;
+  FileOptions opts_;
+  bool temp_pending_ = false;   // atomic_create file not yet promoted
+  std::uint64_t commit_seq_ = 0;
   std::atomic<std::uint64_t> cursor_{kSuperblockSize};
   std::uint64_t file_bytes_ = 0;
 
   mutable std::mutex meta_mu_;
   std::vector<DatasetDesc> datasets_;
   bool closed_ = false;
+
+  // First async write failure (post-retry); rethrown by flush_async().
+  std::mutex err_mu_;
+  std::exception_ptr async_error_;
 
   std::unique_ptr<util::ThreadPool> async_pool_;
 };

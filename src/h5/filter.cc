@@ -69,14 +69,16 @@ std::vector<std::uint8_t> SzFilter::decode(std::span<const std::uint8_t> blob,
                                            std::uint64_t expect_elems) const {
   switch (dtype) {
     case DataType::kFloat32: {
-      std::vector<float> vals = sz::decompress<float>(blob, nullptr, params_.threads);
+      std::vector<float> vals =
+          sz::decompress<float>(blob, nullptr, params_.threads, params_.verify);
       if (vals.size() != expect_elems) throw std::runtime_error("h5: sz element count");
       std::vector<std::uint8_t> out(vals.size() * sizeof(float));
       std::memcpy(out.data(), vals.data(), out.size());
       return out;
     }
     case DataType::kFloat64: {
-      std::vector<double> vals = sz::decompress<double>(blob, nullptr, params_.threads);
+      std::vector<double> vals =
+          sz::decompress<double>(blob, nullptr, params_.threads, params_.verify);
       if (vals.size() != expect_elems) throw std::runtime_error("h5: sz element count");
       std::vector<std::uint8_t> out(vals.size() * sizeof(double));
       std::memcpy(out.data(), vals.data(), out.size());
@@ -104,14 +106,14 @@ std::vector<std::uint8_t> SzFilter::decode_region(std::span<const std::uint8_t> 
   switch (dtype) {
     case DataType::kFloat32: {
       const std::vector<float> vals =
-          sz::decompress_region<float>(blob, region, threads, stats);
+          sz::decompress_region<float>(blob, region, threads, stats, params_.verify);
       std::vector<std::uint8_t> out(vals.size() * sizeof(float));
       std::memcpy(out.data(), vals.data(), out.size());
       return out;
     }
     case DataType::kFloat64: {
       const std::vector<double> vals =
-          sz::decompress_region<double>(blob, region, threads, stats);
+          sz::decompress_region<double>(blob, region, threads, stats, params_.verify);
       std::vector<std::uint8_t> out(vals.size() * sizeof(double));
       std::memcpy(out.data(), vals.data(), out.size());
       return out;

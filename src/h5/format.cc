@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/crc32c.h"
 #include "util/pod_io.h"
 
 namespace pcw::h5 {
@@ -86,6 +87,11 @@ std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes,
   }
   std::size_t pos = 0;
   const auto n = get<std::uint32_t>(bytes, pos);
+  // Cap counts against the bytes present before reserving/resizing: a
+  // corrupt count must fail the parse, not size an allocation. Every
+  // dataset record is well over one byte, every partition record is
+  // exactly 60 bytes.
+  if (n > bytes.size()) throw std::runtime_error("h5: truncated footer");
   std::vector<DatasetDesc> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -112,6 +118,9 @@ std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes,
       }
     }
     const auto nparts = get<std::uint64_t>(bytes, pos);
+    if (nparts > (bytes.size() - pos) / 60) {
+      throw std::runtime_error("h5: truncated footer");
+    }
     d.partitions.resize(nparts);
     for (auto& p : d.partitions) {
       p.rank = get<std::uint32_t>(bytes, pos);
@@ -126,6 +135,68 @@ std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes,
     out.push_back(std::move(d));
   }
   return out;
+}
+
+std::vector<std::uint8_t> seal_footer(const std::vector<DatasetDesc>& datasets) {
+  std::vector<std::uint8_t> out = serialize_footer(datasets);
+  const std::uint32_t payload_crc = util::crc32c(0, out.data(), out.size());
+  const std::uint64_t payload_size = out.size();
+  put(out, payload_crc);
+  put(out, payload_size);
+  put(out, kVersion);
+  put(out, kFooterMagic);
+  return out;
+}
+
+std::vector<DatasetDesc> parse_sealed_footer(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kFooterTrailerBytes) {
+    throw std::runtime_error("h5: footer too small");
+  }
+  const std::size_t tail = bytes.size() - kFooterTrailerBytes;
+  std::uint32_t payload_crc, version, magic;
+  std::uint64_t payload_size;
+  std::memcpy(&payload_crc, bytes.data() + tail, 4);
+  std::memcpy(&payload_size, bytes.data() + tail + 4, 8);
+  std::memcpy(&version, bytes.data() + tail + 12, 4);
+  std::memcpy(&magic, bytes.data() + tail + 16, 4);
+  if (magic != kFooterMagic) throw std::runtime_error("h5: bad footer magic");
+  if (version < 3 || version > kVersion) {
+    throw std::runtime_error("h5: unsupported footer version");
+  }
+  if (payload_size != tail) throw std::runtime_error("h5: footer size mismatch");
+  if (util::crc32c(0, bytes.data(), tail) != payload_crc) {
+    throw std::runtime_error("h5: footer checksum mismatch");
+  }
+  std::vector<std::uint8_t> payload(bytes.begin(),
+                                    bytes.begin() + static_cast<std::ptrdiff_t>(tail));
+  return parse_footer(payload, version);
+}
+
+void serialize_slot(const SuperblockSlot& slot, std::uint8_t* out) {
+  std::memset(out, 0, kSuperblockSlotSize);
+  std::memcpy(out + 0, &kMagic, 4);
+  std::memcpy(out + 4, &kVersion, 4);
+  std::memcpy(out + 8, &slot.seq, 8);
+  std::memcpy(out + 16, &slot.footer_off, 8);
+  std::memcpy(out + 24, &slot.footer_size, 8);
+  std::memcpy(out + 32, &slot.footer_crc, 4);
+  const std::uint32_t slot_crc = util::crc32c(0, out, 36);
+  std::memcpy(out + 36, &slot_crc, 4);
+}
+
+std::optional<SuperblockSlot> parse_slot(const std::uint8_t* in) {
+  std::uint32_t magic, version, slot_crc;
+  std::memcpy(&magic, in + 0, 4);
+  std::memcpy(&version, in + 4, 4);
+  std::memcpy(&slot_crc, in + 36, 4);
+  if (magic != kMagic || version < 3 || version > kVersion) return std::nullopt;
+  if (util::crc32c(0, in, 36) != slot_crc) return std::nullopt;
+  SuperblockSlot s;
+  std::memcpy(&s.seq, in + 8, 8);
+  std::memcpy(&s.footer_off, in + 16, 8);
+  std::memcpy(&s.footer_size, in + 24, 8);
+  std::memcpy(&s.footer_crc, in + 32, 4);
+  return s;
 }
 
 }  // namespace pcw::h5

@@ -2,16 +2,29 @@
 //
 // HDF5-inspired single shared file with deferred metadata:
 //
-//   [superblock: 32 B][data region ......][footer][EOF]
+//   [superblock: 128 B][data region ......][footer(s)][EOF]
 //
 // Data is written offset-addressed (pwrite) by any number of writers; the
-// footer — the dataset table — is serialized once at close by rank 0 and
-// the superblock is patched to point at it. Deferred metadata is what lets
+// footer — the dataset table — is serialized at commit by rank 0 and
+// published through the superblock. Deferred metadata is what lets
 // partitions land at *predicted* offsets without any metadata round-trip,
 // and lets overflow segments be appended after the main write wave.
+//
+// Format v3 makes commits crash-consistent (docs/integrity.md):
+//   * The footer is *sealed*: serialized records followed by a 20-byte
+//     trailer [payload_crc u32][payload_size u64][version u32][magic u32],
+//     so a torn or misdirected footer write is detected, not parsed.
+//   * The superblock holds two 64-byte commit slots written alternately
+//     (slot = seq % 2). Each commit appends a fresh sealed footer, fsyncs,
+//     then overwrites only the *other* slot — the previous commit's slot
+//     and footer stay intact as the shadow copy a reader falls back to
+//     when the newest slot or footer is torn.
+// v1/v2 files (single 32-byte superblock patched in place at close)
+// remain readable.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,11 +33,19 @@
 namespace pcw::h5 {
 
 inline constexpr std::uint32_t kMagic = 0x35574350;  // "PCW5"
-/// Format v2 adds the per-step time-series fields to each dataset record;
-/// v1 files (no series metadata) remain readable.
-inline constexpr std::uint32_t kVersion = 2;
+/// v2 adds per-step time-series fields to each dataset record; v3 adds
+/// the sealed footer + dual-slot commit protocol (record layout of v2).
+inline constexpr std::uint32_t kVersion = 3;
 inline constexpr std::uint32_t kVersionMin = 1;
-inline constexpr std::uint64_t kSuperblockSize = 32;
+/// v1/v2 superblock: one 32-byte header patched in place at close.
+inline constexpr std::uint64_t kLegacySuperblockSize = 32;
+/// One v3 commit slot; two of them form the v3 superblock.
+inline constexpr std::uint64_t kSuperblockSlotSize = 64;
+inline constexpr std::uint64_t kSuperblockSize = 2 * kSuperblockSlotSize;
+inline constexpr std::uint32_t kFooterMagic = 0x46574350;  // "PCWF"
+/// Sealed-footer trailer: payload_crc u32, payload_size u64, version u32,
+/// magic u32.
+inline constexpr std::uint64_t kFooterTrailerBytes = 20;
 
 enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1, kBytes = 2 };
 
@@ -108,8 +129,33 @@ std::string series_dataset_name(const std::string& base, std::uint32_t step);
 /// Footer (dataset table) serialization. serialize_footer always writes
 /// the current version; parse_footer accepts any version in
 /// [kVersionMin, kVersion] (v1 records simply carry no series fields).
+/// Every size parse_footer reads is capped against the bytes actually
+/// present before any allocation, so a corrupt footer fails cleanly.
 std::vector<std::uint8_t> serialize_footer(const std::vector<DatasetDesc>& datasets);
 std::vector<DatasetDesc> parse_footer(const std::vector<std::uint8_t>& bytes,
                                       std::uint32_t version = kVersion);
+
+/// Sealed footer (v3): serialized records plus the checksummed,
+/// magic-terminated trailer. parse_sealed_footer validates magic, version,
+/// size and CRC before parsing and throws on any mismatch.
+std::vector<std::uint8_t> seal_footer(const std::vector<DatasetDesc>& datasets);
+std::vector<DatasetDesc> parse_sealed_footer(const std::vector<std::uint8_t>& bytes);
+
+/// One v3 superblock commit slot. A slot with footer_off == 0 (seq 0) is
+/// the create-time placeholder: "no commit yet".
+struct SuperblockSlot {
+  std::uint64_t seq = 0;
+  std::uint64_t footer_off = 0;
+  std::uint64_t footer_size = 0;
+  std::uint32_t footer_crc = 0;  // CRC32C of the sealed footer block
+};
+
+/// Serializes `slot` into kSuperblockSlotSize bytes at `out` (zero-padded,
+/// self-checksummed).
+void serialize_slot(const SuperblockSlot& slot, std::uint8_t* out);
+
+/// Parses kSuperblockSlotSize bytes; nullopt when the magic, version or
+/// slot checksum does not hold (a torn or never-written slot).
+std::optional<SuperblockSlot> parse_slot(const std::uint8_t* in);
 
 }  // namespace pcw::h5

@@ -177,6 +177,7 @@ Result<BlobInfo> inspect_blob(std::span<const std::uint8_t> blob) {
     out.version = info.version;
     out.block_count = info.block_count;
     out.temporal_blocks = info.temporal_blocks;
+    out.checksummed = info.checksummed;
     return out;
   });
 }
@@ -199,6 +200,30 @@ Result<std::vector<BlobBlockInfo>> inspect_blob_blocks(
     }
     return out;
   });
+}
+
+BlobVerifyReport verify_blob(std::span<const std::uint8_t> blob, bool deep) {
+  BlobVerifyReport out;
+  if (is_zfp_blob(blob)) {
+    // zfp carries no checksums; a full decode is the only structural check.
+    try {
+      sz::Dims dims;
+      (void)zfp::decompress(blob, &dims);
+      out.parsed = true;
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.detail = e.what();
+    }
+    return out;
+  }
+  const sz::BlobVerifyReport rep = sz::verify_blob(blob, deep);
+  out.parsed = rep.parsed;
+  out.version = rep.version;
+  out.checksummed = rep.checksummed;
+  out.ok = rep.ok;
+  out.damaged_blocks = rep.damaged_blocks;
+  out.detail = rep.detail;
+  return out;
 }
 
 }  // namespace pcw

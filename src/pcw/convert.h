@@ -5,6 +5,7 @@
 
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -17,6 +18,7 @@
 #include "pcw/types.h"
 #include "sz/compressor.h"
 #include "sz/dims.h"
+#include "util/io_error.h"
 #include "zfp/zfp.h"
 
 namespace pcw::detail {
@@ -115,6 +117,26 @@ class FailedPreconditionError : public std::runtime_error {
 /// std::runtime_error for corrupt data / I/O, with "no dataset named" /
 /// "already registered" / errno text distinguishing the finer codes).
 inline Status status_from_current_exception() {
+  // A Status round-tripped through a thrown runtime_error — the
+  // documented rank-body idiom is `throw std::runtime_error(
+  // status.to_string())` — keeps its code and message instead of
+  // degrading to the fallback (an ENOSPC must not resurface as
+  // kCorruptData with a doubled prefix).
+  auto unwrap = [](const std::string& msg) -> std::optional<Status> {
+    constexpr StatusCode kPrefixed[] = {
+        StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kCorruptData,     StatusCode::kIoError,
+        StatusCode::kFailedPrecondition, StatusCode::kAlreadyExists,
+        StatusCode::kInternal,        StatusCode::kResourceExhausted,
+    };
+    for (StatusCode code : kPrefixed) {
+      const std::string prefix = std::string(pcw::to_string(code)) + ": ";
+      if (msg.rfind(prefix, 0) == 0) {
+        return Status(code, msg.substr(prefix.size()));
+      }
+    }
+    return std::nullopt;
+  };
   auto classify = [](StatusCode fallback, const std::string& msg) {
     const auto has = [&](const char* needle) {
       return msg.find(needle) != std::string::npos;
@@ -137,8 +159,16 @@ inline Status status_from_current_exception() {
   } catch (const FailedPreconditionError& e) {
     return {StatusCode::kFailedPrecondition, e.what()};
   } catch (const std::invalid_argument& e) {
+    if (auto s = unwrap(e.what())) return *s;
     return {classify(StatusCode::kInvalidArgument, e.what()), e.what()};
+  } catch (const util::IoError& e) {
+    // Must precede the runtime_error arm (IoError derives from it). A full
+    // device/quota is actionable by the caller, so it gets its own code.
+    return {e.resource_exhausted() ? StatusCode::kResourceExhausted
+                                   : StatusCode::kIoError,
+            e.what()};
   } catch (const std::runtime_error& e) {
+    if (auto s = unwrap(e.what())) return *s;
     return {classify(StatusCode::kCorruptData, e.what()), e.what()};
   } catch (const std::exception& e) {
     return {StatusCode::kInternal, e.what()};

@@ -5,12 +5,22 @@
 
 #include "core/read_engine.h"
 #include "core/read_planner.h"
+#include "core/scrub.h"
 #include "h5/dataset_io.h"
 #include "pcw/facade_impl.h"
 #include "util/timer.h"
 
 namespace pcw {
 namespace {
+
+sz::VerifyMode to_sz_verify(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOff: return sz::VerifyMode::kOff;
+    case VerifyMode::kBlob: return sz::VerifyMode::kBlob;
+    case VerifyMode::kBlock: return sz::VerifyMode::kBlock;
+  }
+  return sz::VerifyMode::kBlock;
+}
 
 DatasetInfo info_of(const h5::DatasetDesc& d) {
   DatasetInfo info;
@@ -128,6 +138,7 @@ Result<std::vector<T>> Reader::read(const std::string& name) const {
     resolve(*impl_->file, name, dtype_of<T>());
     sz::Params params;
     params.threads = impl_->options.decompress_threads;
+    params.verify = to_sz_verify(impl_->options.verify);
     return h5::read_dataset<T>(*impl_->file, name, params);
   });
 }
@@ -150,6 +161,7 @@ Result<std::vector<T>> Reader::read_region(const std::string& name, const Region
     resolve(*impl_->file, name, dtype_of<T>());
     sz::Params params;
     params.threads = impl_->options.decompress_threads;
+    params.verify = to_sz_verify(impl_->options.verify);
     util::Timer total;
     h5::RegionReadStats stats;
     std::vector<T> out =
@@ -200,6 +212,7 @@ Result<std::vector<std::vector<T>>> Reader::read_fields(
     core::ReadEngineConfig config;
     config.decompress_threads = impl_->options.decompress_threads;
     config.pipeline = impl_->options.pipeline;
+    config.verify = to_sz_verify(impl_->options.verify);
     core::ReadReport core_report;
     std::vector<std::vector<T>> out =
         core::read_fields<T>(rank.impl().comm, *impl_->file, specs, config, &core_report);
@@ -256,6 +269,29 @@ Result<std::vector<std::uint8_t>> Reader::partition_prefix(const std::string& na
       payload.insert(payload.end(), tail.begin(), tail.end());
     }
     return payload;
+  });
+}
+
+Result<ScrubReport> Reader::scrub(bool deep) const {
+  if (!impl_) return Status(StatusCode::kFailedPrecondition, "reader: invalid handle");
+  return detail::guarded([&] {
+    const core::ScrubReport core = core::scrub_file(*impl_->file, deep);
+    ScrubReport out;
+    out.clean = core.clean;
+    out.damaged = core.damaged;
+    out.unreadable = core.unreadable;
+    out.datasets.reserve(core.datasets.size());
+    for (const core::DatasetScrub& d : core.datasets) {
+      ScrubDataset s;
+      s.name = d.name;
+      s.state = static_cast<ScrubHealth>(d.state);
+      s.salvageable = d.salvageable;
+      s.partitions = d.partitions;
+      s.damaged_partitions = d.damaged_partitions;
+      s.detail = d.detail;
+      out.datasets.push_back(std::move(s));
+    }
+    return out;
   });
 }
 

@@ -13,13 +13,25 @@ core::SeriesConfig to_core(const SeriesOptions& o) {
   config.keyframe_interval = o.keyframe_interval;
   config.compress_threads = o.compress_threads;
   config.pipeline = o.pipeline;
+  config.commit_every_step = o.commit_every_step;
   return config;
+}
+
+sz::VerifyMode to_core(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOff: return sz::VerifyMode::kOff;
+    case VerifyMode::kBlob: return sz::VerifyMode::kBlob;
+    case VerifyMode::kBlock: return sz::VerifyMode::kBlock;
+  }
+  return sz::VerifyMode::kBlock;
 }
 
 core::SeriesReadConfig to_core(const SeriesReadOptions& o) {
   core::SeriesReadConfig config;
   config.decompress_threads = o.decompress_threads;
   config.pipeline = o.pipeline;
+  config.verify = to_core(o.verify);
+  config.degraded = o.degraded;
   return config;
 }
 
@@ -46,6 +58,15 @@ void merge_read_report(const core::SeriesReadReport& r, SeriesReadReport& out) {
   out.read_seconds += r.read_seconds;
   out.decompress_seconds += r.decompress_seconds;
   out.total_seconds += r.total_seconds;
+  for (const core::DegradedRead& d : r.degraded) {
+    DegradedRead pub;
+    pub.dataset = d.dataset;
+    pub.partition = d.partition;
+    pub.step_requested = d.step_requested;
+    pub.step_recovered = d.step_recovered;
+    pub.detail = d.detail;
+    out.degraded.push_back(std::move(pub));
+  }
 }
 
 template <typename T>

@@ -95,6 +95,8 @@ Result<Writer> Writer::create(const std::string& path, WriterOptions options) {
   return detail::guarded([&] {
     h5::FileOptions fopts;
     fopts.async_threads = options.async_threads;
+    fopts.atomic_create = options.atomic_create;
+    fopts.write_retries = options.write_retries;
     Writer writer;
     writer.impl_ = std::make_shared<Impl>();
     writer.impl_->file = h5::File::create(path, fopts);
@@ -131,6 +133,16 @@ Result<WriteReport> Writer::write(Rank& rank, std::span<const Field> fields) {
     out.total_seconds = total.seconds();
     return out;
   });
+}
+
+Status Writer::commit(Rank& rank) {
+  if (!impl_) return Status(StatusCode::kFailedPrecondition, "writer: invalid handle");
+  return detail::guarded_status([&] { impl_->file->commit_collective(rank.impl().comm); });
+}
+
+Status Writer::commit() {
+  if (!impl_) return Status(StatusCode::kFailedPrecondition, "writer: invalid handle");
+  return detail::guarded_status([&] { impl_->file->commit(); });
 }
 
 Status Writer::close(Rank& rank) {

@@ -12,6 +12,7 @@
 #include "sz/lossless.h"
 #include "sz/temporal.h"
 #include "util/bitstream.h"
+#include "util/crc32c.h"
 #include "util/pod_io.h"
 #include "util/thread_pool.h"
 
@@ -22,6 +23,7 @@ constexpr std::uint32_t kMagic = 0x5A574350;  // "PCWZ"
 constexpr std::uint8_t kVersionV1 = 1;
 constexpr std::uint8_t kVersionV2 = 2;
 constexpr std::uint8_t kVersionV3 = 3;
+constexpr std::uint8_t kVersionV4 = 4;
 constexpr std::uint8_t kFlagLz = 0x01;
 // Informational fast-path flag: set iff any block index entry records the
 // temporal predictor (the blob cannot decode without a reference step).
@@ -30,11 +32,33 @@ constexpr std::uint8_t kFlagTemporal = 0x02;
 // v2 fixed header: magic..payload_raw_size (the v1 header, 76 bytes) plus
 // the u32 block count; the per-block index follows. v3 shares the fixed
 // header and appends one predictor byte to each index entry.
+//
+// v4 inserts integrity fields between payload_raw_size and the block
+// count: stored_size u64 (the stored, post-LZ payload bytes — the exact
+// extent the stored-payload CRC covers), header_crc u32 at [84, 88)
+// (CRC32C of the whole header with these four bytes zeroed), codebook_crc
+// u32, stored_crc u32. Each v4 index entry always carries the predictor
+// byte plus a block CRC (its pre-LZ Huffman substream ++ outlier run).
 constexpr std::size_t kV2FixedHeaderBytes = 80;
 constexpr std::size_t kV2IndexEntryBytes = 24;
 constexpr std::size_t kV3IndexEntryBytes = 25;
-static_assert(kV2FixedHeaderBytes + kMaxBlocks * kV3IndexEntryBytes <= kMaxHeaderBytes,
+constexpr std::size_t kV4FixedHeaderBytes = 100;
+constexpr std::size_t kV4IndexEntryBytes = 29;
+constexpr std::size_t kV4HeaderCrcOffset = 84;
+static_assert(kV2FixedHeaderBytes + kMaxBlocks * kV3IndexEntryBytes <= kMaxHeaderBytes &&
+                  kV4FixedHeaderBytes + kMaxBlocks * kV4IndexEntryBytes <= kMaxHeaderBytes,
               "kMaxHeaderBytes no longer covers the largest possible header");
+
+// Structural plausibility caps, all provable for any blob our encoder can
+// emit (max code length 56 bits, ≤ 1 outlier per element, codebook of
+// count u32 + ≤ 6 bytes per distinct symbol, LZ extension bytes add ≤ 255
+// output bytes each). A header that violates one is malformed, rejected
+// before its fields can size an allocation — the fuzz-sweep guarantee
+// that truncated or bit-flipped blobs can never OOM the reader.
+constexpr std::uint64_t kMaxHuffBitsPerElem = 56;
+constexpr std::uint64_t kMaxCodebookBytesPerSymbol = 6;
+constexpr std::uint64_t kMaxLzExpansion = 300;
+constexpr std::uint64_t kCapSlackBytes = 65536;
 
 using util::append_pod;
 
@@ -54,6 +78,7 @@ struct BlockEntry {
   std::uint64_t huff_bytes = 0;
   std::uint64_t outlier_count = 0;
   Predictor predictor = Predictor::kSpatial;
+  std::uint32_t block_crc = 0;  // v4: CRC32C(huff substream ++ outlier run)
 };
 
 struct RawHeader {
@@ -67,8 +92,14 @@ struct RawHeader {
   std::uint64_t codebook_size = 0;
   std::uint64_t huff_bytes = 0;
   std::uint64_t payload_raw_size = 0;
-  std::vector<BlockEntry> blocks;  // v2 only; empty for v1
+  std::uint64_t stored_size = 0;    // v4: stored (post-LZ) payload bytes
+  std::uint32_t header_crc = 0;     // v4
+  std::uint32_t codebook_crc = 0;   // v4
+  std::uint32_t stored_crc = 0;     // v4
+  std::vector<BlockEntry> blocks;   // v2+ only; empty for v1
   std::size_t header_end = 0;
+
+  std::size_t elem_size() const { return dtype == DataType::kFloat32 ? 4 : 8; }
 };
 
 RawHeader parse_header(std::span<const std::uint8_t> blob) {
@@ -78,10 +109,14 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
   }
   RawHeader h;
   h.version = read_pod<std::uint8_t>(blob, pos);
-  if (h.version != kVersionV1 && h.version != kVersionV2 && h.version != kVersionV3) {
+  if (h.version < kVersionV1 || h.version > kVersionV4) {
     throw std::runtime_error("sz: unsupported version");
   }
-  h.dtype = static_cast<DataType>(read_pod<std::uint8_t>(blob, pos));
+  const std::uint8_t dtype_byte = read_pod<std::uint8_t>(blob, pos);
+  if (dtype_byte > static_cast<std::uint8_t>(DataType::kFloat64)) {
+    throw std::runtime_error("sz: unknown element type");
+  }
+  h.dtype = static_cast<DataType>(dtype_byte);
   h.flags = read_pod<std::uint8_t>(blob, pos);
   (void)read_pod<std::uint8_t>(blob, pos);  // reserved
   h.dims.d0 = read_pod<std::uint64_t>(blob, pos);
@@ -93,6 +128,12 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
   h.codebook_size = read_pod<std::uint64_t>(blob, pos);
   h.huff_bytes = read_pod<std::uint64_t>(blob, pos);
   h.payload_raw_size = read_pod<std::uint64_t>(blob, pos);
+  if (h.version >= kVersionV4) {
+    h.stored_size = read_pod<std::uint64_t>(blob, pos);
+    h.header_crc = read_pod<std::uint32_t>(blob, pos);
+    h.codebook_crc = read_pod<std::uint32_t>(blob, pos);
+    h.stored_crc = read_pod<std::uint32_t>(blob, pos);
+  }
   if (h.version >= kVersionV2) {
     const std::uint32_t n_blocks = read_pod<std::uint32_t>(blob, pos);
     if (n_blocks == 0) throw std::runtime_error("sz: zero block count");
@@ -126,7 +167,15 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
         }
         e.predictor = static_cast<Predictor>(p);
       }
+      if (h.version >= kVersionV4) {
+        e.block_crc = read_pod<std::uint32_t>(blob, pos);
+      }
       if (e.elem_count == 0) throw std::runtime_error("sz: empty block");
+      // Per-block plausibility: every element consumes at least one code
+      // bit, and a block holds at most one outlier per element.
+      if (e.huff_bytes < (e.elem_count + 7) / 8 || e.outlier_count > e.elem_count) {
+        throw std::runtime_error("sz: block index inconsistent with header");
+      }
       elems = checked_add(elems, e.elem_count);
       huff = checked_add(huff, e.huff_bytes);
       outliers = checked_add(outliers, e.outlier_count);
@@ -140,6 +189,42 @@ RawHeader parse_header(std::span<const std::uint8_t> blob) {
     }
   }
   h.header_end = pos;
+
+  // Whole-header plausibility caps (see the constants above): reject any
+  // header whose sizes could not have come from our encoder, before those
+  // sizes can drive an allocation.
+  const std::uint64_t n = element_count(h.dims);
+  if (n == 0) throw std::runtime_error("sz: empty dims");
+  std::uint64_t huff_cap, codebook_cap;
+  const bool cap_overflow =
+      __builtin_mul_overflow(n, kMaxHuffBitsPerElem / 8 + 1, &huff_cap) ||
+      __builtin_add_overflow(huff_cap, kCapSlackBytes, &huff_cap) ||
+      __builtin_mul_overflow(n, kMaxCodebookBytesPerSymbol, &codebook_cap) ||
+      __builtin_add_overflow(codebook_cap, kCapSlackBytes, &codebook_cap);
+  if (cap_overflow || h.outlier_count > n || h.huff_bytes > huff_cap ||
+      h.codebook_size > codebook_cap || h.huff_bytes < (n + 7) / 8) {
+    throw std::runtime_error("sz: header sizes implausible");
+  }
+  // The three payload sections must add up exactly; every later subspan
+  // and the LZ expansion target are bounded once this holds.
+  std::uint64_t outlier_bytes, sum;
+  const bool sum_overflow =
+      __builtin_mul_overflow(h.outlier_count,
+                             static_cast<std::uint64_t>(h.elem_size()), &outlier_bytes) ||
+      __builtin_add_overflow(h.codebook_size, h.huff_bytes, &sum) ||
+      __builtin_add_overflow(sum, outlier_bytes, &sum);
+  if (sum_overflow || sum != h.payload_raw_size) {
+    throw std::runtime_error("sz: payload sections inconsistent with header");
+  }
+  if (h.version >= kVersionV4) {
+    // Without LZ the stored section *is* the raw payload; with LZ it must
+    // be smaller (the writer only keeps a winning LZ pass).
+    const bool lz = (h.flags & kFlagLz) != 0;
+    if (lz ? h.stored_size >= h.payload_raw_size
+           : h.stored_size != h.payload_raw_size) {
+      throw std::runtime_error("sz: stored size inconsistent with header");
+    }
+  }
   return h;
 }
 
@@ -179,6 +264,70 @@ void validate_payload_extent(const RawHeader& h, std::size_t elem_size,
   if (overflow || sum != h.payload_raw_size || payload_size < h.payload_raw_size) {
     throw std::runtime_error("sz: truncated payload");
   }
+}
+
+// ---- container v4 checksum computation / verification ----------------------
+
+/// CRC32C of the header bytes with the header_crc field itself zeroed.
+std::uint32_t header_crc_of(std::span<const std::uint8_t> header_bytes) {
+  static constexpr std::uint8_t kZeros[4] = {0, 0, 0, 0};
+  std::uint32_t c = util::crc32c(0, header_bytes.data(), kV4HeaderCrcOffset);
+  c = util::crc32c(c, kZeros, sizeof(kZeros));
+  c = util::crc32c(c, header_bytes.data() + kV4HeaderCrcOffset + 4,
+                   header_bytes.size() - kV4HeaderCrcOffset - 4);
+  return c;
+}
+
+void verify_header_crc(const RawHeader& h, std::span<const std::uint8_t> blob) {
+  if (header_crc_of(blob.subspan(0, h.header_end)) != h.header_crc) {
+    throw std::runtime_error("sz: header checksum mismatch");
+  }
+}
+
+/// kBlob verification: one sequential CRC pass over the stored (post-LZ)
+/// payload detects any flipped bit without LZ expansion or decode work.
+void verify_stored_crc(const RawHeader& h, std::span<const std::uint8_t> blob) {
+  if (blob.size() < h.header_end + h.stored_size) {
+    throw std::runtime_error("sz: truncated payload");
+  }
+  if (util::crc32c(0, blob.subspan(h.header_end, h.stored_size)) != h.stored_crc) {
+    throw std::runtime_error("sz: stored payload checksum mismatch");
+  }
+}
+
+void verify_codebook_crc(const RawHeader& h, std::span<const std::uint8_t> payload) {
+  if (util::crc32c(0, payload.subspan(0, h.codebook_size)) != h.codebook_crc) {
+    throw std::runtime_error("sz: codebook checksum mismatch");
+  }
+}
+
+/// Per-block CRC over the block's pre-LZ Huffman substream ++ outlier
+/// run. The error names the block; callers up the stack prefix the
+/// dataset and partition.
+void verify_block_crc(const RawHeader& h, std::span<const std::uint8_t> payload,
+                      std::size_t b, std::size_t huff_off, std::size_t outlier_off,
+                      std::size_t elem_size) {
+  const BlockEntry& e = h.blocks[b];
+  std::uint32_t c = util::crc32c(0, payload.data() + huff_off, e.huff_bytes);
+  c = util::crc32c(c, payload.data() + outlier_off, e.outlier_count * elem_size);
+  if (c != e.block_crc) {
+    throw std::runtime_error("sz: block " + std::to_string(b) + " checksum mismatch");
+  }
+}
+
+/// Pre-decode verification per the VerifyMode knob (no-op below v4).
+/// kBlock's per-block CRCs run later, on only the blocks being decoded.
+void verify_before_decode(const RawHeader& h, std::span<const std::uint8_t> blob,
+                          VerifyMode verify) {
+  if (h.version < kVersionV4 || verify == VerifyMode::kOff) return;
+  verify_header_crc(h, blob);
+  // kBlock normally defers to the per-block CRCs of the decoded blocks,
+  // but an LZ-compressed payload has a hole they cannot close: a flipped
+  // match offset can expand to the exact same pre-LZ bytes when the match
+  // source is periodic data. The expansion reads every stored byte anyway,
+  // so the stored CRC costs one marginal pass and restores the guarantee
+  // that every flipped bit fails the decode.
+  if (verify == VerifyMode::kBlob || (h.flags & kFlagLz)) verify_stored_crc(h, blob);
 }
 
 }  // namespace
@@ -309,20 +458,33 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   const HuffmanEncoder encoder(freqs);
   const std::vector<std::uint8_t> codebook = encoder.serialize_codebook();
 
-  // Stage 3: per-block Huffman encoding into independent substreams.
+  // Stage 3: per-block Huffman encoding into independent substreams. The
+  // v4 block CRCs are taken here too, inside the parallel fan-out while
+  // the substream is cache-hot — off the serial assembly path.
   std::vector<std::vector<std::uint8_t>> huffs(n_blocks);
+  std::vector<std::uint32_t> block_crcs(n_blocks, 0);
   util::parallel_for(n_blocks, params.threads, [&](std::size_t b) {
     util::BitWriter writer;
     writer.reserve_bytes(quants[b].codes.size() / 2);
     for (const std::uint32_t c : quants[b].codes) encoder.encode(c, writer);
     huffs[b] = writer.finish();
+    if (params.checksum) {
+      std::uint32_t c = util::crc32c(0, huffs[b].data(), huffs[b].size());
+      c = util::crc32c(c, quants[b].outliers.data(),
+                       quants[b].outliers.size() * sizeof(T));
+      block_crcs[b] = c;
+    }
   });
 
-  // Stage 4: serial container assembly. A spatial compression keeps
-  // emitting container v2 byte-for-byte; only the temporal predictor pays
-  // for the per-block predictor byte of v3.
-  const std::uint8_t version = temporal ? kVersionV3 : kVersionV2;
-  const std::size_t entry_bytes = temporal ? kV3IndexEntryBytes : kV2IndexEntryBytes;
+  // Stage 4: serial container assembly. With checksums off, a spatial
+  // compression keeps emitting container v2 byte-for-byte and a temporal
+  // one v3; with checksums on (the default) both emit v4, whose index
+  // entries always carry the predictor byte plus the block CRC.
+  const std::uint8_t version =
+      params.checksum ? kVersionV4 : (temporal ? kVersionV3 : kVersionV2);
+  const std::size_t entry_bytes =
+      params.checksum ? kV4IndexEntryBytes
+                      : (temporal ? kV3IndexEntryBytes : kV2IndexEntryBytes);
   std::uint64_t huff_total = 0, outlier_total = 0;
   bool any_temporal = false;
   for (std::size_t b = 0; b < n_blocks; ++b) {
@@ -333,7 +495,9 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   const std::size_t payload_size = codebook.size() +
                                    static_cast<std::size_t>(huff_total) +
                                    static_cast<std::size_t>(outlier_total) * sizeof(T);
-  const std::size_t header_size = kV2FixedHeaderBytes + n_blocks * entry_bytes;
+  const std::size_t fixed_bytes =
+      params.checksum ? kV4FixedHeaderBytes : kV2FixedHeaderBytes;
+  const std::size_t header_size = fixed_bytes + n_blocks * entry_bytes;
 
   // The LZ stage only pays off when the Huffman stream still carries long
   // runs — i.e. at low bit-rates. Past ~20% of the original bit width the
@@ -370,6 +534,26 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
     have_stored = true;
   }
 
+  // v4 integrity fields: the stored-payload CRC covers the bytes exactly
+  // as they land in the container (post-LZ); without an LZ pass it is
+  // chained over the sections to avoid materializing the payload twice.
+  const std::uint64_t stored_size =
+      have_stored ? stored.size() : static_cast<std::uint64_t>(payload_size);
+  std::uint32_t codebook_crc = 0, stored_crc = 0;
+  if (params.checksum) {
+    codebook_crc = util::crc32c(0, codebook.data(), codebook.size());
+    if (have_stored) {
+      stored_crc = util::crc32c(0, stored.data(), stored.size());
+    } else {
+      std::uint32_t c = codebook_crc;
+      for (const auto& huff : huffs) c = util::crc32c(c, huff.data(), huff.size());
+      for (const auto& quant : quants) {
+        c = util::crc32c(c, quant.outliers.data(), quant.outliers.size() * sizeof(T));
+      }
+      stored_crc = c;
+    }
+  }
+
   // Reserve the true final size up front; every append below lands in
   // place with no regrowth or second copy of the payload.
   std::vector<std::uint8_t> blob;
@@ -388,12 +572,25 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   append_pod(blob, static_cast<std::uint64_t>(codebook.size()));
   append_pod(blob, huff_total);
   append_pod(blob, static_cast<std::uint64_t>(payload_size));
+  if (params.checksum) {
+    append_pod(blob, stored_size);
+    append_pod(blob, std::uint32_t{0});  // header_crc, patched below
+    append_pod(blob, codebook_crc);
+    append_pod(blob, stored_crc);
+  }
   append_pod(blob, static_cast<std::uint32_t>(n_blocks));
   for (std::size_t b = 0; b < n_blocks; ++b) {
     append_pod(blob, static_cast<std::uint64_t>(blocks[b].dims.count()));
     append_pod(blob, static_cast<std::uint64_t>(huffs[b].size()));
     append_pod(blob, static_cast<std::uint64_t>(quants[b].outliers.size()));
-    if (temporal) append_pod(blob, static_cast<std::uint8_t>(preds[b]));
+    if (temporal || params.checksum) append_pod(blob, static_cast<std::uint8_t>(preds[b]));
+    if (params.checksum) append_pod(blob, block_crcs[b]);
+  }
+  if (params.checksum) {
+    // The header CRC is computed over the finished header with its own
+    // field zeroed (it still is — the placeholder), then patched in.
+    const std::uint32_t hcrc = header_crc_of(std::span(blob.data(), header_size));
+    std::memcpy(blob.data() + kV4HeaderCrcOffset, &hcrc, sizeof(hcrc));
   }
   if (have_stored) {
     blob.insert(blob.end(), stored.begin(), stored.end());
@@ -514,12 +711,16 @@ void decode_block(const HuffmanDecoder& decoder, const RawHeader& h,
 /// container has no temporal blocks.
 template <typename T>
 void decode_blocks(const RawHeader& h, std::span<const std::uint8_t> payload,
-                   unsigned threads, std::span<const T> prev, std::span<T> out) {
+                   unsigned threads, std::span<const T> prev, std::span<T> out,
+                   bool check_crcs) {
   const HuffmanDecoder decoder = make_decoder(h, payload);
   const std::vector<BlockRange> blocks = blocks_from_index(h);
   const BlockOffsets off = block_payload_offsets(h, sizeof(T));
   util::parallel_for(blocks.size(), threads, [&](std::size_t b) {
     const BlockRange& blk = blocks[b];
+    if (check_crcs) {
+      verify_block_crc(h, payload, b, off.huff[b], off.outlier[b], sizeof(T));
+    }
     const std::span<const T> blk_prev =
         h.blocks[b].predictor == Predictor::kTemporal
             ? prev.subspan(blk.elem_offset, blk.dims.count())
@@ -537,7 +738,21 @@ std::span<const std::uint8_t> prepare_payload(const RawHeader& h,
                                               std::size_t elem_size,
                                               std::vector<std::uint8_t>& buf) {
   std::span<const std::uint8_t> payload = blob.subspan(h.header_end);
+  if (h.version >= kVersionV4) {
+    if (payload.size() < h.stored_size) throw std::runtime_error("sz: truncated payload");
+    payload = payload.subspan(0, h.stored_size);
+  }
   if (h.flags & kFlagLz) {
+    // Plausibility cap before the expansion buffer is sized: one LZ input
+    // byte cannot expand into more than kMaxLzExpansion output bytes, so
+    // a crafted payload_raw_size can never drive a huge allocation.
+    std::uint64_t expand_cap;
+    if (__builtin_mul_overflow(static_cast<std::uint64_t>(payload.size()),
+                               kMaxLzExpansion, &expand_cap) ||
+        __builtin_add_overflow(expand_cap, kCapSlackBytes, &expand_cap) ||
+        h.payload_raw_size > expand_cap) {
+      throw std::runtime_error("sz: implausible LZ expansion");
+    }
     buf = lz_decompress(payload, h.payload_raw_size);
     payload = buf;
   }
@@ -549,13 +764,13 @@ std::span<const std::uint8_t> prepare_payload(const RawHeader& h,
 
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out,
-                          unsigned threads) {
-  return decompress<T>(blob, std::span<const T>{}, dims_out, threads);
+                          unsigned threads, VerifyMode verify) {
+  return decompress<T>(blob, std::span<const T>{}, dims_out, threads, verify);
 }
 
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> blob, std::span<const T> prev,
-                          Dims* dims_out, unsigned threads) {
+                          Dims* dims_out, unsigned threads, VerifyMode verify) {
   const RawHeader h = parse_header(blob);
   if (h.dtype != dtype_of<T>()) {
     throw std::runtime_error("sz: element type mismatch");
@@ -568,16 +783,19 @@ std::vector<T> decompress(std::span<const std::uint8_t> blob, std::span<const T>
   if (prev.empty() && needs_reference(h)) {
     throw std::runtime_error("sz: temporal blob requires a reference step");
   }
+  verify_before_decode(h, blob, verify);
 
   std::vector<std::uint8_t> payload_buf;
   const std::span<const std::uint8_t> payload =
       prepare_payload(h, blob, sizeof(T), payload_buf);
 
+  const bool check_blocks = h.version >= kVersionV4 && verify == VerifyMode::kBlock;
+  if (check_blocks) verify_codebook_crc(h, payload);
   std::vector<T> out(n);
   if (h.version == kVersionV1) {
     decode_v1<T>(h, payload, out);
   } else {
-    decode_blocks<T>(h, payload, threads, prev, out);
+    decode_blocks<T>(h, payload, threads, prev, out, check_blocks);
   }
   if (dims_out != nullptr) *dims_out = h.dims;
   return out;
@@ -585,14 +803,15 @@ std::vector<T> decompress(std::span<const std::uint8_t> blob, std::span<const T>
 
 template <typename T>
 std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
-                                 unsigned threads, RegionDecodeStats* stats) {
-  return decompress_region<T>(blob, region, std::span<const T>{}, threads, stats);
+                                 unsigned threads, RegionDecodeStats* stats,
+                                 VerifyMode verify) {
+  return decompress_region<T>(blob, region, std::span<const T>{}, threads, stats, verify);
 }
 
 template <typename T>
 std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
                                  std::span<const T> prev_region, unsigned threads,
-                                 RegionDecodeStats* stats) {
+                                 RegionDecodeStats* stats, VerifyMode verify) {
   const RawHeader h = parse_header(blob);
   if (h.dtype != dtype_of<T>()) {
     throw std::runtime_error("sz: element type mismatch");
@@ -602,6 +821,8 @@ std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Regio
   if (!prev_region.empty() && prev_region.size() != region.count()) {
     throw std::invalid_argument("sz: reference region size != region element count");
   }
+  verify_before_decode(h, blob, verify);
+  const bool check_blocks = h.version >= kVersionV4 && verify == VerifyMode::kBlock;
 
   RegionDecodeStats local;
   local.blocks_total = h.version == kVersionV1 ? 1 : h.blocks.size();
@@ -615,6 +836,7 @@ std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Regio
   std::vector<std::uint8_t> payload_buf;
   const std::span<const std::uint8_t> payload =
       prepare_payload(h, blob, sizeof(T), payload_buf);
+  if (check_blocks) verify_codebook_crc(h, payload);
 
   if (h.version == kVersionV1) {
     // v1 has one monolithic Huffman stream: no random access is possible,
@@ -675,6 +897,9 @@ std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Regio
     const NeededBlock& nb = needed[i];
     const BlockRange& blk = blocks[nb.b];
     const BlockEntry& entry = h.blocks[nb.b];
+    if (check_blocks) {
+      verify_block_crc(h, payload, nb.b, off.huff[nb.b], off.outlier[nb.b], sizeof(T));
+    }
     const Region& is = nb.isect;
     const std::size_t zlen = is.hi[2] - is.lo[2];
     if (entry.predictor == Predictor::kSpatial) {
@@ -771,7 +996,86 @@ HeaderInfo inspect(std::span<const std::uint8_t> blob) {
   for (const BlockEntry& e : h.blocks) {
     info.temporal_blocks += e.predictor == Predictor::kTemporal ? 1 : 0;
   }
+  info.checksummed = h.version >= kVersionV4;
   return info;
+}
+
+BlobVerifyReport verify_blob(std::span<const std::uint8_t> blob, bool deep) {
+  BlobVerifyReport r;
+  RawHeader h;
+  try {
+    h = parse_header(blob);
+  } catch (const std::exception& e) {
+    r.detail = e.what();
+    return r;
+  }
+  r.parsed = true;
+  r.version = h.version;
+  r.checksummed = h.version >= kVersionV4;
+  const std::size_t esize = h.elem_size();
+  // A failed stored CRC is only deferred (not returned) in deep mode so
+  // the per-block pass below can localize the damage first.
+  std::string stored_fail;
+  try {
+    if (r.checksummed) {
+      verify_header_crc(h, blob);
+      try {
+        verify_stored_crc(h, blob);  // includes the truncation check
+      } catch (const std::exception& e) {
+        if (!deep) {
+          r.detail = e.what();
+          return r;
+        }
+        stored_fail = e.what();
+      }
+    } else if (!(h.flags & kFlagLz)) {
+      // Legacy blobs carry no CRCs; check what structure allows — the
+      // stored extent against the actual bytes. (LZ blobs validate their
+      // length only on expansion, which scrub's cheap pass skips.)
+      validate_payload_extent(h, esize, blob.size() - h.header_end);
+    }
+  } catch (const std::exception& e) {
+    r.detail = e.what();
+    return r;
+  }
+  if (deep) {
+    try {
+      // Expanding the LZ stage also validates legacy (pre-v4) LZ blobs,
+      // whose stored extent the cheap pass cannot check without it.
+      std::vector<std::uint8_t> buf;
+      const std::span<const std::uint8_t> payload = prepare_payload(h, blob, esize, buf);
+      if (r.checksummed) {
+        try {
+          verify_codebook_crc(h, payload);
+        } catch (const std::exception& e) {
+          r.detail = e.what();
+          return r;
+        }
+        const BlockOffsets off = block_payload_offsets(h, esize);
+        for (std::size_t b = 0; b < h.blocks.size(); ++b) {
+          try {
+            verify_block_crc(h, payload, b, off.huff[b], off.outlier[b], esize);
+          } catch (const std::exception& e) {
+            r.damaged_blocks.push_back(static_cast<std::uint32_t>(b));
+            if (r.detail.empty()) r.detail = e.what();
+          }
+        }
+        if (!r.damaged_blocks.empty()) return r;
+      }
+    } catch (const std::exception& e) {
+      r.detail = e.what();
+      return r;
+    }
+  }
+  if (!stored_fail.empty()) {
+    // Damage in the stored (LZ) stream that no block CRC maps back to —
+    // e.g. a flipped match offset whose expansion happens to reproduce
+    // the same bytes. Still corruption; still reported.
+    r.detail = stored_fail;
+    return r;
+  }
+  r.ok = true;
+  return r;
 }
 
 template double resolve_error_bound<float>(std::span<const float>, const Params&);
@@ -787,25 +1091,28 @@ template std::vector<std::uint8_t> compress<double>(std::span<const double>, con
                                                     const Params&, std::span<const double>,
                                                     std::vector<double>*);
 template std::vector<float> decompress<float>(std::span<const std::uint8_t>, Dims*,
-                                              unsigned);
+                                              unsigned, VerifyMode);
 template std::vector<double> decompress<double>(std::span<const std::uint8_t>, Dims*,
-                                                unsigned);
+                                                unsigned, VerifyMode);
 template std::vector<float> decompress<float>(std::span<const std::uint8_t>,
-                                              std::span<const float>, Dims*, unsigned);
+                                              std::span<const float>, Dims*, unsigned,
+                                              VerifyMode);
 template std::vector<double> decompress<double>(std::span<const std::uint8_t>,
-                                                std::span<const double>, Dims*, unsigned);
+                                                std::span<const double>, Dims*, unsigned,
+                                                VerifyMode);
 template std::vector<float> decompress_region<float>(std::span<const std::uint8_t>,
                                                      const Region&, unsigned,
-                                                     RegionDecodeStats*);
+                                                     RegionDecodeStats*, VerifyMode);
 template std::vector<double> decompress_region<double>(std::span<const std::uint8_t>,
                                                        const Region&, unsigned,
-                                                       RegionDecodeStats*);
+                                                       RegionDecodeStats*, VerifyMode);
 template std::vector<float> decompress_region<float>(std::span<const std::uint8_t>,
                                                      const Region&, std::span<const float>,
-                                                     unsigned, RegionDecodeStats*);
+                                                     unsigned, RegionDecodeStats*,
+                                                     VerifyMode);
 template std::vector<double> decompress_region<double>(std::span<const std::uint8_t>,
                                                        const Region&,
                                                        std::span<const double>, unsigned,
-                                                       RegionDecodeStats*);
+                                                       RegionDecodeStats*, VerifyMode);
 
 }  // namespace pcw::sz

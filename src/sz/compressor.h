@@ -12,7 +12,15 @@
 // predictor for time series: blocks quantize x_t[i] - x̂_{t-1}[i] against
 // the reconstructed previous step, falling back to the spatial stencil
 // per block when the delta histogram costs more, with the choice recorded
-// in the block index. Spatial compressions keep emitting v2 byte-for-byte.
+// in the block index. With Params::checksum = false, spatial compressions
+// keep emitting v2 byte-for-byte and temporal ones v3.
+//
+// Container v4 (Params::checksum, the default) adds CRC32C integrity
+// data: a header checksum, a checksum of the stored (post-LZ) payload, a
+// checksum of the codebook section, and one per block (its Huffman
+// substream + outlier run). decompress()/decompress_region() verify per
+// the VerifyMode knob; verify_blob() checks a blob without decoding it.
+// See docs/integrity.md for the byte layout.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +61,22 @@ enum class ErrorBoundMode : std::uint8_t {
 /// is recorded in the block index.
 enum class Predictor : std::uint8_t { kSpatial = 0, kTemporal = 1 };
 
+/// Read-side checksum verification depth (container v4; a no-op on v1–v3
+/// blobs, which carry no checksums).
+///   kOff   — trust the bytes; zero verification cost.
+///   kBlob  — verify the header CRC and the CRC of the stored (post-LZ)
+///            payload before decoding: every flipped bit anywhere in the
+///            blob is detected with one sequential CRC pass and no
+///            entropy decode or LZ expansion.
+///   kBlock — verify the header + codebook CRCs plus the per-block CRC of
+///            each block actually decoded; a partial region read pays
+///            only for the blocks it touches. When the blob carries an LZ
+///            stage the stored-payload CRC is checked too (the expansion
+///            reads every stored byte anyway, and per-block CRCs alone
+///            cannot catch an LZ-stream flip whose expansion reproduces
+///            identical bytes). The default.
+enum class VerifyMode : std::uint8_t { kOff = 0, kBlob = 1, kBlock = 2 };
+
 struct Params {
   ErrorBoundMode mode = ErrorBoundMode::kAbsolute;
   double error_bound = 1e-3;
@@ -66,8 +90,16 @@ struct Params {
   /// for every value — blocks are a pure function of the extents.
   unsigned threads = 1;
   /// kTemporal requires the prev-step overload of compress(); kSpatial
-  /// keeps emitting container v2 byte-for-byte.
+  /// with checksum = false keeps emitting container v2 byte-for-byte.
   Predictor predictor = Predictor::kSpatial;
+  /// Emit container v4 with CRC32C checksums (header, stored payload,
+  /// codebook, and per block). false reproduces the legacy v2/v3 bytes
+  /// exactly. Checksums are computed inside the parallel encode stages,
+  /// off the serial assembly path.
+  bool checksum = true;
+  /// Verification depth applied by the decompress entry points when this
+  /// Params is used on the read side (h5::SzFilter threads it through).
+  VerifyMode verify = VerifyMode::kBlock;
 };
 
 /// Parsed container header, exposed for tests/benches/the ratio model.
@@ -80,11 +112,13 @@ struct HeaderInfo {
   bool lz_applied = false;
   std::uint64_t payload_raw_size = 0;   // pre-LZ payload bytes
   std::uint64_t header_size = 0;        // container header + block index bytes
-  std::uint32_t version = 0;            // container version (1, 2 or 3)
-  std::uint32_t block_count = 0;        // v2/v3 slab count (1 for v1)
+  std::uint32_t version = 0;            // container version (1, 2, 3 or 4)
+  std::uint32_t block_count = 0;        // v2+ slab count (1 for v1)
   /// Blocks whose predictor is kTemporal; > 0 means decoding needs the
   /// reconstructed reference step (the prev overloads below).
   std::uint32_t temporal_blocks = 0;
+  /// True for container v4: the blob carries CRC32C checksums.
+  bool checksummed = false;
 };
 
 /// Compresses `data`; throws std::invalid_argument on bad params/sizes.
@@ -109,14 +143,16 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
                                    std::vector<T>* recon_out = nullptr);
 
 /// Decompresses a blob produced by compress<T>. Throws std::runtime_error
-/// on malformed input, element-type mismatch, or when the blob contains
-/// temporal blocks (those need the prev overload). If `dims_out` is
-/// non-null it receives the stored extents. `threads` fans v2/v3 blocks
-/// out across util::ThreadPool (same 0/1/N semantics as Params::threads);
-/// the output is identical for every value.
+/// on malformed input, element-type mismatch, checksum mismatch (per
+/// `verify`, container v4), or when the blob contains temporal blocks
+/// (those need the prev overload). If `dims_out` is non-null it receives
+/// the stored extents. `threads` fans v2+ blocks out across
+/// util::ThreadPool (same 0/1/N semantics as Params::threads); the output
+/// is identical for every value.
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out = nullptr,
-                          unsigned threads = 1);
+                          unsigned threads = 1,
+                          VerifyMode verify = VerifyMode::kBlock);
 
 /// Temporal-capable decompress: `prev` holds the reconstructed reference
 /// step (dims.count() elements) temporal blocks dequantize against;
@@ -126,7 +162,8 @@ std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out = n
 /// and prev is empty.
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> blob, std::span<const T> prev,
-                          Dims* dims_out = nullptr, unsigned threads = 1);
+                          Dims* dims_out = nullptr, unsigned threads = 1,
+                          VerifyMode verify = VerifyMode::kBlock);
 
 /// Instrumentation for a decompress_region call: how much of the blob was
 /// actually decoded. Tests pin that a v2 partial read touches only the
@@ -149,7 +186,8 @@ struct RegionDecodeStats {
 /// request and std::runtime_error on malformed blobs / type mismatch.
 template <typename T>
 std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
-                                 unsigned threads = 1, RegionDecodeStats* stats = nullptr);
+                                 unsigned threads = 1, RegionDecodeStats* stats = nullptr,
+                                 VerifyMode verify = VerifyMode::kBlock);
 
 /// Temporal-capable region decode: `prev_region` holds the reconstructed
 /// reference step *over the same region* (region.count() elements in the
@@ -164,10 +202,32 @@ std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Regio
 template <typename T>
 std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
                                  std::span<const T> prev_region, unsigned threads = 1,
-                                 RegionDecodeStats* stats = nullptr);
+                                 RegionDecodeStats* stats = nullptr,
+                                 VerifyMode verify = VerifyMode::kBlock);
 
 /// Parses the container header without touching the payload.
 HeaderInfo inspect(std::span<const std::uint8_t> blob);
+
+/// verify_blob() outcome — a non-throwing damage report for scrub tools.
+struct BlobVerifyReport {
+  bool parsed = false;        // header parsed and structurally consistent
+  std::uint32_t version = 0;  // container version (0 when unparseable)
+  bool checksummed = false;   // v4: the blob carries CRCs to check
+  /// parsed, structurally sound, and every applicable checksum matched.
+  /// For v1–v3 blobs this is structural consistency only.
+  bool ok = false;
+  /// Deep mode, v4: indices of blocks whose CRC failed.
+  std::vector<std::uint32_t> damaged_blocks;
+  std::string detail;  // first failure, human-readable ("" when ok)
+};
+
+/// Verifies a blob without decoding it and without throwing. The cheap
+/// pass checks structure plus (v4) the header and stored-payload CRCs —
+/// enough to detect any corruption. `deep` additionally expands LZ (which
+/// also validates the stored extent of legacy pre-v4 LZ blobs) and, on
+/// v4, checks the codebook and every per-block CRC, localizing the
+/// damage to block indices so region reads can route around it.
+BlobVerifyReport verify_blob(std::span<const std::uint8_t> blob, bool deep = false);
 
 /// One v2/v3 block-index entry, exposed for tools (pcw5ls --blocks) and
 /// tests. stored_bytes(sizeof(T)) is the pre-LZ payload share of the

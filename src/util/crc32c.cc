@@ -1,0 +1,95 @@
+#include "util/crc32c.h"
+
+#include <cstring>
+
+namespace pcw::util {
+namespace {
+
+// Reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed).
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Tables make_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+    tb.t[0][i] = c;
+  }
+  // Slice-by-8: t[j][b] advances a byte that sits j positions deeper in
+  // the 8-byte word, so one iteration folds 64 bits with 8 table loads.
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tb.t[0][i];
+    for (int j = 1; j < 8; ++j) {
+      c = tb.t[0][c & 0xffu] ^ (c >> 8);
+      tb.t[j][i] = c;
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = make_tables();
+
+std::uint32_t crc_sw(std::uint32_t c, const std::uint8_t* p, std::size_t n) {
+  const auto& t = kTables.t;
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    w ^= c;  // little-endian: the CRC folds into the word's low bytes
+    c = t[7][w & 0xffu] ^ t[6][(w >> 8) & 0xffu] ^ t[5][(w >> 16) & 0xffu] ^
+        t[4][(w >> 24) & 0xffu] ^ t[3][(w >> 32) & 0xffu] ^ t[2][(w >> 40) & 0xffu] ^
+        t[1][(w >> 48) & 0xffu] ^ t[0][(w >> 56) & 0xffu];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) c = t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+  return c;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PCW_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) std::uint32_t crc_hw(std::uint32_t c,
+                                                       const std::uint8_t* p,
+                                                       std::size_t n) {
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = __builtin_ia32_crc32qi(c, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = static_cast<std::uint32_t>(
+        __builtin_ia32_crc32di(c, static_cast<unsigned long long>(w)));
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) c = __builtin_ia32_crc32qi(c, *p++);
+  return c;
+}
+
+bool have_hw_crc() { return __builtin_cpu_supports("sse4.2") != 0; }
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+#ifdef PCW_CRC32C_HW
+  static const bool hw = have_hw_crc();
+  c = hw ? crc_hw(c, p, len) : crc_sw(c, p, len);
+#else
+  c = crc_sw(c, p, len);
+#endif
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace pcw::util

@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli) — the integrity checksum for every pcw on-disk
+// structure: sz container v4 headers/blocks and the h5 footer-v3 commit
+// protocol (docs/integrity.md).
+//
+// The Castagnoli polynomial is chosen over plain CRC32 because x86 has
+// carried a hardware instruction for it since SSE4.2; the implementation
+// dispatches to it at runtime and falls back to a slice-by-8 table walk
+// elsewhere, so checksumming runs at memory speed and stays well under
+// the <5% verification budget the read-path ratchet enforces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pcw::util {
+
+/// Extends `crc` (the finalized CRC of the bytes seen so far; 0 for the
+/// first chunk) over `len` more bytes. Chaining calls over consecutive
+/// chunks yields the CRC of their concatenation:
+///   crc32c(crc32c(0, a, la), b, lb) == crc32c(0, a||b).
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t len);
+
+inline std::uint32_t crc32c(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  return crc32c(crc, data.data(), data.size());
+}
+
+}  // namespace pcw::util

@@ -1,0 +1,192 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pcw::util::fault {
+namespace {
+
+struct State {
+  std::mutex mu;
+  Plan plan;
+  Counts counts;
+  bool crashed = false;  // a kCrash/kTear fired: all later I/O throws
+  bool fired = false;    // the plan's one shot has been consumed
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+std::atomic<bool> g_armed{false};
+
+int parse_errno(const std::string& name) {
+  if (name == "EIO") return EIO;
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "EDQUOT") return EDQUOT;
+  if (name == "EAGAIN") return EAGAIN;
+  if (name == "EACCES") return EACCES;
+  return std::atoi(name.c_str());
+}
+
+/// Parses the PCW_FAULT grammar (see fault.h). Returns false on a spec
+/// that does not parse; the caller warns and stays disarmed.
+bool parse_env(const char* spec, Plan& plan) {
+  std::vector<std::string> parts;
+  const char* p = spec;
+  while (true) {
+    const char* colon = std::strchr(p, ':');
+    if (colon == nullptr) {
+      parts.emplace_back(p);
+      break;
+    }
+    parts.emplace_back(p, colon);
+    p = colon + 1;
+  }
+  if (parts.size() < 2) return false;
+  if (parts[0] == "write") plan.op = Op::kWrite;
+  else if (parts[0] == "read") plan.op = Op::kRead;
+  else if (parts[0] == "sync") plan.op = Op::kSync;
+  else return false;
+  if (parts[1] == "fail") plan.action = Action::kFail;
+  else if (parts[1] == "tear") plan.action = Action::kTear;
+  else if (parts[1] == "crash") plan.action = Action::kCrash;
+  else if (parts[1] == "flip") plan.action = Action::kFlip;
+  else return false;
+  plan.nth = parts.size() > 2 ? std::strtoull(parts[2].c_str(), nullptr, 10) : 1;
+  if (plan.nth == 0) return false;
+  if (plan.action == Action::kFail && parts.size() > 3) {
+    plan.error_number = parse_errno(parts[3]);
+    plan.transient = parts.size() > 4 && parts[4] == "transient";
+  }
+  if (plan.action == Action::kTear && parts.size() > 3) {
+    plan.tear_bytes = std::strtoull(parts[3].c_str(), nullptr, 10);
+  }
+  if (plan.action == Action::kFlip && parts.size() > 3) {
+    plan.flip_bit = std::strtoull(parts[3].c_str(), nullptr, 10);
+  }
+  return true;
+}
+
+struct EnvArm {
+  EnvArm() {
+    const char* spec = std::getenv("PCW_FAULT");
+    if (spec == nullptr || *spec == '\0') return;
+    Plan plan;
+    if (parse_env(spec, plan)) {
+      arm(plan);
+    } else {
+      std::fprintf(stderr, "pcw: ignoring unparseable PCW_FAULT=%s\n", spec);
+    }
+  }
+};
+const EnvArm g_env_arm;
+
+[[noreturn]] void throw_fail(const Plan& plan, const char* op_name) {
+  throw IoError(std::string("fault: injected ") + op_name + " failure (errno " +
+                    std::to_string(plan.error_number) + ")",
+                plan.error_number, plan.transient);
+}
+
+}  // namespace
+
+void arm(const Plan& plan) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.plan = plan;
+  s.counts = Counts{};
+  s.crashed = false;
+  s.fired = false;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  g_armed.store(false, std::memory_order_release);
+  s.crashed = false;
+  s.fired = false;
+}
+
+bool armed() noexcept { return g_armed.load(std::memory_order_acquire); }
+
+Counts counts() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.counts;
+}
+
+std::optional<std::uint64_t> on_write(std::uint64_t len) {
+  (void)len;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.counts.writes;
+  if (s.crashed) throw CrashError();
+  if (s.plan.op != Op::kWrite || s.fired || s.counts.writes != s.plan.nth) {
+    return std::nullopt;
+  }
+  s.fired = true;
+  switch (s.plan.action) {
+    case Action::kFail:
+      throw_fail(s.plan, "write");
+    case Action::kCrash:
+      s.crashed = true;
+      throw CrashError();
+    case Action::kTear:
+      s.crashed = true;
+      return s.plan.tear_bytes;
+    case Action::kFlip:
+      break;  // flip targets reads; ignore on writes
+  }
+  return std::nullopt;
+}
+
+void on_read(std::uint8_t* data, std::size_t len) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.counts.reads;
+  if (s.crashed) throw CrashError();
+  if (s.plan.op != Op::kRead || s.fired || s.counts.reads != s.plan.nth) return;
+  s.fired = true;
+  switch (s.plan.action) {
+    case Action::kFail:
+      throw_fail(s.plan, "read");
+    case Action::kCrash:
+    case Action::kTear:
+      s.crashed = true;
+      throw CrashError();
+    case Action::kFlip:
+      if (len > 0) {
+        const std::uint64_t bit = s.plan.flip_bit % (static_cast<std::uint64_t>(len) * 8);
+        data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      break;
+  }
+}
+
+void on_sync() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.counts.syncs;
+  if (s.crashed) throw CrashError();
+  if (s.plan.op != Op::kSync || s.fired || s.counts.syncs != s.plan.nth) return;
+  s.fired = true;
+  switch (s.plan.action) {
+    case Action::kFail:
+      throw_fail(s.plan, "fsync");
+    case Action::kCrash:
+    case Action::kTear:
+      s.crashed = true;
+      throw CrashError();
+    case Action::kFlip:
+      break;
+  }
+}
+
+}  // namespace pcw::util::fault

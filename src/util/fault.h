@@ -1,0 +1,89 @@
+// Deterministic I/O fault injection for crash-consistency and corruption
+// testing. Compiled into the library unconditionally but dormant until
+// armed — the h5 I/O layer guards every hook behind the single relaxed
+// atomic load of armed(), so the production cost is one predictable
+// branch per syscall.
+//
+// A Plan targets one operation class (write/read/sync) and fires on the
+// Nth matching call:
+//   kFail  — throw IoError with a chosen errno. A `transient` failure
+//            fires once and then lets the (retried) call proceed, which
+//            is exactly what the async queue's bounded retry expects.
+//   kTear  — physically write only `tear_bytes` of the Nth pwrite, then
+//            behave like kCrash: a torn sector followed by power loss.
+//   kCrash — throw CrashError and latch: every later hooked I/O call
+//            also throws, simulating a process that died mid-commit.
+//   kFlip  — flip one bit of the Nth pread's returned buffer (silent
+//            media corruption on the read path).
+//
+// Tests arm programmatically via arm()/disarm(); the PCW_FAULT
+// environment variable arms the same plans from outside the process:
+//   PCW_FAULT="write:crash:5"             crash at the 5th pwrite
+//   PCW_FAULT="write:tear:4:100"          tear the 4th pwrite to 100 bytes
+//   PCW_FAULT="write:fail:3:ENOSPC"       3rd pwrite fails with ENOSPC
+//   PCW_FAULT="sync:fail:2:EIO:transient" 2nd fsync fails once with EIO
+//   PCW_FAULT="read:flip:1:12345"         flip bit 12345 of the 1st pread
+//
+// Counters run whenever a plan is armed (even one that never fires, e.g.
+// nth = UINT64_MAX), which is how the crash-point sweep sizes itself:
+// dry-run once counting ops, then re-run arming a crash at each index.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "util/io_error.h"
+
+namespace pcw::util::fault {
+
+enum class Op : std::uint8_t { kWrite = 0, kRead = 1, kSync = 2 };
+enum class Action : std::uint8_t { kFail = 0, kTear = 1, kCrash = 2, kFlip = 3 };
+
+struct Plan {
+  Op op = Op::kWrite;
+  Action action = Action::kCrash;
+  /// Fires on the nth matching operation, 1-based. UINT64_MAX = never
+  /// (count-only plan).
+  std::uint64_t nth = 1;
+  int error_number = EIO;   // kFail: errno to report
+  bool transient = false;   // kFail: fire once, let the retry succeed
+  std::uint64_t tear_bytes = 0;  // kTear: bytes that reach the disk
+  std::uint64_t flip_bit = 0;    // kFlip: flat bit index (mod buffer bits)
+};
+
+struct Counts {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t syncs = 0;
+};
+
+/// The simulated power-cut. Derives from IoError (never transient) so
+/// the retry machinery refuses to resurrect a dead process.
+class CrashError : public IoError {
+ public:
+  CrashError() : IoError("fault: simulated crash", EIO, false) {}
+};
+
+/// Installs `plan`, resets counters and the crash latch, starts hooking.
+void arm(const Plan& plan);
+/// Stops hooking and clears the crash latch; counters keep their values
+/// so a dry run can read them after disarming.
+void disarm();
+/// Cheap armed check — the only fault-layer cost on the production path.
+bool armed() noexcept;
+/// Operation counts since the last arm().
+Counts counts();
+
+/// Write hook (call before the pwrite, only when armed()): nullopt means
+/// proceed normally; a value means write exactly that many bytes and
+/// then throw CrashError. Throws per the armed plan.
+std::optional<std::uint64_t> on_write(std::uint64_t len);
+/// Read hook (call after the bytes landed in `data`): may flip a bit in
+/// place or throw per the armed plan.
+void on_read(std::uint8_t* data, std::size_t len);
+/// Fsync hook (call before the fsync). Throws per the armed plan.
+void on_sync();
+
+}  // namespace pcw::util::fault

@@ -1,0 +1,39 @@
+// Typed I/O failure: a runtime_error that still knows its errno, so one
+// place (src/pcw/convert.h) can classify it into an actionable Status —
+// ENOSPC/EDQUOT become kResourceExhausted, everything else kIoError —
+// and the async write queue can tell transient faults (worth a bounded
+// retry) from permanent ones. EINTR never reaches this type: every
+// read/write/fsync call site loops on it.
+#pragma once
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+
+namespace pcw::util {
+
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& what, int error_number, bool transient)
+      : std::runtime_error(what), error_number_(error_number), transient_(transient) {}
+
+  /// The errno captured at the failing call site.
+  int error_number() const noexcept { return error_number_; }
+  /// True for failures worth a bounded retry (EIO/EAGAIN-class).
+  bool transient() const noexcept { return transient_; }
+  /// ENOSPC/EDQUOT: the device or quota is full — retrying cannot help,
+  /// but the caller can free space and resume (kResourceExhausted).
+  bool resource_exhausted() const noexcept {
+    return error_number_ == ENOSPC || error_number_ == EDQUOT;
+  }
+
+  static bool transient_errno(int e) noexcept {
+    return e == EIO || e == EAGAIN || e == EWOULDBLOCK;
+  }
+
+ private:
+  int error_number_;
+  bool transient_;
+};
+
+}  // namespace pcw::util

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # CLI contract test for the pcwz / pcw5ls front ends: unknown flags must
-# exit 2 with a usage message (they used to be silently ignored), and the
-# documented happy paths must keep working. Registered as a tier1 CTest;
-# binaries are passed in by CMake.
+# exit 2 with a usage message (they used to be silently ignored), the
+# documented happy paths must keep working, and the damage-reporting
+# commands (pcwz verify, pcw5ls --scrub) must honor their exit-code
+# contract: 0 = clean, 1 = damaged, 2 = unreadable. Registered as a
+# tier1 CTest; binaries are passed in by CMake ($3, quickstart, is
+# optional and provides a real .pcw5 fixture).
 set -u
 
 pcwz="$1"
 pcw5ls="$2"
+quickstart="${3:-}"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
 
@@ -50,11 +54,41 @@ check "inspect unknown flag" 2 "usage:" "${pcwz}" inspect "${blob}" --bogus
 check "unknown command" 2 "usage:" "${pcwz}" frobnicate
 check "no args" 2 "usage:" "${pcwz}"
 
+# pcwz verify exit codes: 0 intact, 1 damaged, 2 unparseable.
+check "verify intact blob" 0 "OK" "${pcwz}" verify "${blob}"
+check "verify unknown flag" 2 "usage:" "${pcwz}" verify "${blob}" --bogus
+blob_size="$(wc -c <"${blob}")"
+head -c "$((blob_size - 1))" "${blob}" >"${tmpdir}/damaged.pcwz"
+check "verify damaged blob" 1 "DAMAGED" "${pcwz}" verify "${tmpdir}/damaged.pcwz"
+head -c 20 "${blob}" >"${tmpdir}/stub.pcwz"
+check "verify unparseable blob" 2 "UNPARSEABLE" \
+  "${pcwz}" verify "${tmpdir}/stub.pcwz"
+
 # pcw5ls: unknown flag rejected before the file is even opened.
 check "pcw5ls unknown flag" 2 "usage:" "${pcw5ls}" "${tmpdir}/nope.pcw5" --bogus
 check "pcw5ls no args" 2 "usage:" "${pcw5ls}"
 # Known flags on a missing file still fail cleanly (rc 1, not a crash).
 check "pcw5ls missing file" 1 "error:" "${pcw5ls}" "${tmpdir}/nope.pcw5" --steps
+
+# pcw5ls --scrub exit codes: 2 = unreadable (missing file, garbage file).
+check "scrub missing file" 2 "error:" "${pcw5ls}" "${tmpdir}/nope.pcw5" --scrub
+head -c 256 /dev/urandom >"${tmpdir}/garbage.pcw5"
+check "scrub garbage file" 2 "error:" "${pcw5ls}" "${tmpdir}/garbage.pcw5" --scrub
+
+# With a real checkpoint (written by the quickstart example): a clean file
+# scrubs to 0, a torn one (footer cut off) is unreadable -> 2.
+if [[ -n "${quickstart}" ]]; then
+  ckpt="${tmpdir}/quickstart.pcw5"
+  if "${quickstart}" "${ckpt}" >/dev/null 2>&1; then
+    check "scrub clean checkpoint" 0 "scrub" "${pcw5ls}" "${ckpt}" --scrub
+    ckpt_size="$(wc -c <"${ckpt}")"
+    head -c "$((ckpt_size / 2))" "${ckpt}" >"${tmpdir}/torn.pcw5"
+    check "scrub torn checkpoint" 2 "error:" "${pcw5ls}" "${tmpdir}/torn.pcw5" --scrub
+  else
+    echo "FAIL: quickstart fixture did not produce a checkpoint"
+    fails=$((fails + 1))
+  fi
+fi
 
 if [[ ${fails} -ne 0 ]]; then
   echo "${fails} CLI contract check(s) failed"

@@ -294,6 +294,7 @@ TEST(CompressorV2, MultiBlockRoundTripRespectsBound) {
     Params p;
     p.error_bound = eb;
     p.threads = 0;  // all hardware threads
+    p.checksum = false;  // this suite pins the v2 container
     const auto blob = compress<float>(data, kMultiBlockDims, p);
     const HeaderInfo info = inspect(blob);
     EXPECT_EQ(info.version, 2u);

@@ -5,8 +5,8 @@
 // Implements exactly the API surface the pcw suites use: TEST / TEST_F /
 // TEST_P + INSTANTIATE_TEST_SUITE_P (Values, Range), fixtures with
 // SetUp/TearDown, the EXPECT_* / ASSERT_* comparison, NEAR, DOUBLE_EQ,
-// STREQ and THROW macros (all streamable with <<), SUCCEED(), and
-// UnitTest::GetInstance()->current_test_info()->name().
+// STREQ and THROW macros (all streamable with <<), SUCCEED(),
+// SCOPED_TRACE, and UnitTest::GetInstance()->current_test_info()->name().
 //
 // Not a general replacement: no death tests, no matchers, no gmock.
 #pragma once
@@ -94,6 +94,13 @@ inline bool& current_test_fatal() {
   return fatal;
 }
 
+// Active SCOPED_TRACE messages, innermost last; report_failure appends
+// them to every failure raised while they are in scope.
+inline std::vector<std::string>& trace_stack() {
+  static std::vector<std::string> traces;
+  return traces;
+}
+
 struct Registrar {
   Registrar(std::string suite, std::string name,
             std::function<std::unique_ptr<Test>()> factory) {
@@ -134,6 +141,20 @@ class AssertHelper {
   int line_;
   std::string summary_;
   bool fatal_;
+};
+
+// RAII frame behind SCOPED_TRACE: pushes "file:line: message" for the
+// enclosing scope, popped on exit (exception unwinding included).
+class ScopedTrace {
+ public:
+  ScopedTrace(const char* file, int line, const std::string& message) {
+    std::ostringstream ss;
+    ss << file << ":" << line << ": " << message;
+    trace_stack().push_back(ss.str());
+  }
+  ~ScopedTrace() { trace_stack().pop_back(); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
 };
 
 template <typename T, typename = void>
@@ -496,6 +517,12 @@ inline void InitGoogleTest() {}
 #define ASSERT_NO_THROW(stmt)                                                  \
   PCW_SHIM_ASSERT_(PCW_SHIM_NO_THROW_PROBE_(stmt),                             \
                    "expected " #stmt " not to throw")
+
+#define PCW_SHIM_CAT2_(a, b) a##b
+#define PCW_SHIM_CAT_(a, b) PCW_SHIM_CAT2_(a, b)
+#define SCOPED_TRACE(message)                                                  \
+  const ::testing::shim::ScopedTrace PCW_SHIM_CAT_(pcw_shim_trace_, __LINE__)( \
+      __FILE__, __LINE__, (::testing::shim::Message() << (message)).str())
 
 #define SUCCEED() \
   do {            \

@@ -18,6 +18,12 @@ void report_failure(const char* file, int line, const std::string& summary,
   if (!user_message.empty()) {
     std::fprintf(stderr, "  %s\n", user_message.c_str());
   }
+  if (!trace_stack().empty()) {
+    std::fprintf(stderr, "  trace (innermost first):\n");
+    for (auto it = trace_stack().rbegin(); it != trace_stack().rend(); ++it) {
+      std::fprintf(stderr, "    %s\n", it->c_str());
+    }
+  }
 }
 
 namespace {

@@ -59,6 +59,17 @@ TEST(ShimProbe, UncaughtExceptionIsFailure) {
   throw std::logic_error("boom");
 }
 
+// A failure inside nested SCOPED_TRACE frames must still count as one
+// failure, and the RAII frames must unwind (main checks the stack is
+// empty after the run).
+TEST(ShimProbe, ScopedTraceAnnotatesFailure) {
+  SCOPED_TRACE("outer sweep");
+  {
+    SCOPED_TRACE(std::string("inner step ") + std::to_string(3));
+    EXPECT_EQ(1, 2);
+  }
+}
+
 // Real gtest evaluates assertion operands exactly once, failure or not.
 TEST(ShimProbe, OperandsEvaluatedOnceOnFailure) {
   EXPECT_EQ(++side_effect_evals, 999);
@@ -121,11 +132,13 @@ int main() {
 
   const int run_rc = testing::shim::run_all_tests(0, nullptr);
 
-  // 17 tests: 9 TEST + 3 TEST_F + 3 + 2 instantiated param cases.
-  check(testing::shim::registry().size() == 17, "registry holds 17 tests", rc);
+  // 18 tests: 10 TEST + 3 TEST_F + 3 + 2 instantiated param cases.
+  check(testing::shim::registry().size() == 18, "registry holds 18 tests", rc);
   check(run_rc == 1, "run_all_tests returns 1 when failures exist", rc);
-  check(testing::shim::failure_count() == 8,
-        "exactly the 8 deliberate failures are counted", rc);
+  check(testing::shim::failure_count() == 9,
+        "exactly the 9 deliberate failures are counted", rc);
+  check(testing::shim::trace_stack().empty(),
+        "SCOPED_TRACE frames unwound after the run", rc);
   check(!unreachable_after_fatal, "ASSERT_* stops the failing test body", rc);
   check(teardown_calls == 1, "fixture TearDown ran", rc);
   check(throwing_body_teardown_calls == 1,

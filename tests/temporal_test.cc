@@ -55,6 +55,8 @@ Params temporal_params(double eb = 1e-3) {
   Params p;
   p.error_bound = eb;
   p.predictor = Predictor::kTemporal;
+  p.checksum = false;  // this suite pins the v3 container bytes;
+                       // integrity_test covers the checksummed v4 layer
   return p;
 }
 
@@ -124,6 +126,7 @@ TEST(Temporal, SmoothSeriesCompressesSmallerThanSpatial) {
   const auto curr = series_step(kSeriesDims, 0.02);
   Params spatial;
   spatial.error_bound = 1e-3;
+  spatial.checksum = false;
   std::vector<float> prev_recon;
   compress<float>(prev_orig, kSeriesDims, spatial, {}, &prev_recon);
 
@@ -151,7 +154,9 @@ TEST(Temporal, DecorrelatedReferenceFallsBackToSpatialPerBlock) {
   const auto rec = decompress<float>(blob);  // no reference needed
   EXPECT_LE(max_abs_err(curr, rec), 1e-3);
 
-  const auto blob_s = compress<float>(curr, kSeriesDims, Params{});
+  Params legacy;
+  legacy.checksum = false;
+  const auto blob_s = compress<float>(curr, kSeriesDims, legacy);
   // All-spatial v3 payload matches the v2 payload; only the header grew.
   EXPECT_EQ(blob.size() - blob_s.size(), info.block_count);
 }
@@ -207,11 +212,12 @@ TEST(Temporal, BlobsByteIdenticalAcrossThreadCounts) {
 }
 
 TEST(Temporal, SpatialBlobsStayContainerV2) {
-  // Backwards compat: the default predictor must keep emitting v2 bytes,
-  // so every pre-temporal reader keeps working.
+  // Backwards compat: the default predictor with checksums disabled must
+  // keep emitting v2 bytes, so every pre-temporal reader keeps working.
   const auto data = series_step(kSeriesDims, 0.1);
   Params p;
   p.error_bound = 1e-3;
+  p.checksum = false;
   const auto blob = compress<float>(data, kSeriesDims, p);
   EXPECT_EQ(inspect(blob).version, 2u);
   EXPECT_EQ(inspect(blob).temporal_blocks, 0u);

@@ -87,7 +87,21 @@ def check_read(doc, path, smoke):
     if not sparse or not all(r["blocks_decoded"] < r["blocks_total"] for r in sparse):
         problem(f"{path}: sparse_slice rows not strictly partial: {sparse}")
         return
-    ok(f"{path}: pcw.bench_read.v1, scenarios {sorted(scenarios)}")
+    # Checksums must stay off the hot path: the blob-CRC verified restart
+    # may cost at most 5% over the unverified one. Timing-sensitive, so
+    # the bar holds on the real baseline; smoke runs only need the rows.
+    verify = rows(doc, scenario="full_restart", label="serial_verify")
+    noverify = rows(doc, scenario="full_restart", label="serial_noverify")
+    if len(verify) != 1 or len(noverify) != 1:
+        problem(f"{path}: full_restart needs one serial_verify + one "
+                f"serial_noverify row")
+        return
+    overhead = verify[0]["seconds"] / noverify[0]["seconds"]
+    if not smoke and overhead > 1.05:
+        problem(f"{path}: verification overhead {overhead:.3f}x > 1.05x")
+        return
+    ok(f"{path}: pcw.bench_read.v1, scenarios {sorted(scenarios)}, "
+       f"verify overhead {overhead:.3f}x")
 
 
 def check_timeseries(doc, path, smoke):

@@ -3,7 +3,13 @@
 // optional full decode verification. Built entirely on the pcw:: façade
 // (Reader + the blob-level codec surface).
 //
-//   pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify]
+//   pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify] [--scrub]
+//
+// --scrub audits the file for damage (checksums, extents, restart
+// chains) without decoding payloads, prints a per-dataset damage table,
+// and exits 0 (clean), 1 (damage, but every damaged dataset is
+// salvageable via a degraded read), or 2 (unreadable data, or the file
+// itself would not open).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -21,7 +27,8 @@ namespace {
 using namespace pcw;
 
 constexpr const char* kUsage =
-    "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify]\n";
+    "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify] "
+    "[--scrub]\n";
 
 std::string filter_name(std::uint32_t filter_id) {
   const Result<CodecInfo> info = find_codec(filter_id);
@@ -183,12 +190,54 @@ void verify_series_chain(const Reader& reader, const std::vector<DatasetInfo>& s
   }
 }
 
+const char* health_name(ScrubHealth h) {
+  switch (h) {
+    case ScrubHealth::kClean: return "clean";
+    case ScrubHealth::kDamaged: return "DAMAGED";
+    case ScrubHealth::kUnreadable: return "UNREADABLE";
+  }
+  return "?";
+}
+
+/// The --scrub exit contract tests/cli_test.sh pins: 0 = clean,
+/// 1 = damage but every damaged dataset is recoverable via a degraded
+/// read, 2 = data that cannot be delivered at all.
+int run_scrub(const Reader& reader) {
+  const Result<ScrubReport> scrubbed = reader.scrub();
+  if (!scrubbed.ok()) {
+    std::fprintf(stderr, "error: %s\n", scrubbed.status().message().c_str());
+    return 2;
+  }
+  const ScrubReport& report = *scrubbed;
+  std::printf("\nscrub (%llu clean, %llu damaged, %llu unreadable):\n",
+              static_cast<unsigned long long>(report.clean),
+              static_cast<unsigned long long>(report.damaged),
+              static_cast<unsigned long long>(report.unreadable));
+  util::Table table({"dataset", "state", "parts", "damaged", "recovery", "detail"});
+  bool unrecoverable = false;
+  for (const ScrubDataset& d : report.datasets) {
+    const bool bad = d.state != ScrubHealth::kClean;
+    if (bad && (d.state == ScrubHealth::kUnreadable || !d.salvageable)) {
+      unrecoverable = true;
+    }
+    table.add_row({d.name, health_name(d.state), std::to_string(d.partitions),
+                   bad ? std::to_string(d.damaged_partitions) : "-",
+                   !bad ? "-" : (d.salvageable ? "degraded read" : "none"),
+                   d.detail.empty() ? "-" : d.detail});
+  }
+  table.print(std::cout);
+  if (report.ok()) return 0;
+  return unrecoverable ? 2 : 1;
+}
+
 int run(const std::string& path, bool show_partitions, bool show_blocks,
-        bool show_steps, bool verify) {
+        bool show_steps, bool verify, bool scrub) {
   const Result<Reader> opened = Reader::open(path);
   if (!opened.ok()) {
     std::fprintf(stderr, "error: %s\n", opened.status().message().c_str());
-    return 1;
+    // In scrub mode an unopenable file is the "unreadable" verdict, not a
+    // usage error.
+    return scrub ? 2 : 1;
   }
   const Reader& reader = *opened;
   const std::vector<DatasetInfo> datasets = reader.datasets();
@@ -291,6 +340,8 @@ int run(const std::string& path, bool show_partitions, bool show_blocks,
       }
     }
   }
+
+  if (scrub) return run_scrub(reader);
   return 0;
 }
 
@@ -299,6 +350,7 @@ int run(const std::string& path, bool show_partitions, bool show_blocks,
 int main(int argc, char** argv) {
   if (argc < 2) cli::usage_exit(kUsage);
   bool show_partitions = false, show_blocks = false, show_steps = false, verify = false;
+  bool scrub = false;
   cli::ArgCursor args(argc, argv, 2, kUsage);
   while (args.next()) {
     const std::string arg = args.arg();
@@ -310,14 +362,16 @@ int main(int argc, char** argv) {
       show_steps = true;
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--scrub") {
+      scrub = true;
     } else {
       args.unknown();
     }
   }
   try {
-    return run(argv[1], show_partitions, show_blocks, show_steps, verify);
+    return run(argv[1], show_partitions, show_blocks, show_steps, verify, scrub);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return scrub ? 2 : 1;
   }
 }

@@ -6,8 +6,12 @@
 //   pcwz compress   <in.f32> <out.pzfp> --dims D0,D1,D2 --zfp-rate 8
 //   pcwz decompress <in.pcwz|in.pzfp> <out.f32>
 //   pcwz inspect    <in.pcwz|in.pzfp>
+//   pcwz verify     <in.pcwz|in.pzfp> [--shallow]
 //
-// Raw files are little-endian float32 arrays (numpy `.tofile` format).
+// `verify` checks a blob's structure and (checksummed containers) its
+// CRCs without writing anything, localizing damage to block indices;
+// exit 0 = intact, 1 = damaged, 2 = unparseable. Raw files are
+// little-endian float32 arrays (numpy `.tofile` format).
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -28,7 +32,8 @@ constexpr const char* kUsage =
     "                  [--radius N] [--no-lossless]\n"
     "  pcwz compress   <in.f32> <out> --dims D0,D1,D2 --zfp-rate R\n"
     "  pcwz decompress <in> <out.f32>\n"
-    "  pcwz inspect    <in>\n";
+    "  pcwz inspect    <in>\n"
+    "  pcwz verify     <in> [--shallow]\n";
 
 [[noreturn]] int fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.message().c_str());
@@ -145,6 +150,41 @@ int cmd_inspect(int argc, char** argv) {
   return 0;
 }
 
+int cmd_verify(int argc, char** argv) {
+  if (argc < 3) cli::usage_exit(kUsage, "verify needs <in>");
+  bool deep = true;
+  cli::ArgCursor args(argc, argv, 3, kUsage);
+  while (args.next()) {
+    if (args.arg() == "--shallow") {
+      deep = false;
+    } else {
+      args.unknown();
+    }
+  }
+  const auto blob = cli::read_file_or_exit(argv[2]);
+  const BlobVerifyReport report = verify_blob(blob, deep);
+  if (!report.parsed) {
+    std::printf("%s: UNPARSEABLE (%s)\n", argv[2], report.detail.c_str());
+    return 2;
+  }
+  if (report.version > 0) {
+    std::printf("container: v%u (%s)\n", report.version,
+                report.checksummed ? "checksummed" : "no checksums");
+  }
+  if (report.ok) {
+    std::printf("%s: OK%s\n", argv[2],
+                report.checksummed ? "" : " (structural checks only)");
+    return 0;
+  }
+  std::printf("%s: DAMAGED: %s\n", argv[2], report.detail.c_str());
+  if (!report.damaged_blocks.empty()) {
+    std::printf("damaged blocks:");
+    for (const std::uint32_t b : report.damaged_blocks) std::printf(" %u", b);
+    std::printf("\n");
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -156,6 +196,7 @@ int main(int argc, char** argv) {
     if (cmd == "compress") return cmd_compress(argc, argv);
     if (cmd == "decompress") return cmd_decompress(argc, argv);
     if (cmd == "inspect") return cmd_inspect(argc, argv);
+    if (cmd == "verify") return cmd_verify(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
