@@ -45,7 +45,8 @@ core::PartitionProfile profile_partition(std::span<const T> data, const sz::Dims
   double best = 1e300;
   std::size_t size = 0;
   for (int rep = 0; rep < 2; ++rep) {
-    util::Timer timer;
+    util::trace::StageTimer timer("profile_compress", "bench", "bytes",
+                                  data.size_bytes());
     const auto blob = sz::compress<T>(data, dims, params);
     best = std::min(best, timer.seconds());
     size = blob.size();

@@ -245,6 +245,21 @@ int main(int argc, char** argv) {
                std::exit(1);
              }
            }));
+    // Same serial compress with tracing armed (buffered, no export):
+    // the enabled-telemetry overhead surface check_bench.py gates at
+    // 1.10x over the dormant "compress" row.
+    if (threads == 1) {
+      util::trace::start();
+      record("compress_traced", threads, best_seconds(opt.reps, [&] {
+               const auto out = sz::compress<float>(field, opt.dims, p);
+               if (out.size() != blob.size()) {
+                 std::fprintf(stderr, "error: blob size varies under tracing\n");
+                 std::exit(1);
+               }
+             }));
+      util::trace::stop();
+      util::trace::clear();
+    }
   }
 
   std::printf("blob: %zu bytes (ratio %.2fx)\n", blob.size(),

@@ -21,5 +21,6 @@
 #include "pcw/runtime.h"   // SPMD run() + Rank
 #include "pcw/series.h"    // SeriesWriter, restart(), read_series()
 #include "pcw/status.h"    // Status, Result<T>
+#include "pcw/telemetry.h" // Telemetry, tracing control plane
 #include "pcw/types.h"     // DType, Dims, Region, FieldView
 #include "pcw/writer.h"    // Writer, Field, WriterOptions

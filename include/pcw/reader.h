@@ -15,6 +15,7 @@
 
 #include "pcw/runtime.h"
 #include "pcw/status.h"
+#include "pcw/telemetry.h"
 #include "pcw/types.h"
 
 namespace pcw {
@@ -144,6 +145,11 @@ class Reader {
   Result<DatasetInfo> series_step(const std::string& base, std::uint32_t step) const;
   std::uint64_t file_bytes() const;
   std::string path() const;
+
+  /// Process-wide telemetry delta since this reader was opened (zeroed
+  /// struct on an invalid handle). Counters are differences; queue depth,
+  /// high-water and latency percentiles read current process state.
+  Telemetry telemetry() const;
 
   /// Whole dataset as the flattened global array. `expected` guards the
   /// element type and must be kFloat32 or kFloat64 (the dtypes the format

@@ -75,6 +75,10 @@ class SeriesWriter {
   /// Steps written so far == the step index the next call will get.
   std::uint32_t next_step() const;
 
+  /// Process-wide telemetry delta since this series writer was created
+  /// (zeroed struct on an invalid handle).
+  Telemetry telemetry() const;
+
  private:
   std::shared_ptr<Impl> impl_;
 };

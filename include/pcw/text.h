@@ -10,3 +10,4 @@
 #include "util/stats.h"      // IWYU pragma: export
 #include "util/table.h"      // IWYU pragma: export
 #include "util/timer.h"      // IWYU pragma: export
+#include "util/trace.h"      // IWYU pragma: export

@@ -16,6 +16,7 @@
 #include "pcw/codec.h"
 #include "pcw/runtime.h"
 #include "pcw/status.h"
+#include "pcw/telemetry.h"
 #include "pcw/types.h"
 
 namespace pcw {
@@ -116,6 +117,11 @@ class Writer {
   /// Total file bytes (superblock + data + footer); valid after close.
   std::uint64_t file_bytes() const;
   std::string path() const;
+
+  /// Process-wide telemetry delta since this writer was created (zeroed
+  /// struct on an invalid handle). Counters are differences; queue depth,
+  /// high-water and latency percentiles read current process state.
+  Telemetry telemetry() const;
 
   /// Internal accessor (stable across versions, not for user code).
   const std::shared_ptr<Impl>& impl() const { return impl_; }

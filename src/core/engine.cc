@@ -5,7 +5,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace pcw::core {
 namespace {
@@ -79,7 +81,6 @@ RankReport run_overlap(mpi::Comm& comm, h5::File& file,
                        const EngineConfig& config, bool reorder) {
   RankReport report;
   util::Timer total;
-  util::Timer phase;
   const std::size_t nfields = fields.size();
   const auto nranks = static_cast<std::size_t>(comm.size());
   const auto my_rank = static_cast<std::size_t>(comm.rank());
@@ -87,29 +88,35 @@ RankReport run_overlap(mpi::Comm& comm, h5::File& file,
   // --- Phase 1: prediction (ratio, compression time, write time). -------
   std::vector<PredMsg> my_preds(nfields);
   std::vector<ScheduledTask> tasks(nfields);
-  for (std::size_t f = 0; f < nfields; ++f) {
-    const auto est = model::estimate_ratio<T>(fields[f].local, fields[f].local_dims,
-                                              fields[f].params, config.ratio_config);
-    const double raw_bytes = static_cast<double>(fields[f].local.size_bytes());
-    // Predicted compressed size, plus the sz container margin the model
-    // already amortizes; +1 guards the zero edge.
-    my_preds[f].predicted_bytes =
-        static_cast<std::uint64_t>(est.bit_rate / 8.0 *
-                                   static_cast<double>(fields[f].local.size())) +
-        1;
-    my_preds[f].predicted_ratio = est.ratio;
-    my_preds[f].elem_count = fields[f].local.size();
-    tasks[f].comp_seconds = config.comp_model.predict_time(raw_bytes, est.bit_rate);
-    tasks[f].write_seconds = config.write_model.predict_time(
-        static_cast<double>(my_preds[f].predicted_bytes));
-    report.raw_bytes += fields[f].local.size_bytes();
+  {
+    util::trace::StageTimer stage("predict", "engine", "fields", nfields);
+    for (std::size_t f = 0; f < nfields; ++f) {
+      const auto est = model::estimate_ratio<T>(fields[f].local, fields[f].local_dims,
+                                                fields[f].params, config.ratio_config);
+      const double raw_bytes = static_cast<double>(fields[f].local.size_bytes());
+      // Predicted compressed size, plus the sz container margin the model
+      // already amortizes; +1 guards the zero edge.
+      my_preds[f].predicted_bytes =
+          static_cast<std::uint64_t>(est.bit_rate / 8.0 *
+                                     static_cast<double>(fields[f].local.size())) +
+          1;
+      my_preds[f].predicted_ratio = est.ratio;
+      my_preds[f].elem_count = fields[f].local.size();
+      tasks[f].comp_seconds = config.comp_model.predict_time(raw_bytes, est.bit_rate);
+      tasks[f].write_seconds = config.write_model.predict_time(
+          static_cast<double>(my_preds[f].predicted_bytes));
+      report.raw_bytes += fields[f].local.size_bytes();
+    }
+    report.predict_seconds = stage.seconds();
   }
-  report.predict_seconds = phase.seconds();
 
   // --- Phase 2: one all-gather distributes every prediction. ------------
-  phase.reset();
-  const auto all_preds = comm.allgatherv<PredMsg>(my_preds);
-  report.exchange_seconds = phase.seconds();
+  std::vector<std::vector<PredMsg>> all_preds;
+  {
+    util::trace::StageTimer stage("exchange", "engine");
+    all_preds = comm.allgatherv<PredMsg>(my_preds);
+    report.exchange_seconds = stage.seconds();
+  }
 
   // --- Phase 3: identical offset planning on every rank. ----------------
   std::vector<std::vector<PartitionPrediction>> predictions(
@@ -140,12 +147,14 @@ RankReport run_overlap(mpi::Comm& comm, h5::File& file,
   double compress_accum = 0.0;
   for (const int fi : report.order) {
     const auto f = static_cast<std::size_t>(fi);
-    phase.reset();
-    sz::Params comp_params = fields[f].params;
-    comp_params.threads = config.compress_threads;
-    std::vector<std::uint8_t> blob =
-        sz::compress<T>(fields[f].local, fields[f].local_dims, comp_params);
-    compress_accum += phase.seconds();
+    std::vector<std::uint8_t> blob;
+    {
+      util::trace::StageTimer stage("compress", "engine", "field", f);
+      sz::Params comp_params = fields[f].params;
+      comp_params.threads = config.compress_threads;
+      blob = sz::compress<T>(fields[f].local, fields[f].local_dims, comp_params);
+      compress_accum += stage.seconds();
+    }
 
     const PartitionSlot& slot = plan.slots[f][my_rank];
     my_actuals[f].actual_bytes = blob.size();
@@ -166,32 +175,39 @@ RankReport run_overlap(mpi::Comm& comm, h5::File& file,
 
   // Exposed write tail: from the end of the last compression to the last
   // byte of this rank's async queue landing.
-  phase.reset();
-  for (const auto& ticket : tickets) ticket.wait();
-  report.write_seconds = phase.seconds();
+  {
+    util::trace::StageTimer stage("write_exposed", "engine", "tickets",
+                                  tickets.size());
+    for (const auto& ticket : tickets) ticket.wait();
+    report.write_seconds = stage.seconds();
+  }
 
   // --- Phase 6: overflow handling + outcome gather. ---------------------
-  phase.reset();
-  const auto all_actuals = comm.allgatherv<ActualMsg>(my_actuals);
-  std::vector<std::vector<std::uint64_t>> overflow_sizes(
-      nfields, std::vector<std::uint64_t>(nranks, 0));
-  for (std::size_t r = 0; r < nranks; ++r) {
-    for (std::size_t f = 0; f < nfields; ++f) {
-      overflow_sizes[f][r] = all_actuals[r][f].overflow_bytes;
-    }
-  }
-  std::uint64_t overflow_total = 0;
-  const auto overflow_offsets = assign_overflow_offsets(overflow_sizes, &overflow_total);
+  std::vector<std::vector<ActualMsg>> all_actuals;
+  std::vector<std::vector<std::uint64_t>> overflow_offsets;
   std::uint64_t overflow_base = 0;
-  if (overflow_total > 0) {
-    overflow_base = file.alloc_collective(comm, overflow_total);
-    for (std::size_t f = 0; f < nfields; ++f) {
-      if (!overflow_tails[f].empty()) {
-        file.pwrite(overflow_base + overflow_offsets[f][my_rank], overflow_tails[f]);
+  {
+    util::trace::StageTimer stage("overflow", "engine");
+    all_actuals = comm.allgatherv<ActualMsg>(my_actuals);
+    std::vector<std::vector<std::uint64_t>> overflow_sizes(
+        nfields, std::vector<std::uint64_t>(nranks, 0));
+    for (std::size_t r = 0; r < nranks; ++r) {
+      for (std::size_t f = 0; f < nfields; ++f) {
+        overflow_sizes[f][r] = all_actuals[r][f].overflow_bytes;
       }
     }
+    std::uint64_t overflow_total = 0;
+    overflow_offsets = assign_overflow_offsets(overflow_sizes, &overflow_total);
+    if (overflow_total > 0) {
+      overflow_base = file.alloc_collective(comm, overflow_total);
+      for (std::size_t f = 0; f < nfields; ++f) {
+        if (!overflow_tails[f].empty()) {
+          file.pwrite(overflow_base + overflow_offsets[f][my_rank], overflow_tails[f]);
+        }
+      }
+    }
+    report.overflow_seconds = stage.seconds();
   }
-  report.overflow_seconds = phase.seconds();
 
   // --- Phase 7: metadata registration (rank 0). --------------------------
   if (comm.rank() == 0) {
@@ -247,6 +263,7 @@ RankReport write_fields(mpi::Comm& comm, h5::File& file,
                         std::span<const FieldSpec<T>> fields,
                         const EngineConfig& config) {
   if (fields.empty()) throw std::invalid_argument("engine: no fields");
+  util::metrics::Registry::get().engine_writes.add();
   switch (config.mode) {
     case WriteMode::kNoCompression:
       return run_no_compression<T>(comm, file, fields);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace pcw::core {
 
@@ -14,15 +15,18 @@ std::vector<std::vector<T>> read_fields(mpi::Comm& comm, h5::File& file,
   if (specs.empty()) throw std::invalid_argument("read: no fields");
   ReadReport report;
   util::Timer total;
-  util::Timer phase;
 
-  const std::vector<FieldReadPlan> plans = plan_read(file, specs);
-  for (const FieldReadPlan& plan : plans) {
-    if (plan.desc->dtype != h5::dtype_of<T>()) {
-      throw std::runtime_error("read: dtype mismatch for " + plan.desc->name);
+  std::vector<FieldReadPlan> plans;
+  {
+    util::trace::StageTimer stage("plan", "read", "fields", specs.size());
+    plans = plan_read(file, specs);
+    for (const FieldReadPlan& plan : plans) {
+      if (plan.desc->dtype != h5::dtype_of<T>()) {
+        throw std::runtime_error("read: dtype mismatch for " + plan.desc->name);
+      }
     }
+    report.plan_seconds = stage.seconds();
   }
-  report.plan_seconds = phase.seconds();
 
   const std::size_t nfields = plans.size();
   std::vector<std::vector<h5::PayloadTicket>> inflight(nfields);
@@ -51,18 +55,21 @@ std::vector<std::vector<T>> read_fields(mpi::Comm& comm, h5::File& file,
     report.partitions_total += plan.selection.partitions_total;
     report.partitions_read += plan.selection.parts.size();
     for (std::size_t p = 0; p < plan.selection.parts.size(); ++p) {
-      phase.reset();
-      const std::vector<std::uint8_t> payload =
-          config.pipeline
-              ? inflight[f][p].join()
-              : h5::read_selection_payload(file, *plan.desc, plan.selection.parts[p]);
-      report.read_seconds += phase.seconds();
-      phase.reset();
+      std::vector<std::uint8_t> payload;
+      {
+        util::trace::StageTimer stage("payload_wait", "read", "part", p);
+        payload =
+            config.pipeline
+                ? inflight[f][p].join()
+                : h5::read_selection_payload(file, *plan.desc, plan.selection.parts[p]);
+        report.read_seconds += stage.seconds();
+      }
+      util::trace::StageTimer stage("decode", "read", "part", p);
       h5::scatter_selection_part<T>(*plan.desc, plan.selection,
                                     plan.selection.parts[p], payload,
                                     config.decompress_threads, results[f], &stats,
                                     config.verify);
-      report.decompress_seconds += phase.seconds();
+      report.decompress_seconds += stage.seconds();
     }
     inflight[f].clear();
   }

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace pcw::core {
 namespace {
@@ -101,7 +103,6 @@ void decode_chain(const h5::File& file, const ChainPlan& plan,
   const h5::RegionSelection& sel = plan.sel;
   const std::size_t n_links = plan.chain.size();
   report.steps_chained = std::max<std::uint64_t>(report.steps_chained, n_links);
-  util::Timer phase;
 
   for (std::size_t p = 0; p < sel.parts.size(); ++p) {
     const h5::PartitionSelection& ps = sel.parts[p];
@@ -112,15 +113,17 @@ void decode_chain(const h5::File& file, const ChainPlan& plan,
     std::size_t cover_lo = 0;
     std::vector<T> buf;  // the chain's running reconstruction over `cover`
     for (std::size_t s = 0; s < n_links; ++s) {
-      phase.reset();
-      const std::vector<std::uint8_t> payload =
-          tickets != nullptr
-              ? (*tickets)[s][p].join()
-              : h5::read_selection_payload(file, *plan.chain[s], ps);
-      report.read_seconds += phase.seconds();
+      std::vector<std::uint8_t> payload;
+      {
+        util::trace::StageTimer stage("read", "series", "link", s);
+        payload = tickets != nullptr
+                      ? (*tickets)[s][p].join()
+                      : h5::read_selection_payload(file, *plan.chain[s], ps);
+        report.read_seconds += stage.seconds();
+      }
       report.bytes_read += payload.size();
 
-      phase.reset();
+      util::trace::StageTimer decode_stage("decode", "series", "link", s);
       const std::string where = "dataset '" + plan.chain[s]->name + "' partition " +
                                 std::to_string(ps.part_index) + ": ";
       sz::Dims stored;
@@ -150,7 +153,8 @@ void decode_chain(const h5::File& file, const ChainPlan& plan,
       }
       report.blocks_total += dstats.blocks_total;
       report.blocks_decoded += dstats.blocks_decoded;
-      report.decompress_seconds += phase.seconds();
+      report.decompress_seconds += decode_stage.seconds();
+      util::metrics::Registry::get().chain_links_decoded.add();
     }
 
     for (const h5::RowSegment& seg : ps.segments) {
@@ -172,6 +176,8 @@ void decode_keyframe_fallback(const h5::File& file, const ChainPlan& plan,
                               unsigned threads, sz::VerifyMode verify, std::span<T> out,
                               SeriesReadReport& report) {
   const h5::DatasetDesc* keyframe = plan.chain.front();
+  util::metrics::Registry::get().degraded_reads.add();
+  util::trace::instant("degraded_read", "series", "step", step);
   ChainPlan kplan;
   kplan.chain = {keyframe};
   kplan.sel = plan.sel;
@@ -217,7 +223,8 @@ SeriesStepReport SeriesWriter<T>::write_step(mpi::Comm& comm,
   report.step = step;
   report.keyframe = keyframe;
   util::Timer total;
-  util::Timer phase;
+  util::trace::Span step_span("step", "series", "step", step);
+  util::metrics::Registry::get().series_steps.add();
 
   // Compress/async-write pipeline: each blob is handed to the background
   // I/O queue the moment it exists, so the next field's compression
@@ -244,11 +251,14 @@ SeriesStepReport SeriesWriter<T>::write_step(mpi::Comm& comm,
     if (!keyframe && prev_[f].size() != field.local.size()) {
       throw std::invalid_argument("series: field shape changed mid-series");
     }
-    phase.reset();
-    std::vector<std::uint8_t> blob = sz::compress<T>(
-        field.local, field.local_dims, params,
-        keyframe ? std::span<const T>{} : std::span<const T>(prev_[f]), &recons[f]);
-    compress_accum += phase.seconds();
+    std::vector<std::uint8_t> blob;
+    {
+      util::trace::StageTimer stage("compress", "series", "field", f);
+      blob = sz::compress<T>(
+          field.local, field.local_dims, params,
+          keyframe ? std::span<const T>{} : std::span<const T>(prev_[f]), &recons[f]);
+      compress_accum += stage.seconds();
+    }
 
     const sz::HeaderInfo info = sz::inspect(blob);
     report.temporal_blocks += info.temporal_blocks;
@@ -267,9 +277,12 @@ SeriesStepReport SeriesWriter<T>::write_step(mpi::Comm& comm,
   }
   report.compress_seconds = compress_accum;
 
-  phase.reset();
-  for (const h5::WriteTicket& ticket : tickets) ticket.wait();
-  report.write_seconds = phase.seconds();
+  {
+    util::trace::StageTimer stage("write_exposed", "series", "tickets",
+                                  tickets.size());
+    for (const h5::WriteTicket& ticket : tickets) ticket.wait();
+    report.write_seconds = stage.seconds();
+  }
 
   // Metadata: one allgatherv carries every field's partition record.
   const auto all = comm.allgatherv<SeriesPartMsg>(my);

@@ -16,6 +16,8 @@
 #include "util/crc32c.h"
 #include "util/fault.h"
 #include "util/io_error.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace pcw::h5 {
 namespace {
@@ -40,6 +42,11 @@ void pwrite_loop(int fd, const std::uint8_t* buf, std::size_t len, std::uint64_t
 }
 
 void full_pwrite(int fd, const std::uint8_t* buf, std::size_t len, std::uint64_t off) {
+  auto& reg = util::metrics::Registry::get();
+  reg.io_writes.add();
+  reg.io_write_bytes.add(len);
+  util::trace::Span span("pwrite", "h5", "bytes", len);
+  const std::uint64_t t0 = util::trace::now_ns();
   if (util::fault::armed()) {
     if (const auto tear = util::fault::on_write(len)) {
       // Torn write: the prefix reaches the disk, then the power goes.
@@ -48,9 +55,14 @@ void full_pwrite(int fd, const std::uint8_t* buf, std::size_t len, std::uint64_t
     }
   }
   pwrite_loop(fd, buf, len, off);
+  reg.io_write_ns.record(util::trace::now_ns() - t0);
 }
 
 void full_pread(int fd, std::uint8_t* buf, std::size_t len, std::uint64_t off) {
+  auto& reg = util::metrics::Registry::get();
+  reg.io_reads.add();
+  reg.io_read_bytes.add(len);
+  util::trace::Span span("pread", "h5", "bytes", len);
   std::uint8_t* const start = buf;
   const std::size_t total = len;
   while (len > 0) {
@@ -68,6 +80,8 @@ void full_pread(int fd, std::uint8_t* buf, std::size_t len, std::uint64_t off) {
 }
 
 void fsync_fd(int fd) {
+  util::metrics::Registry::get().io_syncs.add();
+  util::trace::Span span("fsync", "h5");
   if (util::fault::armed()) util::fault::on_sync();
   while (::fsync(fd) < 0) {
     if (errno == EINTR) continue;
@@ -221,11 +235,29 @@ std::vector<std::uint8_t> File::pread(std::uint64_t offset, std::uint64_t size) 
   return out;
 }
 
+namespace {
+
+/// Decrements the async-queue depth gauge when a queued task finishes,
+/// on every exit path (return, retry exhaustion, rethrow).
+struct DepthDrop {
+  ~DepthDrop() { util::metrics::Registry::get().io_queue_depth.add(-1); }
+};
+
+}  // namespace
+
 WriteTicket File::async_write(std::uint64_t offset, std::vector<std::uint8_t> data) {
   if (!writable_) throw std::runtime_error("h5: async_write on read-only file");
   auto buf = std::make_shared<std::vector<std::uint8_t>>(std::move(data));
   const unsigned retries = opts_.write_retries;
+  {
+    auto& reg = util::metrics::Registry::get();
+    reg.io_async_enqueues.add();
+    reg.io_queue_depth.add(1);
+  }
+  util::trace::instant("enqueue", "h5", "bytes", buf->size());
   std::future<void> fut = async_pool_->submit([this, offset, buf, retries] {
+    DepthDrop drop;
+    util::trace::Span span("async_write", "h5", "bytes", buf->size());
     for (unsigned attempt = 0;; ++attempt) {
       try {
         full_pwrite(fd_, buf->data(), buf->size(), offset);
@@ -239,6 +271,7 @@ WriteTicket File::async_write(std::uint64_t offset, std::vector<std::uint8_t> da
           if (!async_error_) async_error_ = std::current_exception();
           throw;
         }
+        util::metrics::Registry::get().io_write_retries.add();
         // Escalating backoff: 1, 4, 16... ms.
         std::this_thread::sleep_for(std::chrono::milliseconds(1u << (2 * attempt)));
       }
@@ -252,7 +285,14 @@ ReadTicket File::async_read(std::uint64_t offset, std::uint64_t size) {
   // promise; exceptions (short read, I/O error) surface at get().
   auto promise = std::make_shared<std::promise<std::vector<std::uint8_t>>>();
   ReadTicket ticket(promise->get_future());
+  {
+    auto& reg = util::metrics::Registry::get();
+    reg.io_async_enqueues.add();
+    reg.io_queue_depth.add(1);
+  }
   async_pool_->submit([this, offset, size, promise] {
+    DepthDrop drop;
+    util::trace::Span span("async_read", "h5", "bytes", size);
     try {
       promise->set_value(pread(offset, size));
     } catch (...) {

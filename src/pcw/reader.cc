@@ -92,8 +92,13 @@ Result<Reader> Reader::open(const std::string& path, ReaderOptions options) {
     reader.impl_ = std::make_shared<Impl>();
     reader.impl_->file = h5::File::open(path, fopts);
     reader.impl_->options = options;
+    reader.impl_->telemetry_base = util::metrics::snapshot();
     return reader;
   });
+}
+
+Telemetry Reader::telemetry() const {
+  return impl_ ? detail::telemetry_since(impl_->telemetry_base) : Telemetry{};
 }
 
 std::vector<DatasetInfo> Reader::datasets() const {
@@ -206,7 +211,7 @@ Result<std::vector<std::vector<T>>> Reader::read_fields(
       resolve(*impl_->file, req.name, dtype_of<T>());
       core::ReadSpec spec;
       spec.name = req.name;
-      if (req.region) spec.region = detail::to_sz(*req.region);
+      if (req.region) spec.region.emplace(detail::to_sz(*req.region));
       specs.push_back(std::move(spec));
     }
     core::ReadEngineConfig config;

@@ -101,7 +101,7 @@ std::vector<core::ReadSpec> to_read_specs(std::span<const ReadRequest> requests)
   for (const ReadRequest& req : requests) {
     core::ReadSpec spec;
     spec.name = req.name;
-    if (req.region) spec.region = detail::to_sz(*req.region);
+    if (req.region) spec.region.emplace(detail::to_sz(*req.region));
     specs.push_back(std::move(spec));
   }
   return specs;
@@ -117,7 +117,12 @@ Result<SeriesWriter> SeriesWriter::create(Writer& writer, SeriesOptions options)
   out.impl_ = std::make_shared<Impl>();
   out.impl_->writer = writer.impl();
   out.impl_->options = options;
+  out.impl_->telemetry_base = util::metrics::snapshot();
   return out;
+}
+
+Telemetry SeriesWriter::telemetry() const {
+  return impl_ ? detail::telemetry_since(impl_->telemetry_base) : Telemetry{};
 }
 
 Result<SeriesStepReport> SeriesWriter::write_step(Rank& rank,

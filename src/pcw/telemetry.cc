@@ -1,0 +1,158 @@
+#include "pcw/telemetry.h"
+
+#include "pcw/convert.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace pcw {
+namespace {
+
+Telemetry from_snapshot(const util::metrics::Snapshot& s) {
+  Telemetry t;
+  t.sz_bytes_in = s.sz_bytes_in;
+  t.sz_bytes_out = s.sz_bytes_out;
+  t.sz_blocks_encoded = s.sz_blocks_encoded;
+  t.sz_blocks_decoded = s.sz_blocks_decoded;
+  t.sz_temporal_blocks = s.sz_temporal_blocks;
+  t.sz_outliers = s.sz_outliers;
+  t.sz_huffman_symbols = s.sz_huffman_symbols;
+  t.io_writes = s.io_writes;
+  t.io_write_bytes = s.io_write_bytes;
+  t.io_reads = s.io_reads;
+  t.io_read_bytes = s.io_read_bytes;
+  t.io_syncs = s.io_syncs;
+  t.io_write_retries = s.io_write_retries;
+  t.io_async_enqueues = s.io_async_enqueues;
+  t.io_queue_depth = s.io_queue_depth;
+  t.io_queue_hiwater = s.io_queue_hiwater;
+  t.io_write_p50_ns = s.io_write_p50_ns;
+  t.io_write_p99_ns = s.io_write_p99_ns;
+  t.fault_writes = s.fault_writes;
+  t.fault_reads = s.fault_reads;
+  t.fault_syncs = s.fault_syncs;
+  t.fault_fired = s.fault_fired;
+  t.engine_writes = s.engine_writes;
+  t.series_steps = s.series_steps;
+  t.chain_links_decoded = s.chain_links_decoded;
+  t.degraded_reads = s.degraded_reads;
+  t.trace_spans = s.trace_spans;
+  t.trace_dropped = s.trace_dropped;
+  return t;
+}
+
+}  // namespace
+
+namespace detail {
+
+/// The handles' telemetry(): process-wide counters minus the snapshot
+/// taken when the handle was created. Level readings — queue depth,
+/// high-water, latency percentiles — are not differences and pass
+/// through current.
+Telemetry telemetry_since(const util::metrics::Snapshot& base) {
+  const util::metrics::Snapshot now = util::metrics::snapshot();
+  Telemetry t = from_snapshot(now);
+  t.sz_bytes_in -= base.sz_bytes_in;
+  t.sz_bytes_out -= base.sz_bytes_out;
+  t.sz_blocks_encoded -= base.sz_blocks_encoded;
+  t.sz_blocks_decoded -= base.sz_blocks_decoded;
+  t.sz_temporal_blocks -= base.sz_temporal_blocks;
+  t.sz_outliers -= base.sz_outliers;
+  t.sz_huffman_symbols -= base.sz_huffman_symbols;
+  t.io_writes -= base.io_writes;
+  t.io_write_bytes -= base.io_write_bytes;
+  t.io_reads -= base.io_reads;
+  t.io_read_bytes -= base.io_read_bytes;
+  t.io_syncs -= base.io_syncs;
+  t.io_write_retries -= base.io_write_retries;
+  t.io_async_enqueues -= base.io_async_enqueues;
+  t.fault_writes -= base.fault_writes;
+  t.fault_reads -= base.fault_reads;
+  t.fault_syncs -= base.fault_syncs;
+  t.fault_fired -= base.fault_fired;
+  t.engine_writes -= base.engine_writes;
+  t.series_steps -= base.series_steps;
+  t.chain_links_decoded -= base.chain_links_decoded;
+  t.degraded_reads -= base.degraded_reads;
+  return t;
+}
+
+}  // namespace detail
+
+Telemetry metrics_snapshot() { return from_snapshot(util::metrics::snapshot()); }
+
+void metrics_reset() { util::metrics::reset(); }
+
+std::vector<TelemetryItem> telemetry_items(const Telemetry& t) {
+  return {
+      {"sz_bytes_in", t.sz_bytes_in},
+      {"sz_bytes_out", t.sz_bytes_out},
+      {"sz_blocks_encoded", t.sz_blocks_encoded},
+      {"sz_blocks_decoded", t.sz_blocks_decoded},
+      {"sz_temporal_blocks", t.sz_temporal_blocks},
+      {"sz_outliers", t.sz_outliers},
+      {"sz_huffman_symbols", t.sz_huffman_symbols},
+      {"io_writes", t.io_writes},
+      {"io_write_bytes", t.io_write_bytes},
+      {"io_reads", t.io_reads},
+      {"io_read_bytes", t.io_read_bytes},
+      {"io_syncs", t.io_syncs},
+      {"io_write_retries", t.io_write_retries},
+      {"io_async_enqueues", t.io_async_enqueues},
+      {"io_queue_depth", t.io_queue_depth},
+      {"io_queue_hiwater", t.io_queue_hiwater},
+      {"io_write_p50_ns", t.io_write_p50_ns},
+      {"io_write_p99_ns", t.io_write_p99_ns},
+      {"fault_writes", t.fault_writes},
+      {"fault_reads", t.fault_reads},
+      {"fault_syncs", t.fault_syncs},
+      {"fault_fired", t.fault_fired},
+      {"engine_writes", t.engine_writes},
+      {"series_steps", t.series_steps},
+      {"chain_links_decoded", t.chain_links_decoded},
+      {"degraded_reads", t.degraded_reads},
+      {"trace_spans", t.trace_spans},
+      {"trace_dropped", t.trace_dropped},
+  };
+}
+
+Status configure(const RuntimeOptions& options) {
+  return detail::guarded_status([&] {
+    if (!options.trace_path.empty()) {
+      util::trace::set_flush_path(options.trace_path);
+      util::trace::start(options.trace_capacity);
+    } else if (options.trace_buffered) {
+      util::trace::start(options.trace_capacity);
+    }
+  });
+}
+
+bool tracing_active() { return util::trace::enabled(); }
+
+Status flush_trace(const std::string& path) {
+  const std::string target = path.empty() ? util::trace::flush_path() : path;
+  if (target.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "telemetry: no trace path configured");
+  }
+  if (!util::trace::write_json(target)) {
+    return Status(StatusCode::kIoError, "telemetry: cannot write " + target);
+  }
+  return Status::Ok();
+}
+
+void trace_stop() { util::trace::stop(); }
+
+void trace_reset() {
+  util::trace::stop();
+  util::trace::clear();
+}
+
+std::vector<SpanStat> trace_span_stats() {
+  std::vector<SpanStat> out;
+  for (const util::trace::SpanStat& s : util::trace::span_stats()) {
+    out.push_back({s.name, s.cat, s.count, s.total_ns});
+  }
+  return out;
+}
+
+}  // namespace pcw

@@ -101,6 +101,7 @@ Result<Writer> Writer::create(const std::string& path, WriterOptions options) {
     writer.impl_ = std::make_shared<Impl>();
     writer.impl_->file = h5::File::create(path, fopts);
     writer.impl_->options = options;
+    writer.impl_->telemetry_base = util::metrics::snapshot();
     return writer;
   });
 }
@@ -160,5 +161,9 @@ std::uint64_t Writer::file_bytes() const {
 }
 
 std::string Writer::path() const { return impl_ ? impl_->file->path() : std::string(); }
+
+Telemetry Writer::telemetry() const {
+  return impl_ ? detail::telemetry_since(impl_->telemetry_base) : Telemetry{};
+}
 
 }  // namespace pcw

@@ -13,8 +13,10 @@
 #include "sz/temporal.h"
 #include "util/bitstream.h"
 #include "util/crc32c.h"
+#include "util/metrics.h"
 #include "util/pod_io.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace pcw::sz {
 namespace {
@@ -403,6 +405,8 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   const double eb = resolve_error_bound<T>(data, params);
   const std::vector<BlockRange> blocks = split_blocks(dims);
   const std::size_t n_blocks = blocks.size();
+  util::trace::Span compress_span("compress", "sz", "bytes",
+                                  data.size() * sizeof(T));
 
   // Stage 1: per-block quantization + histogram, in parallel; the
   // histogram is taken inside the task while the codes are cache-hot. A
@@ -414,6 +418,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   std::vector<Predictor> preds(n_blocks, Predictor::kSpatial);
   if (recon_out != nullptr) recon_out->resize(data.size());
   util::parallel_for(n_blocks, params.threads, [&](std::size_t b) {
+    util::trace::Span span("quantize", "sz", "block", b);
     const BlockRange& blk = blocks[b];
     const auto block_data = data.subspan(blk.elem_offset, blk.dims.count());
     quants[b] = lorenzo_quantize<T>(block_data, blk.dims, eb, params.radius);
@@ -464,6 +469,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   std::vector<std::vector<std::uint8_t>> huffs(n_blocks);
   std::vector<std::uint32_t> block_crcs(n_blocks, 0);
   util::parallel_for(n_blocks, params.threads, [&](std::size_t b) {
+    util::trace::Span span("huffman_encode", "sz", "block", b);
     util::BitWriter writer;
     writer.reserve_bytes(quants[b].codes.size() / 2);
     for (const std::uint32_t c : quants[b].codes) encoder.encode(c, writer);
@@ -485,11 +491,14 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   const std::size_t entry_bytes =
       params.checksum ? kV4IndexEntryBytes
                       : (temporal ? kV3IndexEntryBytes : kV2IndexEntryBytes);
-  std::uint64_t huff_total = 0, outlier_total = 0;
+  std::uint64_t huff_total = 0, outlier_total = 0, symbol_total = 0;
+  std::uint64_t temporal_blocks = 0;
   bool any_temporal = false;
   for (std::size_t b = 0; b < n_blocks; ++b) {
     huff_total += huffs[b].size();
     outlier_total += quants[b].outliers.size();
+    symbol_total += quants[b].codes.size();
+    if (preds[b] == Predictor::kTemporal) ++temporal_blocks;
     any_temporal = any_temporal || preds[b] == Predictor::kTemporal;
   }
   const std::size_t payload_size = codebook.size() +
@@ -524,7 +533,11 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
       const auto* p = reinterpret_cast<const std::uint8_t*>(quant.outliers.data());
       payload.insert(payload.end(), p, p + quant.outliers.size() * sizeof(T));
     }
-    std::vector<std::uint8_t> lz = lz_compress(payload);
+    std::vector<std::uint8_t> lz;
+    {
+      util::trace::Span span("lz", "sz", "bytes", payload.size());
+      lz = lz_compress(payload);
+    }
     if (lz.size() < payload.size()) {
       stored = std::move(lz);
       flags |= kFlagLz;
@@ -602,6 +615,15 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
       blob.insert(blob.end(), p, p + quant.outliers.size() * sizeof(T));
     }
   }
+  {
+    auto& reg = util::metrics::Registry::get();
+    reg.sz_bytes_in.add(data.size() * sizeof(T));
+    reg.sz_bytes_out.add(blob.size());
+    reg.sz_blocks_encoded.add(n_blocks);
+    reg.sz_temporal_blocks.add(temporal_blocks);
+    reg.sz_outliers.add(outlier_total);
+    reg.sz_huffman_symbols.add(symbol_total);
+  }
   return blob;
 }
 
@@ -678,12 +700,18 @@ void decode_block_codes(const HuffmanDecoder& decoder,
                         std::vector<std::uint32_t>& codes, std::vector<T>& outliers) {
   util::BitReader reader(payload.subspan(huff_off, entry.huff_bytes));
   codes.resize(n);
-  for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
+  {
+    util::trace::Span span("huffman_decode", "sz", "symbols", n);
+    for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
+  }
   outliers.resize(entry.outlier_count);
   if (entry.outlier_count > 0) {
     std::memcpy(outliers.data(), payload.data() + outlier_off,
                 entry.outlier_count * sizeof(T));
   }
+  auto& reg = util::metrics::Registry::get();
+  reg.sz_blocks_decoded.add();
+  reg.sz_huffman_symbols.add(n);
 }
 
 /// Entropy-decodes and dequantizes one v2/v3 block into `out` (block-
@@ -699,6 +727,7 @@ void decode_block(const HuffmanDecoder& decoder, const RawHeader& h,
   std::vector<T> outliers;
   decode_block_codes<T>(decoder, payload, entry, huff_off, outlier_off,
                         blk.dims.count(), codes, outliers);
+  util::trace::Span span("dequantize", "sz", "elems", blk.dims.count());
   if (entry.predictor == Predictor::kTemporal) {
     temporal_dequantize<T>(codes, outliers, prev, h.abs_eb, h.radius, out);
   } else {
@@ -753,6 +782,7 @@ std::span<const std::uint8_t> prepare_payload(const RawHeader& h,
         h.payload_raw_size > expand_cap) {
       throw std::runtime_error("sz: implausible LZ expansion");
     }
+    util::trace::Span span("lz_expand", "sz", "bytes", payload.size());
     buf = lz_decompress(payload, h.payload_raw_size);
     payload = buf;
   }
@@ -771,6 +801,7 @@ std::vector<T> decompress(std::span<const std::uint8_t> blob, Dims* dims_out,
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> blob, std::span<const T> prev,
                           Dims* dims_out, unsigned threads, VerifyMode verify) {
+  util::trace::Span decompress_span("decompress", "sz", "bytes", blob.size());
   const RawHeader h = parse_header(blob);
   if (h.dtype != dtype_of<T>()) {
     throw std::runtime_error("sz: element type mismatch");
@@ -812,6 +843,7 @@ template <typename T>
 std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Region& region,
                                  std::span<const T> prev_region, unsigned threads,
                                  RegionDecodeStats* stats, VerifyMode verify) {
+  util::trace::Span region_span("decompress_region", "sz", "bytes", blob.size());
   const RawHeader h = parse_header(blob);
   if (h.dtype != dtype_of<T>()) {
     throw std::runtime_error("sz: element type mismatch");

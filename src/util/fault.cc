@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace pcw::util::fault {
 namespace {
 
@@ -127,11 +129,13 @@ std::optional<std::uint64_t> on_write(std::uint64_t len) {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   ++s.counts.writes;
+  metrics::Registry::get().fault_writes.add();
   if (s.crashed) throw CrashError();
   if (s.plan.op != Op::kWrite || s.fired || s.counts.writes != s.plan.nth) {
     return std::nullopt;
   }
   s.fired = true;
+  metrics::Registry::get().fault_fired.add();
   switch (s.plan.action) {
     case Action::kFail:
       throw_fail(s.plan, "write");
@@ -151,9 +155,11 @@ void on_read(std::uint8_t* data, std::size_t len) {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   ++s.counts.reads;
+  metrics::Registry::get().fault_reads.add();
   if (s.crashed) throw CrashError();
   if (s.plan.op != Op::kRead || s.fired || s.counts.reads != s.plan.nth) return;
   s.fired = true;
+  metrics::Registry::get().fault_fired.add();
   switch (s.plan.action) {
     case Action::kFail:
       throw_fail(s.plan, "read");
@@ -174,9 +180,11 @@ void on_sync() {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   ++s.counts.syncs;
+  metrics::Registry::get().fault_syncs.add();
   if (s.crashed) throw CrashError();
   if (s.plan.op != Op::kSync || s.fired || s.counts.syncs != s.plan.nth) return;
   s.fired = true;
+  metrics::Registry::get().fault_fired.add();
   switch (s.plan.action) {
     case Action::kFail:
       throw_fail(s.plan, "fsync");

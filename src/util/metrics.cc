@@ -1,0 +1,70 @@
+#include "util/metrics.h"
+
+#include "util/trace.h"
+
+namespace pcw::util::metrics {
+
+Snapshot snapshot() {
+  Registry& r = Registry::get();
+  Snapshot s;
+  s.sz_bytes_in = r.sz_bytes_in.get();
+  s.sz_bytes_out = r.sz_bytes_out.get();
+  s.sz_blocks_encoded = r.sz_blocks_encoded.get();
+  s.sz_blocks_decoded = r.sz_blocks_decoded.get();
+  s.sz_temporal_blocks = r.sz_temporal_blocks.get();
+  s.sz_outliers = r.sz_outliers.get();
+  s.sz_huffman_symbols = r.sz_huffman_symbols.get();
+  s.io_writes = r.io_writes.get();
+  s.io_write_bytes = r.io_write_bytes.get();
+  s.io_reads = r.io_reads.get();
+  s.io_read_bytes = r.io_read_bytes.get();
+  s.io_syncs = r.io_syncs.get();
+  s.io_write_retries = r.io_write_retries.get();
+  s.io_async_enqueues = r.io_async_enqueues.get();
+  const std::int64_t depth = r.io_queue_depth.value();
+  s.io_queue_depth = depth < 0 ? 0 : static_cast<std::uint64_t>(depth);
+  s.io_queue_hiwater = r.io_queue_depth.hiwater();
+  s.io_write_p50_ns = r.io_write_ns.quantile_bound(0.50);
+  s.io_write_p99_ns = r.io_write_ns.quantile_bound(0.99);
+  s.fault_writes = r.fault_writes.get();
+  s.fault_reads = r.fault_reads.get();
+  s.fault_syncs = r.fault_syncs.get();
+  s.fault_fired = r.fault_fired.get();
+  s.engine_writes = r.engine_writes.get();
+  s.series_steps = r.series_steps.get();
+  s.chain_links_decoded = r.chain_links_decoded.get();
+  s.degraded_reads = r.degraded_reads.get();
+  s.trace_spans = trace::recorded();
+  s.trace_dropped = trace::dropped();
+  return s;
+}
+
+void reset() {
+  Registry& r = Registry::get();
+  r.sz_bytes_in.reset();
+  r.sz_bytes_out.reset();
+  r.sz_blocks_encoded.reset();
+  r.sz_blocks_decoded.reset();
+  r.sz_temporal_blocks.reset();
+  r.sz_outliers.reset();
+  r.sz_huffman_symbols.reset();
+  r.io_writes.reset();
+  r.io_write_bytes.reset();
+  r.io_reads.reset();
+  r.io_read_bytes.reset();
+  r.io_syncs.reset();
+  r.io_write_retries.reset();
+  r.io_async_enqueues.reset();
+  r.io_queue_depth.reset();
+  r.io_write_ns.reset();
+  r.fault_writes.reset();
+  r.fault_reads.reset();
+  r.fault_syncs.reset();
+  r.fault_fired.reset();
+  r.engine_writes.reset();
+  r.series_steps.reset();
+  r.chain_links_decoded.reset();
+  r.degraded_reads.reset();
+}
+
+}  // namespace pcw::util::metrics

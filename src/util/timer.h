@@ -1,24 +1,26 @@
-// Wall-clock timer (steady clock) for measured phases.
+// Wall-clock timer for measured phases. A thin face over the telemetry
+// clock (util/trace.h) so the whole repo — spans, phase reports, bench
+// harnesses — reads one steady time source; prefer trace::StageTimer
+// where the measured phase should also appear in a trace.
 #pragma once
 
-#include <chrono>
+#include "util/trace.h"
 
 namespace pcw::util {
 
 class Timer {
  public:
-  Timer() : start_(clock::now()) {}
+  Timer() : start_(trace::now_ns()) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ = trace::now_ns(); }
 
   /// Elapsed seconds since construction or last reset().
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(trace::now_ns() - start_) * 1e-9;
   }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_;
 };
 
 }  // namespace pcw::util

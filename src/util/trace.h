@@ -1,0 +1,201 @@
+// Always-on tracing: RAII scoped spans with nanosecond steady-clock
+// stamps, recorded into per-thread ring buffers and exported as Chrome
+// trace-event JSON (chrome://tracing / Perfetto). Compiled into the
+// library unconditionally but dormant until armed — every span site
+// costs one relaxed atomic load when tracing is off, the same
+// single-branch discipline util::fault proved out for the I/O hooks.
+//
+// Arming:
+//   * programmatic: trace::start() (tests, benches, the pcw:: façade's
+//     RuntimeOptions::with_trace knob);
+//   * environment:  PCW_TRACE=<path>[:cap=<events-per-thread>] arms at
+//     process start and flushes the JSON to <path> at exit.
+//
+// Recording is owner-thread lock-free: each thread appends to its own
+// ring (oldest events overwritten on wrap; dropped() counts them) and
+// publishes with one release store. The control plane — start/stop/
+// clear/write_json — takes a mutex and expects span-quiescence: callers
+// stop tracing (or drain their pools; parallel_for joins before
+// returning) before exporting, which every in-tree user does.
+//
+// This header is also the one clock source for the repo: util::Timer,
+// the bench harnesses, and the engine's phase reports all derive their
+// wall time from trace::now_ns().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcw::util::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Nanoseconds on the process-wide steady clock (the single clock every
+/// span, timer, and phase report in the repo is stamped with).
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The dormant check — one relaxed atomic load per span site.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// One completed span (or instant event, start_ns == end_ns). Name/cat/
+/// arg_name must be string literals (static storage): events keep the
+/// pointers, never copies.
+struct Event {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  const char* arg_name = nullptr;  // nullptr = no numeric argument
+  std::uint64_t arg = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;  // stable per-thread id, assigned at first record
+};
+
+/// Starts collecting spans. `events_per_thread` sizes each thread's ring
+/// (0 = keep the current capacity, default 32768); rings wrap, dropping
+/// oldest events. Idempotent; capacity changes apply to new rings only.
+void start(std::size_t events_per_thread = 0);
+/// Stops collecting (span sites go back to the one-load dormant path).
+/// Recorded events are kept until clear() or the next write_json().
+void stop();
+/// Drops every recorded event and resets the recorded/dropped counters.
+/// Control-plane: requires no spans in flight.
+void clear();
+
+/// Stops tracing and writes every recorded event as Chrome trace-event
+/// JSON. Returns false if the file cannot be written. Events are kept
+/// (write_json can run twice); clear() discards them.
+bool write_json(const std::string& path);
+
+/// The path the process-exit hook flushes to ("" = no exit flush). Set
+/// by the PCW_TRACE environment variable or set_flush_path().
+void set_flush_path(const std::string& path);
+std::string flush_path();
+
+/// Parses the PCW_TRACE grammar `<path>[:cap=<events-per-thread>]`.
+/// Returns false (outputs untouched) on a spec that does not parse.
+bool parse_spec(const char* spec, std::string* path_out, std::size_t* cap_out);
+
+/// Total events recorded since the last clear() (including overwritten
+/// ones) and how many of those were lost to ring wrap.
+std::uint64_t recorded();
+std::uint64_t dropped();
+
+/// Copies out the currently buffered events (oldest-first per thread).
+/// Control-plane: requires no spans in flight.
+std::vector<Event> events();
+
+/// Aggregate view: count and total duration per distinct (cat, name).
+struct SpanStat {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+std::vector<SpanStat> span_stats();
+
+/// Records a completed span. Span sites normally go through Span /
+/// StageTimer; call this directly only with enabled() already checked.
+void record(const char* name, const char* cat, std::uint64_t start_ns,
+            std::uint64_t end_ns, const char* arg_name, std::uint64_t arg);
+
+/// Records a zero-duration instant event (queue handoffs, markers).
+inline void instant(const char* name, const char* cat,
+                    const char* arg_name = nullptr, std::uint64_t arg = 0) {
+  if (enabled()) {
+    const std::uint64_t t = now_ns();
+    record(name, cat, t, t, arg_name, arg);
+  }
+}
+
+/// RAII scoped span. Dormant cost: one relaxed load in the constructor
+/// (and one in the destructor when armed-at-construction), no clock
+/// reads, no allocation.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "pcw") noexcept {
+    if (enabled()) {
+      name_ = name;
+      cat_ = cat;
+      start_ = now_ns();
+    }
+  }
+  Span(const char* name, const char* cat, const char* arg_name,
+       std::uint64_t arg) noexcept {
+    if (enabled()) {
+      name_ = name;
+      cat_ = cat;
+      arg_name_ = arg_name;
+      arg_ = arg;
+      start_ = now_ns();
+    }
+  }
+  ~Span() {
+    // Re-checking enabled() keeps late destructions from racing an
+    // export that ran after stop().
+    if (name_ != nullptr && enabled()) {
+      record(name_, cat_, start_, now_ns(), arg_name_, arg_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches/updates the numeric argument (no-op when dormant).
+  void set_arg(const char* arg_name, std::uint64_t arg) noexcept {
+    if (name_ != nullptr) {
+      arg_name_ = arg_name;
+      arg_ = arg;
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+/// Phase timer: always measures (engine reports need the seconds whether
+/// or not tracing is armed) and doubles as a span when it is. The
+/// replacement for the ad-hoc `util::Timer phase; ... phase.seconds()`
+/// idiom in the engines and bench harnesses.
+class StageTimer {
+ public:
+  explicit StageTimer(const char* name, const char* cat = "engine") noexcept
+      : name_(name), cat_(cat), start_(now_ns()) {}
+  StageTimer(const char* name, const char* cat, const char* arg_name,
+             std::uint64_t arg) noexcept
+      : name_(name), cat_(cat), arg_name_(arg_name), arg_(arg), start_(now_ns()) {}
+  ~StageTimer() {
+    if (enabled()) record(name_, cat_, start_, now_ns(), arg_name_, arg_);
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Elapsed seconds since construction.
+  double seconds() const noexcept {
+    return static_cast<double>(now_ns() - start_) * 1e-9;
+  }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_ = 0;
+  std::uint64_t start_;
+};
+
+}  // namespace pcw::util::trace

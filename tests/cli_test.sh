@@ -45,12 +45,27 @@ check "compress roundtrip" 0 "" \
 check "inspect" 0 "pcw::sz" "${pcwz}" inspect "${blob}"
 check "decompress" 0 "" "${pcwz}" decompress "${blob}" "${tmpdir}/back.f32"
 
-# Unknown flags: exit 2 + usage, on every subcommand.
+# --stats: every subcommand prints the telemetry snapshot (counter rows
+# plus span totals, since --stats arms buffered tracing) after its
+# normal output, without disturbing the exit code.
+check "compress --stats" 0 "telemetry:" \
+  "${pcwz}" compress "${raw}" "${blob}" --dims 1,1,1024 --eb 1e-3 --stats
+check "compress --stats counters" 0 "sz_bytes_in" \
+  "${pcwz}" compress "${raw}" "${blob}" --dims 1,1,1024 --eb 1e-3 --stats
+check "compress --stats spans" 0 "huffman_encode" \
+  "${pcwz}" compress "${raw}" "${blob}" --dims 1,1,1024 --eb 1e-3 --stats
+check "decompress --stats" 0 "sz_blocks_decoded" \
+  "${pcwz}" decompress "${blob}" "${tmpdir}/back.f32" --stats
+check "inspect --stats" 0 "telemetry:" "${pcwz}" inspect "${blob}" --stats
+
+# Unknown flags: exit 2 + usage, on every subcommand (also with --stats).
 check "compress unknown flag" 2 "usage:" \
   "${pcwz}" compress "${raw}" "${blob}" --dims 1,1,1024 --eb 1e-3 --bogus
 check "decompress unknown flag" 2 "usage:" \
   "${pcwz}" decompress "${blob}" "${tmpdir}/back.f32" --bogus
 check "inspect unknown flag" 2 "usage:" "${pcwz}" inspect "${blob}" --bogus
+check "stats plus unknown flag" 2 "usage:" \
+  "${pcwz}" inspect "${blob}" --stats --bogus
 check "unknown command" 2 "usage:" "${pcwz}" frobnicate
 check "no args" 2 "usage:" "${pcwz}"
 
@@ -81,6 +96,10 @@ if [[ -n "${quickstart}" ]]; then
   ckpt="${tmpdir}/quickstart.pcw5"
   if "${quickstart}" "${ckpt}" >/dev/null 2>&1; then
     check "scrub clean checkpoint" 0 "scrub" "${pcw5ls}" "${ckpt}" --scrub
+    check "pcw5ls --stats" 0 "telemetry:" "${pcw5ls}" "${ckpt}" --stats
+    check "pcw5ls --stats io counters" 0 "io_reads" "${pcw5ls}" "${ckpt}" --stats
+    check "pcw5ls --stats unknown flag" 2 "usage:" \
+      "${pcw5ls}" "${ckpt}" --stats --bogus
     ckpt_size="$(wc -c <"${ckpt}")"
     head -c "$((ckpt_size / 2))" "${ckpt}" >"${tmpdir}/torn.pcw5"
     check "scrub torn checkpoint" 2 "error:" "${pcw5ls}" "${tmpdir}/torn.pcw5" --scrub

@@ -98,7 +98,8 @@ void check_consistent(const std::string& path, int committed) {
   EXPECT_GE(k, committed) << "a successful commit was lost";
   EXPECT_LE(k, kCommits);
   for (int i = 1; i <= k; ++i) {
-    const h5::DatasetDesc* d = file->find_dataset("d" + std::to_string(i));
+    const std::string num = std::to_string(i);
+    const h5::DatasetDesc* d = file->find_dataset("d" + num);
     ASSERT_NE(d, nullptr) << "d" << i << " missing from a " << k << "-dataset state";
     const auto bytes = file->pread(d->file_offset, d->nbytes);
     EXPECT_EQ(bytes, commit_payload(i)) << "payload of d" << i << " is torn";

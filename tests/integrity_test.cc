@@ -290,7 +290,8 @@ void build_committed_file(const std::string& path, int commits) {
     const auto off = file->alloc(payload.size());
     file->pwrite(off, payload);
     h5::DatasetDesc d;
-    d.name = "d" + std::to_string(i);
+    const std::string num = std::to_string(i);
+    d.name = "d" + num;
     d.dtype = h5::DataType::kBytes;
     d.global_dims = sz::Dims::make_1d(payload.size());
     d.file_offset = off;

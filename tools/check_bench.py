@@ -28,6 +28,15 @@ import sys
 
 RATCHET = 3.0  # smoke serial throughput may not drop below baseline/3
 
+# Telemetry-overhead gates (non-smoke baseline only; smoke timings are
+# noise). DORMANT_FLOOR pins the serial t1 throughput measured before the
+# telemetry layer landed: with tracing off, the instrumented kernels may
+# cost at most 2% against it. TRACED_OVERHEAD bounds the armed cost:
+# compress_traced (buffered tracing on) vs compress on the same run.
+DORMANT_FLOOR = {"compress": 116.0, "decompress": 239.0}  # MB/s, t1
+DORMANT_TOLERANCE = 1.02
+TRACED_OVERHEAD = 1.10
+
 PROBLEMS = []
 
 
@@ -65,10 +74,30 @@ def check_kernels(doc, path, smoke):
         problem(f"{path}: schema {doc.get('schema')!r}")
         return
     stages = {r["stage"] for r in doc.get("results", [])}
-    want = {"quantize", "encode", "compress", "decompress"}
+    want = {"quantize", "encode", "compress", "decompress", "compress_traced"}
     if not stages >= want:
         problem(f"{path}: stages {sorted(stages)} lack {sorted(want - stages)}")
         return
+    t1 = {r["stage"]: r["mb_per_s"]
+          for r in doc.get("results", []) if r.get("threads") == 1}
+    if not smoke:
+        # Dormant telemetry must stay free: serial throughput within 2%
+        # of the pre-telemetry floor.
+        for stage, floor in sorted(DORMANT_FLOOR.items()):
+            mb = t1.get(stage, 0.0)
+            if mb <= 0 or floor / mb > DORMANT_TOLERANCE:
+                problem(f"{path}: {stage} t1 {mb:.1f} MB/s vs dormant floor "
+                        f"{floor:.1f} MB/s (> {DORMANT_TOLERANCE:.2f}x cost)")
+                return
+        # Armed (buffered) tracing may cost at most 10% over dormant.
+        traced = t1.get("compress_traced", 0.0)
+        dormant = t1.get("compress", 0.0)
+        if traced <= 0 or dormant <= 0 or dormant / traced > TRACED_OVERHEAD:
+            problem(f"{path}: compress_traced t1 {traced:.1f} MB/s vs compress "
+                    f"{dormant:.1f} MB/s (> {TRACED_OVERHEAD:.2f}x overhead)")
+            return
+        ok(f"{path}: telemetry gates green (dormant within "
+           f"{DORMANT_TOLERANCE:.2f}x floor, traced {dormant / traced:.3f}x)")
     ok(f"{path}: pcw.bench_kernels.v1, stages {sorted(stages)}")
 
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validator for PCW_TRACE output (Chrome trace-event JSON).
+
+Checks that a trace file written by util::trace (the PCW_TRACE env hook,
+pcw::flush_trace, or trace::write_json) is something chrome://tracing /
+Perfetto will actually load:
+
+  * top-level object with a "traceEvents" array and displayTimeUnit;
+  * every event is a complete ("X") span with name, cat, pid, tid, and
+    non-negative numeric ts/dur;
+  * args, when present, is an object of numbers;
+  * spans never end before they start.
+
+``--require NAME ...`` additionally asserts that each named span occurs
+at least once -- tests/trace_smoke.sh uses this to pin that a bench-sized
+run emits the per-block sz stage spans, the h5 async-queue spans, and the
+per-step engine spans.
+
+Usage:  tools/check_trace.py TRACE.json [--require NAME ...]
+Exit 0 = valid (and all required spans present); 1 = any violation.
+"""
+
+import argparse
+import collections
+import json
+import numbers
+import sys
+
+PROBLEMS = []
+
+
+def problem(msg):
+    PROBLEMS.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def check_event(i, ev):
+    if not isinstance(ev, dict):
+        problem(f"event {i}: not an object")
+        return None
+    for key in ("name", "cat", "ph"):
+        if not isinstance(ev.get(key), str) or not ev[key]:
+            problem(f"event {i}: missing string field '{key}'")
+            return None
+    if ev["ph"] != "X":
+        problem(f"event {i} ({ev['name']}): phase {ev['ph']!r}, want complete 'X'")
+        return None
+    for key in ("pid", "tid", "ts", "dur"):
+        if not isinstance(ev.get(key), numbers.Number):
+            problem(f"event {i} ({ev['name']}): missing numeric field '{key}'")
+            return None
+    if ev["ts"] < 0 or ev["dur"] < 0:
+        problem(f"event {i} ({ev['name']}): negative ts/dur")
+        return None
+    if "args" in ev:
+        if not isinstance(ev["args"], dict) or not all(
+            isinstance(v, numbers.Number) for v in ev["args"].values()
+        ):
+            problem(f"event {i} ({ev['name']}): args is not an object of numbers")
+            return None
+    return ev["name"]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file to validate")
+    ap.add_argument("--require", nargs="+", default=[], metavar="NAME",
+                    help="span names that must occur at least once")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problem(f"{args.trace}: unreadable ({e})")
+        print(f"\n{len(PROBLEMS)} trace violation(s)")
+        return 1
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        problem(f"{args.trace}: no top-level traceEvents array")
+    else:
+        names = collections.Counter()
+        for i, ev in enumerate(doc["traceEvents"]):
+            name = check_event(i, ev)
+            if name is not None:
+                names[name] += 1
+        if doc.get("displayTimeUnit") not in ("ns", "ms"):
+            problem(f"{args.trace}: displayTimeUnit "
+                    f"{doc.get('displayTimeUnit')!r}, want 'ns' or 'ms'")
+        if not names:
+            problem(f"{args.trace}: no events recorded")
+        for want in args.require:
+            if names[want] == 0:
+                problem(f"{args.trace}: required span '{want}' never recorded")
+        if not PROBLEMS:
+            top = ", ".join(f"{n} x{c}" for n, c in names.most_common(8))
+            print(f"ok: {args.trace}: {sum(names.values())} events, "
+                  f"{len(names)} span names ({top})")
+
+    if PROBLEMS:
+        print(f"\n{len(PROBLEMS)} trace violation(s)")
+        return 1
+    print("\ntrace valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

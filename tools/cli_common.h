@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "pcw/telemetry.h"
+
 namespace pcw::cli {
 
 /// Prints "error: <why>" (when given) plus the tool's usage text to
@@ -65,6 +67,50 @@ inline void write_file_or_exit(const std::string& path, const void* data,
       !out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes))) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     std::exit(1);
+  }
+}
+
+/// --stats support shared by pcwz and pcw5ls. Every subcommand accepts
+/// the flag; strip_stats_flag() removes it from argv before per-command
+/// parsing so the existing flag grammars stay untouched. Arming happens
+/// up front (buffered tracing, so per-span totals accompany the
+/// counters); print_stats() emits the telemetry snapshot after the
+/// command body runs. tests/cli_test.sh pins the "telemetry:" header
+/// and counter-row format.
+inline bool strip_stats_flag(int& argc, char** argv) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stats") {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (found) {
+    const pcw::Status armed =
+        pcw::configure(pcw::RuntimeOptions().with_trace_buffered());
+    if (!armed.ok()) {
+      std::fprintf(stderr, "warning: %s\n", armed.message().c_str());
+    }
+  }
+  return found;
+}
+
+inline void print_stats() {
+  std::printf("\ntelemetry:\n");
+  for (const pcw::TelemetryItem& item : pcw::telemetry_items(pcw::metrics_snapshot())) {
+    std::printf("  %-22s %llu\n", item.name,
+                static_cast<unsigned long long>(item.value));
+  }
+  const std::vector<pcw::SpanStat> spans = pcw::trace_span_stats();
+  if (spans.empty()) return;
+  std::printf("spans:\n");
+  for (const pcw::SpanStat& s : spans) {
+    std::printf("  %-22s %-8s x%-8llu %.3f ms\n", s.name, s.cat,
+                static_cast<unsigned long long>(s.count),
+                static_cast<double>(s.total_ns) / 1e6);
   }
 }
 

@@ -28,7 +28,7 @@ using namespace pcw;
 
 constexpr const char* kUsage =
     "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify] "
-    "[--scrub]\n";
+    "[--scrub] [--stats]\n";
 
 std::string filter_name(std::uint32_t filter_id) {
   const Result<CodecInfo> info = find_codec(filter_id);
@@ -348,6 +348,7 @@ int run(const std::string& path, bool show_partitions, bool show_blocks,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool stats = cli::strip_stats_flag(argc, argv);
   if (argc < 2) cli::usage_exit(kUsage);
   bool show_partitions = false, show_blocks = false, show_steps = false, verify = false;
   bool scrub = false;
@@ -369,7 +370,9 @@ int main(int argc, char** argv) {
     }
   }
   try {
-    return run(argv[1], show_partitions, show_blocks, show_steps, verify, scrub);
+    const int rc = run(argv[1], show_partitions, show_blocks, show_steps, verify, scrub);
+    if (stats) cli::print_stats();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return scrub ? 2 : 1;

@@ -33,7 +33,9 @@ constexpr const char* kUsage =
     "  pcwz compress   <in.f32> <out> --dims D0,D1,D2 --zfp-rate R\n"
     "  pcwz decompress <in> <out.f32>\n"
     "  pcwz inspect    <in>\n"
-    "  pcwz verify     <in> [--shallow]\n";
+    "  pcwz verify     <in> [--shallow]\n"
+    "every command accepts --stats (print the telemetry counters and\n"
+    "span totals the run accumulated)\n";
 
 [[noreturn]] int fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.message().c_str());
@@ -188,15 +190,21 @@ int cmd_verify(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool stats = cli::strip_stats_flag(argc, argv);
   if (argc < 2) cli::usage_exit(kUsage);
   const std::string cmd = argv[1];
   // The façade returns Status instead of throwing, but flag parsing
   // (std::stod/std::stoul) can still throw on malformed numbers.
   try {
-    if (cmd == "compress") return cmd_compress(argc, argv);
-    if (cmd == "decompress") return cmd_decompress(argc, argv);
-    if (cmd == "inspect") return cmd_inspect(argc, argv);
-    if (cmd == "verify") return cmd_verify(argc, argv);
+    int rc = -1;
+    if (cmd == "compress") rc = cmd_compress(argc, argv);
+    else if (cmd == "decompress") rc = cmd_decompress(argc, argv);
+    else if (cmd == "inspect") rc = cmd_inspect(argc, argv);
+    else if (cmd == "verify") rc = cmd_verify(argc, argv);
+    if (rc >= 0) {
+      if (stats) cli::print_stats();
+      return rc;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
