@@ -16,6 +16,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "pcw/kernels.h"
 #include "pcw/text.h"
 #include "pcw/workloads.h"
@@ -139,7 +143,17 @@ void emit_json(const Options& opt, const std::vector<Result>& results,
   out << "    \"dtype\": \"float32\",\n";
   out << "    \"error_bound\": " << opt.eb << ",\n";
   out << "    \"reps\": " << opt.reps << ",\n";
-  out << "    \"smoke\": " << (opt.smoke ? "true" : "false") << "\n";
+  out << "    \"smoke\": " << (opt.smoke ? "true" : "false") << ",\n";
+  // Host facts: throughput numbers are uninterpretable without knowing
+  // the core budget and which kernel flavour actually ran (PCW_SIMD can
+  // clamp below the detected level).
+  out << "    \"host\": {\n";
+  out << "      \"cpu_count\": " << util::hardware_threads() << ",\n";
+  out << "      \"simd_detected\": \"" << util::simd_name(util::simd_detected())
+      << "\",\n";
+  out << "      \"simd_active\": \"" << util::simd_name(util::simd_active())
+      << "\"\n";
+  out << "    }\n";
   out << "  },\n";
   out << "  \"raw_bytes\": " << raw_bytes << ",\n";
   out << "  \"blob_bytes\": " << blob_bytes << ",\n";
@@ -161,11 +175,25 @@ void emit_json(const Options& opt, const std::vector<Result>& results,
 }  // namespace
 
 int main(int argc, char** argv) {
+#if defined(__GLIBC__)
+  // Keep the field-sized work buffers on the main heap and stop free()
+  // from trimming them back to the kernel. Without this every rep's
+  // >32 MiB allocations take the mmap path (glibc caps the dynamic
+  // threshold below our buffer sizes), so each pass re-faults and
+  // re-zeroes ~64 MiB of pages — timing the kernel's page zeroer, not
+  // the codec. Long-lived HPC processes reuse their arenas; this makes
+  // the steady state the thing measured.
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+#endif
   const Options opt = parse_args(argc, argv);
   const std::size_t raw_bytes = opt.dims.count() * sizeof(float);
 
   std::printf("bench_kernels: %zux%zux%zu f32, eb=%g, reps=%d\n", opt.dims.d0,
               opt.dims.d1, opt.dims.d2, opt.eb, opt.reps);
+  std::printf("host: %u hardware threads, simd %s (detected %s)\n",
+              util::hardware_threads(), util::simd_name(util::simd_active()),
+              util::simd_name(util::simd_detected()));
   const std::vector<float> field =
       data::make_nyx_field(opt.dims, data::NyxField::kBaryonDensity, 9);
 

@@ -11,7 +11,9 @@
 #include "sz/compressor.h"     // IWYU pragma: export
 #include "sz/dims.h"           // IWYU pragma: export
 #include "sz/huffman.h"        // IWYU pragma: export
+#include "sz/kernels.h"        // IWYU pragma: export
 #include "sz/lorenzo.h"        // IWYU pragma: export
 #include "util/bitstream.h"    // IWYU pragma: export
+#include "util/cpu.h"          // IWYU pragma: export
 #include "util/thread_pool.h"  // IWYU pragma: export
 #include "zfp/zfp.h"           // IWYU pragma: export

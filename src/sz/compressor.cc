@@ -8,6 +8,7 @@
 
 #include "sz/blocks.h"
 #include "sz/huffman.h"
+#include "sz/kernels.h"
 #include "sz/lorenzo.h"
 #include "sz/lossless.h"
 #include "sz/temporal.h"
@@ -408,42 +409,40 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
   util::trace::Span compress_span("compress", "sz", "bytes",
                                   data.size() * sizeof(T));
 
-  // Stage 1: per-block quantization + histogram, in parallel; the
-  // histogram is taken inside the task while the codes are cache-hot. A
-  // temporal compression quantizes each block both ways and keeps
-  // whichever entropy-codes smaller, so a block with a stale or turbulent
-  // reference degrades to exactly the spatial cost.
-  std::vector<QuantizeResult<T>> quants(n_blocks);
+  // Stage 1: quantization + histogram. lorenzo_quantize_blocks runs
+  // lockstep SIMD groups where the decomposition allows and writes the
+  // spatial reconstruction straight into recon_out (series writers keep
+  // it as the next temporal reference — blocks write disjoint slices, no
+  // race), so compress never holds a second copy of the field. A
+  // temporal compression then quantizes each block the delta way too and
+  // keeps whichever entropy-codes smaller, so a block with a stale or
+  // turbulent reference degrades to exactly the spatial cost.
   std::vector<std::vector<std::uint32_t>> hists(n_blocks);
   std::vector<Predictor> preds(n_blocks, Predictor::kSpatial);
   if (recon_out != nullptr) recon_out->resize(data.size());
-  util::parallel_for(n_blocks, params.threads, [&](std::size_t b) {
-    util::trace::Span span("quantize", "sz", "block", b);
+  // The quantizer fills the spatial histograms itself, while each code
+  // tile is still cache-resident — same counts as a separate pass.
+  std::vector<QuantizeResult<T>> quants = lorenzo_quantize_blocks<T>(
+      data, blocks, eb, params.radius, params.threads,
+      recon_out != nullptr ? recon_out->data() : nullptr, hists);
+  if (temporal) util::parallel_for(n_blocks, params.threads, [&](std::size_t b) {
     const BlockRange& blk = blocks[b];
     const auto block_data = data.subspan(blk.elem_offset, blk.dims.count());
-    quants[b] = lorenzo_quantize<T>(block_data, blk.dims, eb, params.radius);
-    hists[b] = code_histogram(quants[b].codes, params.radius);
-    if (temporal) {
-      auto delta = temporal_quantize<T>(
-          block_data, prev.subspan(blk.elem_offset, blk.dims.count()), eb, params.radius);
-      auto delta_hist = code_histogram(delta.codes, params.radius);
-      const double spatial_cost =
-          block_cost_bits<T>(hists[b], quants[b].outliers.size(), block_data.size());
-      const double delta_cost =
-          block_cost_bits<T>(delta_hist, delta.outliers.size(), block_data.size());
-      if (delta_cost < spatial_cost) {
-        quants[b] = std::move(delta);
-        hists[b] = std::move(delta_hist);
-        preds[b] = Predictor::kTemporal;
+    auto delta = temporal_quantize<T>(
+        block_data, prev.subspan(blk.elem_offset, blk.dims.count()), eb, params.radius);
+    auto delta_hist = code_histogram(delta.codes, params.radius);
+    const double spatial_cost =
+        block_cost_bits<T>(hists[b], quants[b].outliers.size(), block_data.size());
+    const double delta_cost =
+        block_cost_bits<T>(delta_hist, delta.outliers.size(), block_data.size());
+    if (delta_cost < spatial_cost) {
+      quants[b] = std::move(delta);
+      hists[b] = std::move(delta_hist);
+      preds[b] = Predictor::kTemporal;
+      if (recon_out != nullptr) {
+        std::copy(quants[b].recon.begin(), quants[b].recon.end(),
+                  recon_out->begin() + static_cast<std::ptrdiff_t>(blk.elem_offset));
       }
-    }
-    // Hand the block's reconstruction out (series writers keep it as the
-    // next temporal reference — blocks write disjoint slices, no race)
-    // and drop it right away, so compress never holds a second copy of
-    // the field past the block that produced it.
-    if (recon_out != nullptr) {
-      std::copy(quants[b].recon.begin(), quants[b].recon.end(),
-                recon_out->begin() + static_cast<std::ptrdiff_t>(blk.elem_offset));
     }
     std::vector<T>().swap(quants[b].recon);
   });
@@ -472,7 +471,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, const Dims& dims,
     util::trace::Span span("huffman_encode", "sz", "block", b);
     util::BitWriter writer;
     writer.reserve_bytes(quants[b].codes.size() / 2);
-    for (const std::uint32_t c : quants[b].codes) encoder.encode(c, writer);
+    encoder.encode_all(quants[b].codes, writer);
     huffs[b] = writer.finish();
     if (params.checksum) {
       std::uint32_t c = util::crc32c(0, huffs[b].data(), huffs[b].size());
@@ -642,7 +641,7 @@ void decode_v1(const RawHeader& h, std::span<const std::uint8_t> payload,
   const std::size_t n = h.dims.count();
   util::BitReader reader(payload.subspan(h.codebook_size, h.huff_bytes));
   std::vector<std::uint32_t> codes(n);
-  for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
+  decoder.decode_run(reader, codes.data(), n);
 
   std::vector<T> outliers(h.outlier_count);
   const std::size_t outlier_off = h.codebook_size + h.huff_bytes;
@@ -702,7 +701,7 @@ void decode_block_codes(const HuffmanDecoder& decoder,
   codes.resize(n);
   {
     util::trace::Span span("huffman_decode", "sz", "symbols", n);
-    for (std::size_t i = 0; i < n; ++i) codes[i] = decoder.decode(reader);
+    decoder.decode_run(reader, codes.data(), n);
   }
   outliers.resize(entry.outlier_count);
   if (entry.outlier_count > 0) {
@@ -745,17 +744,102 @@ void decode_blocks(const RawHeader& h, std::span<const std::uint8_t> payload,
   const HuffmanDecoder decoder = make_decoder(h, payload);
   const std::vector<BlockRange> blocks = blocks_from_index(h);
   const BlockOffsets off = block_payload_offsets(h, sizeof(T));
-  util::parallel_for(blocks.size(), threads, [&](std::size_t b) {
-    const BlockRange& blk = blocks[b];
-    if (check_crcs) {
-      verify_block_crc(h, payload, b, off.huff[b], off.outlier[b], sizeof(T));
+
+  // Mirror of the quantize-side partition (lorenzo_quantize_blocks):
+  // runs of consecutive spatial blocks with identical extents and
+  // contiguous data — rounded down to the lane granularity, up to
+  // lane_width() lanes — dequantize in SIMD lockstep; everything else —
+  // singles, temporal blocks, the non-uniform tail — keeps the scalar
+  // per-block path and all of its error semantics.
+  struct Task {
+    std::size_t first = 0;
+    int count = 1;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(blocks.size());
+  const int w = kern::lane_width();
+  const int g = kern::lane_granularity();
+  std::size_t scan = 0;
+  while (scan < blocks.size()) {
+    int run = 0;
+    if (w > 1 && h.radius <= kern::kLaneMaxRadius) {
+      const std::size_t bc = blocks[scan].dims.count();
+      if (bc > 0) {
+        const int cap = static_cast<int>(
+            std::min<std::size_t>(static_cast<std::size_t>(w), blocks.size() - scan));
+        while (run < cap) {
+          const std::size_t b = scan + static_cast<std::size_t>(run);
+          const bool lockstep =
+              h.blocks[b].predictor == Predictor::kSpatial &&
+              blocks[b].dims.d0 == blocks[scan].dims.d0 &&
+              blocks[b].dims.d1 == blocks[scan].dims.d1 &&
+              blocks[b].dims.d2 == blocks[scan].dims.d2 &&
+              blocks[b].elem_offset ==
+                  blocks[scan].elem_offset + static_cast<std::size_t>(run) * bc;
+          if (!lockstep) break;
+          ++run;
+        }
+        run = (run / g) * g;
+      }
     }
-    const std::span<const T> blk_prev =
-        h.blocks[b].predictor == Predictor::kTemporal
-            ? prev.subspan(blk.elem_offset, blk.dims.count())
-            : std::span<const T>{};
-    decode_block<T>(decoder, h, payload, blk, h.blocks[b], off.huff[b], off.outlier[b],
-                    blk_prev, out.subspan(blk.elem_offset, blk.dims.count()));
+    const bool group = run >= g && run > 1;
+    tasks.push_back({scan, group ? run : 1});
+    scan += group ? static_cast<std::size_t>(run) : 1;
+  }
+
+  util::parallel_for(tasks.size(), threads, [&](std::size_t t) {
+    const Task& task = tasks[t];
+    if (task.count == 1) {
+      const std::size_t b = task.first;
+      const BlockRange& blk = blocks[b];
+      if (check_crcs) {
+        verify_block_crc(h, payload, b, off.huff[b], off.outlier[b], sizeof(T));
+      }
+      const std::span<const T> blk_prev =
+          h.blocks[b].predictor == Predictor::kTemporal
+              ? prev.subspan(blk.elem_offset, blk.dims.count())
+              : std::span<const T>{};
+      decode_block<T>(decoder, h, payload, blk, h.blocks[b], off.huff[b],
+                      off.outlier[b], blk_prev,
+                      out.subspan(blk.elem_offset, blk.dims.count()));
+      return;
+    }
+    const std::size_t first = task.first;
+    const std::size_t bc = blocks[first].dims.count();
+    // Reused across tasks (and calls): decode_block_codes overwrites each
+    // lane's codes and outliers in full, so retained capacity is safe and
+    // saves a multi-MB allocation + zero-fill per task.
+    static thread_local std::vector<std::vector<std::uint32_t>> codes;
+    static thread_local std::vector<std::vector<T>> outliers;
+    if (codes.size() < static_cast<std::size_t>(task.count)) {
+      codes.resize(static_cast<std::size_t>(task.count));
+      outliers.resize(static_cast<std::size_t>(task.count));
+    }
+    const std::uint32_t* cptr[kern::kMaxLanes] = {};
+    std::span<const T> optr[kern::kMaxLanes];
+    for (int l = 0; l < task.count; ++l) {
+      const std::size_t b = first + static_cast<std::size_t>(l);
+      if (check_crcs) {
+        verify_block_crc(h, payload, b, off.huff[b], off.outlier[b], sizeof(T));
+      }
+      decode_block_codes<T>(decoder, payload, h.blocks[b], off.huff[b], off.outlier[b],
+                            bc, codes[static_cast<std::size_t>(l)],
+                            outliers[static_cast<std::size_t>(l)]);
+      cptr[l] = codes[static_cast<std::size_t>(l)].data();
+      optr[l] = outliers[static_cast<std::size_t>(l)];
+    }
+    util::trace::Span span("dequantize", "sz", "elems",
+                           bc * static_cast<std::size_t>(task.count));
+    kern::DequantizeBatch<T> batch;
+    batch.codes = cptr;
+    batch.outliers = optr;
+    batch.bc = bc;
+    batch.dims = blocks[first].dims;
+    batch.eb = h.abs_eb;
+    batch.radius = h.radius;
+    batch.out = out.data() + blocks[first].elem_offset;
+    batch.lanes = task.count;
+    kern::dequantize_lanes<T>(batch);
   });
 }
 
@@ -955,13 +1039,17 @@ std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Regio
                           blk.dims.count(), codes, outliers);
     // Walk the selected rows in ascending block-local order, carrying the
     // outlier cursor across the skipped spans (outliers are stored in
-    // whole-block order). The tail walk pins the outlier count so a
-    // corrupt substream fails loudly instead of mis-scattering.
-    const double twice_eb = 2.0 * h.abs_eb;
-    const auto radius = static_cast<long long>(h.radius);
+    // whole-block order; skipping is just counting their code-0 markers).
+    // Rows are contiguous in codes, prev_region, and out, so each one is
+    // a temporal dequantize range and takes the dispatched point kernel.
+    // The tail walk pins the outlier count so a corrupt substream fails
+    // loudly instead of mis-scattering.
     std::size_t cursor = 0, k = 0;
     auto skip_to = [&](std::size_t target) {
-      for (; cursor < target; ++cursor) k += codes[cursor] == 0;
+      k += static_cast<std::size_t>(
+          std::count(codes.begin() + static_cast<std::ptrdiff_t>(cursor),
+                     codes.begin() + static_cast<std::ptrdiff_t>(target), 0u));
+      cursor = target;
     };
     for (std::size_t x = is.lo[0]; x < is.hi[0]; ++x) {
       for (std::size_t y = is.lo[1]; y < is.hi[1]; ++y) {
@@ -970,18 +1058,11 @@ std::vector<T> decompress_region(std::span<const std::uint8_t> blob, const Regio
         const std::size_t o = ((x - region.lo[0]) * rd1 + (y - region.lo[1])) * rd2 +
                               (is.lo[2] - region.lo[2]);
         skip_to(l);
-        for (std::size_t z = 0; z < zlen; ++z) {
-          const std::uint32_t code = codes[l + z];
-          if (code == 0) {
-            if (k >= outliers.size()) {
-              throw std::runtime_error("sz: outlier underrun");
-            }
-            out[o + z] = outliers[k++];
-          } else {
-            const auto q = static_cast<long long>(code) - radius;
-            out[o + z] = static_cast<T>(static_cast<double>(prev_region[o + z]) +
-                                        static_cast<double>(q) * twice_eb);
-          }
+        if (!kern::temporal_dequant_range<T>(codes.data() + l, prev_region.data() + o,
+                                             out.data() + o, zlen,
+                                             std::span<const T>(outliers), k, h.abs_eb,
+                                             h.radius)) {
+          throw std::runtime_error("sz: outlier underrun");
         }
         cursor = l + zlen;
       }

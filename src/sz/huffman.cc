@@ -1,10 +1,14 @@
 #include "sz/huffman.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <queue>
 #include <stdexcept>
+
+#include "util/cpu.h"
 
 namespace pcw::sz {
 namespace {
@@ -154,6 +158,7 @@ HuffmanEncoder::HuffmanEncoder(std::span<const SymbolCount> freqs) {
   min_sym_ = min_sym;
   code_of_.assign(max_sym - min_sym + 1, 0);
   len_of_.assign(max_sym - min_sym + 1, 0);
+  packed_.assign(max_sym - min_sym + 1, 0);
   // Canonical code assignment in (length, symbol) order.
   std::uint32_t code = 0;
   std::uint8_t prev_len = entries.front().len;
@@ -162,6 +167,8 @@ HuffmanEncoder::HuffmanEncoder(std::span<const SymbolCount> freqs) {
     prev_len = e.len;
     code_of_[e.symbol - min_sym_] = reverse_bits(code, e.len);
     len_of_[e.symbol - min_sym_] = e.len;
+    packed_[e.symbol - min_sym_] =
+        code_of_[e.symbol - min_sym_] | (static_cast<std::uint64_t>(e.len) << 56);
     ++code;
   }
 }
@@ -171,6 +178,47 @@ void HuffmanEncoder::encode(std::uint32_t symbol, util::BitWriter& out) const {
   const std::uint32_t slot = symbol - min_sym_;
   assert(len_of_[slot] > 0 && "symbol not in codebook");
   out.put(code_of_[slot], len_of_[slot]);
+}
+
+void HuffmanEncoder::encode_all(std::span<const std::uint32_t> symbols,
+                                util::BitWriter& out) const {
+  // Bulk path: pack codewords into a local buffer with one unconditional
+  // 8-byte store per symbol, then splice the whole run into the writer.
+  // The stream is just the concatenation of LSB-first codewords, so this
+  // emits the same bytes as per-symbol put() while skipping its register
+  // spill per symbol. Needs a byte-aligned writer (block payloads start
+  // one) and codes that fit the u32 table.
+  if (std::endian::native == std::endian::little && out.byte_aligned() &&
+      max_len_ > 0 && max_len_ <= 32) {
+    static thread_local std::vector<std::uint8_t> buf;
+    const std::size_t need =
+        symbols.size() * static_cast<std::size_t>((max_len_ + 7) / 8) + 8;
+    if (buf.size() < need) buf.resize(need);
+    std::uint8_t* p = buf.data();
+    std::uint64_t acc = 0;
+    int nb = 0;
+    for (const std::uint32_t symbol : symbols) {
+      assert(symbol >= min_sym_ && symbol - min_sym_ < len_of_.size());
+      const std::uint32_t slot = symbol - min_sym_;
+      assert(len_of_[slot] > 0 && "symbol not in codebook");
+      const std::uint64_t e = packed_[slot];
+      acc |= (e & 0x00ffffffffffffffull) << nb;
+      nb += static_cast<int>(e >> 56);
+      std::memcpy(p, &acc, 8);  // nb <= 7 + 32: the register never overflows
+      p += nb >> 3;
+      acc >>= (nb & ~7);
+      nb &= 7;
+    }
+    out.append_bytes({buf.data(), static_cast<std::size_t>(p - buf.data())});
+    out.put(acc, nb);
+    return;
+  }
+  for (const std::uint32_t symbol : symbols) {
+    assert(symbol >= min_sym_ && symbol - min_sym_ < len_of_.size());
+    const std::uint32_t slot = symbol - min_sym_;
+    assert(len_of_[slot] > 0 && "symbol not in codebook");
+    out.put(code_of_[slot], len_of_[slot]);
+  }
 }
 
 std::vector<std::uint8_t> HuffmanEncoder::serialize_codebook() const {
@@ -307,6 +355,40 @@ HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> codebook,
     sub_meta_.push_back(meta);
     lo = hi;
   }
+
+  // The pack table only pays off when decode_run actually runs the
+  // multi-symbol path, which is gated to SIMD dispatch levels so
+  // PCW_SIMD=off exercises (and times) the scalar single-symbol decoder.
+  if (util::simd_active() != util::Simd::kScalar) build_pack_table();
+}
+
+// For every kFastBits window, pre-walk the chain of whole codes it
+// provably contains. A code is accepted only while its entire codeword
+// lies within the window's known bits: fast_ is replication-filled, so
+// indexing with the remaining (zero-extended) window bits lands on the
+// true entry whenever the entry's length fits the bits still known —
+// longer entries, sub-table markers, and invalid prefixes terminate the
+// walk since the unknown following bits could change them.
+void HuffmanDecoder::build_pack_table() {
+  if (symbols_.size() <= 1) return;
+  for (const std::uint32_t s : symbols_) {
+    if (s > 0xffffu) return;  // symbol does not fit a u16 pack slot
+  }
+  pack_.assign(fast_.size(), PackEntry{});
+  for (std::uint32_t window = 0; window < fast_.size(); ++window) {
+    PackEntry& e = pack_[window];
+    int used = 0;
+    while (e.nsyms < kPackSyms) {
+      const FastEntry& fe = fast_[window >> used];
+      if (fe.len == 0 || fe.len == kSubMarker || fe.len > kFastBits - used) break;
+      e.syms[e.nsyms++] = static_cast<std::uint16_t>(fe.symbol);
+      used += fe.len;
+    }
+    e.bits = static_cast<std::uint8_t>(used);
+    // A single packed symbol is just decode() with extra steps; leave the
+    // entry unpackable so the run loop takes the plain path.
+    if (e.nsyms <= 1) e = PackEntry{};
+  }
 }
 
 std::uint32_t HuffmanDecoder::decode(util::BitReader& in) const {
@@ -331,6 +413,30 @@ std::uint32_t HuffmanDecoder::decode(util::BitReader& in) const {
     }
   }
   return decode_slow(in);
+}
+
+void HuffmanDecoder::decode_run(util::BitReader& in, std::uint32_t* out,
+                                std::size_t n) const {
+  std::size_t i = 0;
+  if (!pack_.empty()) {
+    // Fast path preconditions: >= 64 bits left means the peek below is
+    // entirely real bits and the skip cannot cross the end, and room for
+    // kPackSyms outputs means the branchless full-entry store is safe.
+    while (i + kPackSyms <= n && in.bits_remaining() >= 64) {
+      const auto window = static_cast<std::uint32_t>(in.peek(kFastBits));
+      const PackEntry& e = pack_[window];
+      if (e.nsyms == 0) {
+        out[i++] = decode(in);
+        continue;
+      }
+      for (int s = 0; s < kPackSyms; ++s) out[i + s] = e.syms[s];
+      i += e.nsyms;
+      in.skip(e.bits);
+    }
+  }
+  // Tail (and the whole run at scalar dispatch): per-symbol decode, so
+  // truncated or corrupt streams fail exactly like the scalar decoder.
+  for (; i < n; ++i) out[i] = decode(in);
 }
 
 // Canonical decode, MSB-first code assembled bit by bit. Reached only for

@@ -31,6 +31,11 @@ class HuffmanEncoder {
   /// Appends the codeword for `symbol` (must be in the codebook).
   void encode(std::uint32_t symbol, util::BitWriter& out) const;
 
+  /// Appends the codewords for a whole symbol run. Identical output to
+  /// calling encode() per symbol; keeps the per-symbol table lookup and
+  /// the BitWriter register dance inside one translation unit.
+  void encode_all(std::span<const std::uint32_t> symbols, util::BitWriter& out) const;
+
   /// Serializes the codebook (count + per-symbol {varint symbol, u8 len}).
   std::vector<std::uint8_t> serialize_codebook() const;
 
@@ -53,6 +58,9 @@ class HuffmanEncoder {
   std::uint32_t min_sym_ = 0;
   std::vector<std::uint32_t> code_of_;       // reversed bits, LSB-first stream
   std::vector<std::uint8_t> len_of_;
+  /// code_of_ and len_of_ folded into one entry (code | len << 56) so the
+  /// bulk encode loop does one table load per symbol instead of two.
+  std::vector<std::uint64_t> packed_;
   int max_len_ = 0;
 };
 
@@ -64,6 +72,14 @@ class HuffmanDecoder {
 
   /// Decodes one symbol.
   std::uint32_t decode(util::BitReader& in) const;
+
+  /// Decodes `n` symbols. Equivalent to calling decode() n times —
+  /// including on malformed input, where truncated or invalid streams
+  /// fail at the same symbol with the same error — but when the
+  /// multi-symbol pack table is built (SIMD levels only, see
+  /// build_pack_table) each table probe retires up to kPackSyms short
+  /// codes at once.
+  void decode_run(util::BitReader& in, std::uint32_t* out, std::size_t n) const;
 
   std::size_t distinct_symbols() const { return symbols_.size(); }
 
@@ -98,6 +114,20 @@ class HuffmanDecoder {
   };
   std::vector<SubMeta> sub_meta_;
   std::vector<FastEntry> sub_;
+  /// Symbols retired per pack-table probe. 7 u16 symbols + 2 counters =
+  /// 16-byte entries, 32 KiB for the 2^kFastBits table.
+  static constexpr int kPackSyms = 7;
+  struct PackEntry {
+    std::uint16_t syms[kPackSyms] = {};
+    std::uint8_t nsyms = 0;  // 0 = window not packable: take the single path
+    std::uint8_t bits = 0;   // total stream bits the packed run consumes
+  };
+  /// Multi-symbol table over the same kFastBits window as fast_: every
+  /// run of whole codes that provably fits the window, regardless of the
+  /// (unknown) bits that follow. Empty when disabled — scalar dispatch
+  /// level, single-symbol books, or symbols too wide for u16.
+  std::vector<PackEntry> pack_;
+  void build_pack_table();
 };
 
 /// Computes canonical code lengths for the given frequencies via the

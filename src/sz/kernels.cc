@@ -1,0 +1,195 @@
+// Runtime dispatch for the sz SIMD kernels, plus the scalar reference
+// paths. The per-ISA entry points live in kernels_avx2.cc /
+// kernels_avx512.cc (same signatures, per-ISA namespaces); this TU is
+// compiled with the portable baseline flags and decides, per call, which
+// one runs. PCW_HAVE_AVX2 / PCW_HAVE_AVX512 mirror which ISA TUs the
+// build compiled (set from src/CMakeLists.txt), and util::simd_active()
+// is clamped to the same macros, so dispatch can never reach code that
+// was not built.
+#include "sz/kernels.h"
+
+#include <stdexcept>
+
+#include "util/cpu.h"
+
+#ifndef PCW_HAVE_AVX2
+#define PCW_HAVE_AVX2 0
+#endif
+#ifndef PCW_HAVE_AVX512
+#define PCW_HAVE_AVX512 0
+#endif
+
+namespace pcw::sz::kern {
+
+#if PCW_HAVE_AVX2
+namespace avx2 {
+template <typename T>
+void quantize_lanes(const QuantizeBatch<T>&);
+template <typename T>
+void dequantize_lanes(const DequantizeBatch<T>&);
+template <typename T>
+void temporal_quantize(const T*, const T*, std::size_t, double, std::uint32_t,
+                       std::uint32_t*, std::vector<T>&, T*);
+template <typename T>
+bool temporal_dequant_range(const std::uint32_t*, const T*, T*, std::size_t,
+                            std::span<const T>, std::size_t&, double, std::uint32_t);
+}  // namespace avx2
+#endif
+
+#if PCW_HAVE_AVX512
+namespace avx512 {
+template <typename T>
+void quantize_lanes(const QuantizeBatch<T>&);
+template <typename T>
+void dequantize_lanes(const DequantizeBatch<T>&);
+template <typename T>
+void temporal_quantize(const T*, const T*, std::size_t, double, std::uint32_t,
+                       std::uint32_t*, std::vector<T>&, T*);
+template <typename T>
+bool temporal_dequant_range(const std::uint32_t*, const T*, T*, std::size_t,
+                            std::span<const T>, std::size_t&, double, std::uint32_t);
+}  // namespace avx512
+#endif
+
+int lane_width() {
+  switch (util::simd_active()) {
+#if PCW_HAVE_AVX512
+    case util::Simd::kAvx512:
+      return 16;
+#endif
+#if PCW_HAVE_AVX2
+    case util::Simd::kAvx2:
+      return 16;
+#endif
+    default:
+      return 1;
+  }
+}
+
+int lane_granularity() {
+  switch (util::simd_active()) {
+#if PCW_HAVE_AVX512
+    case util::Simd::kAvx512:
+      return 8;  // doubles per zmm
+#endif
+#if PCW_HAVE_AVX2
+    case util::Simd::kAvx2:
+      return 4;  // doubles per ymm
+#endif
+    default:
+      return 1;
+  }
+}
+
+template <typename T>
+void quantize_lanes(const QuantizeBatch<T>& batch) {
+  switch (util::simd_active()) {
+#if PCW_HAVE_AVX512
+    case util::Simd::kAvx512:
+      avx512::quantize_lanes<T>(batch);
+      return;
+#endif
+#if PCW_HAVE_AVX2
+    case util::Simd::kAvx2:
+      avx2::quantize_lanes<T>(batch);
+      return;
+#endif
+    default:
+      throw std::logic_error("kern::quantize_lanes: no lane kernel at active level");
+  }
+}
+
+template <typename T>
+void dequantize_lanes(const DequantizeBatch<T>& batch) {
+  switch (util::simd_active()) {
+#if PCW_HAVE_AVX512
+    case util::Simd::kAvx512:
+      avx512::dequantize_lanes<T>(batch);
+      return;
+#endif
+#if PCW_HAVE_AVX2
+    case util::Simd::kAvx2:
+      avx2::dequantize_lanes<T>(batch);
+      return;
+#endif
+    default:
+      throw std::logic_error("kern::dequantize_lanes: no lane kernel at active level");
+  }
+}
+
+template <typename T>
+bool try_temporal_quantize(const T* data, const T* prev, std::size_t n, double eb,
+                           std::uint32_t radius, std::uint32_t* codes,
+                           std::vector<T>& outliers, T* recon) {
+  if (radius > kLaneMaxRadius) return false;
+  switch (util::simd_active()) {
+#if PCW_HAVE_AVX512
+    case util::Simd::kAvx512:
+      avx512::temporal_quantize<T>(data, prev, n, eb, radius, codes, outliers, recon);
+      return true;
+#endif
+#if PCW_HAVE_AVX2
+    case util::Simd::kAvx2:
+      avx2::temporal_quantize<T>(data, prev, n, eb, radius, codes, outliers, recon);
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+template <typename T>
+bool temporal_dequant_range(const std::uint32_t* codes, const T* prev, T* out,
+                            std::size_t n, std::span<const T> outliers, std::size_t& k,
+                            double eb, std::uint32_t radius) {
+  if (radius <= kLaneMaxRadius) {
+    switch (util::simd_active()) {
+#if PCW_HAVE_AVX512
+      case util::Simd::kAvx512:
+        return avx512::temporal_dequant_range<T>(codes, prev, out, n, outliers, k, eb,
+                                                 radius);
+#endif
+#if PCW_HAVE_AVX2
+      case util::Simd::kAvx2:
+        return avx2::temporal_dequant_range<T>(codes, prev, out, n, outliers, k, eb,
+                                               radius);
+#endif
+      default:
+        break;
+    }
+  }
+  // Scalar reference: the per-point loop from temporal.cc.
+  const double twice_eb = 2.0 * eb;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t code = codes[i];
+    if (code == 0) {
+      if (k >= outliers.size()) return false;
+      out[i] = outliers[k++];
+    } else {
+      const auto q = static_cast<long long>(code) - static_cast<long long>(radius);
+      out[i] = static_cast<T>(static_cast<double>(prev[i]) +
+                              static_cast<double>(q) * twice_eb);
+    }
+  }
+  return true;
+}
+
+template void quantize_lanes<float>(const QuantizeBatch<float>&);
+template void quantize_lanes<double>(const QuantizeBatch<double>&);
+template void dequantize_lanes<float>(const DequantizeBatch<float>&);
+template void dequantize_lanes<double>(const DequantizeBatch<double>&);
+template bool try_temporal_quantize<float>(const float*, const float*, std::size_t,
+                                           double, std::uint32_t, std::uint32_t*,
+                                           std::vector<float>&, float*);
+template bool try_temporal_quantize<double>(const double*, const double*, std::size_t,
+                                            double, std::uint32_t, std::uint32_t*,
+                                            std::vector<double>&, double*);
+template bool temporal_dequant_range<float>(const std::uint32_t*, const float*, float*,
+                                            std::size_t, std::span<const float>,
+                                            std::size_t&, double, std::uint32_t);
+template bool temporal_dequant_range<double>(const std::uint32_t*, const double*,
+                                             double*, std::size_t,
+                                             std::span<const double>, std::size_t&,
+                                             double, std::uint32_t);
+
+}  // namespace pcw::sz::kern

@@ -1,0 +1,7 @@
+// AVX2 kernel instantiations: up to 16 blocks per lane batch in ymm
+// halves of 4 doubles. Compiled with -mavx2 -ffp-contract=off -O3
+// (src/CMakeLists.txt); see kernels_impl.h for why plain C++ under
+// per-file flags is the whole trick.
+#define PCW_KERNEL_NS avx2
+#define PCW_KERNEL_WIDTH 16
+#include "sz/kernels_impl.h"

@@ -1,7 +1,12 @@
 #include "sz/lorenzo.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "sz/kernels.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace pcw::sz {
 namespace {
@@ -181,6 +186,112 @@ void lorenzo_dequantize(std::span<const std::uint32_t> codes,
   }
 }
 
+template <typename T>
+std::vector<QuantizeResult<T>> lorenzo_quantize_blocks(
+    std::span<const T> data, std::span<const BlockRange> blocks, double eb,
+    std::uint32_t radius, unsigned threads, T* recon_out,
+    std::span<std::vector<std::uint32_t>> hists) {
+  if (eb <= 0.0) throw std::invalid_argument("lorenzo_quantize: eb must be > 0");
+  if (radius < 2) throw std::invalid_argument("lorenzo_quantize: radius must be >= 2");
+  if (!hists.empty() && hists.size() != blocks.size()) {
+    throw std::invalid_argument("lorenzo_quantize: hists size != block count");
+  }
+
+  // Partition into lockstep groups — runs of consecutive blocks with
+  // identical extents and contiguous data, rounded down to the lane
+  // granularity (up to lane_width() lanes per group) — and scalar
+  // singles. The partition depends on the dispatch level, but both
+  // kernels produce identical bytes, so blobs do not.
+  struct Task {
+    std::size_t first = 0;
+    int count = 1;  // lanes for a lockstep group, 1 for a single
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(blocks.size());
+  const int w = kern::lane_width();
+  const int g = kern::lane_granularity();
+  std::size_t b = 0;
+  while (b < blocks.size()) {
+    int run = 0;
+    if (w > 1 && radius <= kern::kLaneMaxRadius) {
+      const std::size_t bc = blocks[b].dims.count();
+      if (bc > 0) {
+        const int cap = static_cast<int>(
+            std::min<std::size_t>(static_cast<std::size_t>(w), blocks.size() - b));
+        run = 1;
+        while (run < cap) {
+          const BlockRange& cur = blocks[b + static_cast<std::size_t>(run)];
+          const bool contiguous =
+              cur.dims.d0 == blocks[b].dims.d0 && cur.dims.d1 == blocks[b].dims.d1 &&
+              cur.dims.d2 == blocks[b].dims.d2 &&
+              cur.elem_offset ==
+                  blocks[b].elem_offset + static_cast<std::size_t>(run) * bc;
+          if (!contiguous) break;
+          ++run;
+        }
+        run = (run / g) * g;
+        if (blocks[b].elem_offset + static_cast<std::size_t>(run) * bc > data.size()) {
+          run = 0;
+        }
+      }
+    }
+    const bool group = run >= g && run > 1;
+    tasks.push_back({b, group ? run : 1});
+    b += group ? static_cast<std::size_t>(run) : 1;
+  }
+
+  std::vector<QuantizeResult<T>> quants(blocks.size());
+  util::parallel_for(tasks.size(), threads, [&](std::size_t t) {
+    const Task& task = tasks[t];
+    util::trace::Span span("quantize", "sz", "block", task.first);
+    if (task.count == 1) {
+      const BlockRange& blk = blocks[task.first];
+      QuantizeResult<T>& q = quants[task.first];
+      q = lorenzo_quantize<T>(data.subspan(blk.elem_offset, blk.dims.count()),
+                              blk.dims, eb, radius);
+      if (recon_out != nullptr) {
+        std::copy(q.recon.begin(), q.recon.end(), recon_out + blk.elem_offset);
+      }
+      std::vector<T>().swap(q.recon);
+      if (!hists.empty()) {
+        std::vector<std::uint32_t>& hist = hists[task.first];
+        hist.assign(2ull * radius, 0);
+        for (const std::uint32_t c : q.codes) ++hist[c];
+      }
+      return;
+    }
+    const std::size_t bc = blocks[task.first].dims.count();
+    std::uint32_t* codes[kern::kMaxLanes] = {};
+    std::vector<T>* outs[kern::kMaxLanes] = {};
+    std::uint32_t* hptr[kern::kMaxLanes] = {};
+    for (int l = 0; l < task.count; ++l) {
+      QuantizeResult<T>& q = quants[task.first + static_cast<std::size_t>(l)];
+      q.codes.resize(bc);
+      codes[l] = q.codes.data();
+      outs[l] = &q.outliers;
+      if (!hists.empty()) {
+        std::vector<std::uint32_t>& hist = hists[task.first + static_cast<std::size_t>(l)];
+        hist.assign(2ull * radius, 0);
+        hptr[l] = hist.data();
+      }
+    }
+    kern::QuantizeBatch<T> batch;
+    batch.data = data.data() + blocks[task.first].elem_offset;
+    batch.bc = bc;
+    batch.dims = blocks[task.first].dims;
+    batch.eb = eb;
+    batch.radius = radius;
+    batch.codes = codes;
+    batch.outliers = outs;
+    batch.recon =
+        recon_out != nullptr ? recon_out + blocks[task.first].elem_offset : nullptr;
+    batch.hist = hists.empty() ? nullptr : hptr;
+    batch.lanes = task.count;
+    kern::quantize_lanes<T>(batch);
+  });
+  return quants;
+}
+
 template QuantizeResult<float> lorenzo_quantize<float>(std::span<const float>,
                                                        const Dims&, double,
                                                        std::uint32_t);
@@ -193,5 +304,11 @@ template void lorenzo_dequantize<float>(std::span<const std::uint32_t>,
 template void lorenzo_dequantize<double>(std::span<const std::uint32_t>,
                                          std::span<const double>, const Dims&, double,
                                          std::uint32_t, std::span<double>);
+template std::vector<QuantizeResult<float>> lorenzo_quantize_blocks<float>(
+    std::span<const float>, std::span<const BlockRange>, double, std::uint32_t,
+    unsigned, float*, std::span<std::vector<std::uint32_t>>);
+template std::vector<QuantizeResult<double>> lorenzo_quantize_blocks<double>(
+    std::span<const double>, std::span<const BlockRange>, double, std::uint32_t,
+    unsigned, double*, std::span<std::vector<std::uint32_t>>);
 
 }  // namespace pcw::sz

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "sz/blocks.h"
 #include "sz/dims.h"
 
 namespace pcw::sz {
@@ -48,5 +49,26 @@ template <typename T>
 void lorenzo_dequantize(std::span<const std::uint32_t> codes,
                         std::span<const T> outliers, const Dims& dims, double eb,
                         std::uint32_t radius, std::span<T> out);
+
+/// Quantizes a whole split_blocks() decomposition of `data`. Byte-for-byte
+/// the same codes/outliers as calling lorenzo_quantize per block, but runs
+/// lane_width() equal-shape consecutive blocks in SIMD lockstep when the
+/// active dispatch level allows (src/sz/kernels.h; leftover and non-uniform
+/// blocks take the scalar kernel), and fans tasks across `threads`.
+///
+/// Differences from the per-block API, for the sake of the hot path: the
+/// returned results always have empty `recon` vectors; the reconstruction
+/// instead lands in `recon_out` (full-field length, block slices disjoint)
+/// when it is non-null, so compress never holds a second field copy.
+///
+/// When `hists` is non-empty (one slot per block) each slot is filled
+/// with the block's code histogram (2 * radius entries) — identical
+/// counts to a separate pass over the codes, but accumulated while the
+/// codes are still cache-resident in the kernel's staging tiles.
+template <typename T>
+std::vector<QuantizeResult<T>> lorenzo_quantize_blocks(
+    std::span<const T> data, std::span<const BlockRange> blocks, double eb,
+    std::uint32_t radius, unsigned threads, T* recon_out = nullptr,
+    std::span<std::vector<std::uint32_t>> hists = {});
 
 }  // namespace pcw::sz

@@ -1,5 +1,6 @@
 #include "sz/lossless.h"
 
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -49,9 +50,36 @@ std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> input) {
   const std::uint8_t* src = input.data();
 
   // head[h]: most recent position with hash h; chain[i]: previous position
-  // with the same hash as i. Positions stored +1 so 0 means "none".
-  std::vector<std::uint32_t> head(kHashSize, 0);
-  std::vector<std::uint32_t> chain(n, 0);
+  // with the same hash as i. Positions stored +1 so 0 means "none". Both
+  // tables are reused across calls; head is reset each call, but chain
+  // needs no clearing — every position reachable through head was
+  // inserted this call, and insertion writes chain[pos] first, so stale
+  // entries from earlier buffers are never read.
+  static thread_local std::vector<std::uint32_t> head;
+  static thread_local std::vector<std::uint32_t> chain;
+  head.assign(kHashSize, 0);
+  if (chain.size() < n) chain.resize(n);
+
+  // Exact length of the common prefix of src[a..] and src[b..], capped at
+  // `limit` — word-at-a-time with a ctz on the first differing word, same
+  // value as the byte loop.
+  auto match_len = [src](std::size_t a, std::size_t b, std::size_t limit) {
+    std::size_t len = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      while (len + 8 <= limit) {
+        std::uint64_t x, y;
+        std::memcpy(&x, src + a + len, 8);
+        std::memcpy(&y, src + b + len, 8);
+        const std::uint64_t diff = x ^ y;
+        if (diff != 0) {
+          return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+        }
+        len += 8;
+      }
+    }
+    while (len < limit && src[a + len] == src[b + len]) ++len;
+    return len;
+  };
 
   std::size_t pos = 0;
   std::size_t literal_start = 0;
@@ -85,9 +113,7 @@ std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> input) {
       // Cheap reject: compare the byte just past the current best.
       if (best_len == 0 ||
           (pos + best_len < n && src[cand_pos + best_len] == src[pos + best_len])) {
-        std::size_t len = 0;
-        const std::size_t limit = n - pos;
-        while (len < limit && src[cand_pos + len] == src[pos + len]) ++len;
+        const std::size_t len = match_len(cand_pos, pos, n - pos);
         if (len > best_len) {
           best_len = len;
           best_offset = offset;

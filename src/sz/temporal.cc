@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sz/kernels.h"
+
 namespace pcw::sz {
 
 template <typename T>
@@ -17,6 +19,15 @@ QuantizeResult<T> temporal_quantize(std::span<const T> data, std::span<const T> 
   QuantizeResult<T> result;
   result.codes.resize(data.size());
   result.recon.resize(data.size());
+
+  // The point-wise loop vectorizes directly; the kernel layer owns the
+  // dispatched variants and produces bytes identical to the loop below,
+  // which stays as the scalar reference (and the PCW_SIMD=off path).
+  if (kern::try_temporal_quantize<T>(data.data(), prev.data(), data.size(), eb, radius,
+                                     result.codes.data(), result.outliers,
+                                     result.recon.data())) {
+    return result;
+  }
 
   const double twice_eb = 2.0 * eb;
   const auto r = static_cast<long long>(radius);
@@ -54,20 +65,11 @@ void temporal_dequantize(std::span<const std::uint32_t> codes,
   if (prev.size() != codes.size() || out.size() != codes.size()) {
     throw std::invalid_argument("temporal_dequantize: size mismatch");
   }
-  const double twice_eb = 2.0 * eb;
   std::size_t next_outlier = 0;
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    const std::uint32_t code = codes[i];
-    if (code == 0) {
-      if (next_outlier >= outliers.size()) {
-        throw std::runtime_error("temporal_dequantize: outlier underrun");
-      }
-      out[i] = outliers[next_outlier++];
-    } else {
-      const auto q = static_cast<long long>(code) - static_cast<long long>(radius);
-      out[i] = static_cast<T>(static_cast<double>(prev[i]) +
-                              static_cast<double>(q) * twice_eb);
-    }
+  if (!kern::temporal_dequant_range<T>(codes.data(), prev.data(), out.data(),
+                                       codes.size(), outliers, next_outlier, eb,
+                                       radius)) {
+    throw std::runtime_error("temporal_dequantize: outlier underrun");
   }
   if (next_outlier != outliers.size()) {
     throw std::runtime_error("temporal_dequantize: outlier overrun");

@@ -12,12 +12,19 @@ void BitWriter::spill() {
   const int nbytes = nbits_ >> 3;
   const std::size_t pos = bytes_.size();
   bytes_.resize(pos + static_cast<std::size_t>(nbytes));
-  std::uint64_t a = acc_;
-  for (int k = 0; k < nbytes; ++k) {
-    bytes_[pos + static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(a);
-    a >>= 8;
+  if constexpr (std::endian::native == std::endian::little) {
+    // Byte k of the little-endian register image is (acc_ >> 8k) & 0xff —
+    // exactly the byte loop below — so one memcpy replaces it.
+    std::memcpy(bytes_.data() + pos, &acc_, static_cast<std::size_t>(nbytes));
+    acc_ = nbytes >= 8 ? 0 : acc_ >> (nbytes * 8);
+  } else {
+    std::uint64_t a = acc_;
+    for (int k = 0; k < nbytes; ++k) {
+      bytes_[pos + static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(a);
+      a >>= 8;
+    }
+    acc_ = a;
   }
-  acc_ = a;
   nbits_ &= 7;
 }
 

@@ -36,6 +36,16 @@ class BitWriter {
   /// Number of bits written so far (excluding padding).
   std::size_t bit_count() const { return bytes_.size() * 8 + nbits_; }
 
+  /// True when the stream holds whole bytes only (no partial register).
+  bool byte_aligned() const { return nbits_ == 0; }
+
+  /// Splices whole bytes into the stream. Caller must be byte_aligned();
+  /// bulk encoders pack bits themselves and append the result here.
+  void append_bytes(std::span<const std::uint8_t> b) {
+    assert(nbits_ == 0);
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
+
   void reserve_bytes(std::size_t n) { bytes_.reserve(n); }
 
  private:
@@ -62,6 +72,14 @@ class BitReader {
 
   std::size_t bits_consumed() const { return bit_pos_; }
   bool exhausted() const { return bit_pos_ >= bytes_.size() * 8; }
+
+  /// Bits left before the stream is exhausted (0 at and past the end).
+  /// Lets batch decoders prove a fast-path step cannot read or skip past
+  /// the end without consulting peek's zero-fill semantics.
+  std::size_t bits_remaining() const {
+    const std::size_t total = bytes_.size() * 8;
+    return bit_pos_ >= total ? 0 : total - bit_pos_;
+  }
 
  private:
   void refill();

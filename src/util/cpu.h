@@ -1,0 +1,42 @@
+// Runtime CPU feature detection and SIMD dispatch policy.
+//
+// The sz hot kernels ship in up to three flavours (scalar, AVX2,
+// AVX-512); which one runs is decided here, once, at process level. The
+// contract the whole codebase leans on: every flavour produces blobs
+// byte-identical to the scalar kernels — dispatch changes speed, never
+// bytes (docs/kernels.md) — so the level can be chosen per host, per
+// environment, or per test without touching any container.
+#pragma once
+
+namespace pcw::util {
+
+/// Kernel dispatch levels, ordered: a higher level implies the hardware
+/// (and this build) supports every lower one.
+enum class Simd {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,  // F + BW + DQ + VL
+};
+
+/// Highest level supported by both this build and the host CPU.
+/// Constant for the process lifetime.
+Simd simd_detected();
+
+/// The level kernels dispatch on: simd_detected() clamped by the
+/// PCW_SIMD environment variable (off|avx2|avx512; any other value means
+/// off). Resolved once on first use, then cached.
+Simd simd_active();
+
+/// Test hook: force the active level (clamped to simd_detected(), so a
+/// scalar host can never be asked to execute vector code).
+void simd_set_active(Simd level);
+
+/// Stable lower-case name for reports and bench JSON ("scalar", "avx2",
+/// "avx512").
+const char* simd_name(Simd level);
+
+/// Hardware thread count as the runtime sees it (>= 1). Recorded in
+/// bench baselines so single-core containers are interpretable.
+unsigned hardware_threads();
+
+}  // namespace pcw::util

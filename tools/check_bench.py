@@ -29,11 +29,14 @@ import sys
 RATCHET = 3.0  # smoke serial throughput may not drop below baseline/3
 
 # Telemetry-overhead gates (non-smoke baseline only; smoke timings are
-# noise). DORMANT_FLOOR pins the serial t1 throughput measured before the
-# telemetry layer landed: with tracing off, the instrumented kernels may
-# cost at most 2% against it. TRACED_OVERHEAD bounds the armed cost:
-# compress_traced (buffered tracing on) vs compress on the same run.
-DORMANT_FLOOR = {"compress": 116.0, "decompress": 239.0}  # MB/s, t1
+# noise). DORMANT_FLOOR pins the serial t1 throughput the kernels must
+# hold: with tracing off, the instrumented kernels may cost at most 2%
+# against it. Raised with the SIMD kernel rewrite (see docs/kernels.md);
+# set below the worst of repeated runs on the reference host because the
+# virtualized runners show large run-to-run variance. TRACED_OVERHEAD
+# bounds the armed cost: compress_traced (buffered tracing on) vs
+# compress on the same run.
+DORMANT_FLOOR = {"compress": 260.0, "decompress": 620.0}  # MB/s, t1
 DORMANT_TOLERANCE = 1.02
 TRACED_OVERHEAD = 1.10
 
@@ -73,6 +76,18 @@ def check_kernels(doc, path, smoke):
     if doc.get("schema") != "pcw.bench_kernels.v1":
         problem(f"{path}: schema {doc.get('schema')!r}")
         return
+    # Host facts make the throughput rows interpretable: a slow row on a
+    # 1-core runner or a PCW_SIMD=off run is expected, not a regression.
+    host = doc.get("case", {}).get("host", {})
+    if not isinstance(host.get("cpu_count"), int) or host["cpu_count"] < 1:
+        problem(f"{path}: case.host.cpu_count missing or invalid: {host!r}")
+        return
+    for key in ("simd_detected", "simd_active"):
+        if not isinstance(host.get(key), str) or not host[key]:
+            problem(f"{path}: case.host.{key} missing: {host!r}")
+            return
+    ok(f"{path}: host {host['cpu_count']} cpu(s), simd {host['simd_active']} "
+       f"(detected {host['simd_detected']})")
     stages = {r["stage"] for r in doc.get("results", [])}
     want = {"quantize", "encode", "compress", "decompress", "compress_traced"}
     if not stages >= want:
