@@ -1,0 +1,198 @@
+// pcw public API — the checkpoint-store service (pcwd).
+//
+// A Server owns a catalog of `.pcw5` files and serves concurrent clients
+// over a Unix or TCP stream socket with a small length-prefixed binary
+// protocol (docs/store.md). Reads go through a byte-bounded LRU cache of
+// decoded blocks and keyframe reconstructions with single-flight
+// coalescing of identical in-flight decodes; concurrent WRITE_STEPs are
+// admitted in arrival order and group-committed through the container's
+// dual-slot commit, so remote readers always observe a committed state —
+// old or new, never a hybrid.
+//
+// A Client is a thin blocking handle over one connection. All calls are
+// serialized per handle; open one Client per thread for parallelism.
+// Addresses use the grammar "unix:<path>" or "tcp:<host>:<port>"
+// ("tcp:host:0" asks the kernel for an ephemeral port, reported back by
+// Server::address()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pcw/reader.h"
+#include "pcw/status.h"
+#include "pcw/types.h"
+
+namespace pcw::store {
+
+struct StoreOptions {
+  /// Byte budget of the decoded-block cache (0 disables caching; every
+  /// read decodes). Entries larger than one shard's share bypass the
+  /// cache entirely.
+  std::uint64_t cache_bytes = 256ull << 20;
+  /// Cache shard count (power of two recommended); each shard has its
+  /// own lock, LRU list, and cache_bytes / cache_shards budget.
+  unsigned cache_shards = 8;
+  /// Options for the server-side readers backing every catalog file.
+  ReaderOptions reader;
+
+  StoreOptions& with_cache_bytes(std::uint64_t bytes) {
+    cache_bytes = bytes;
+    return *this;
+  }
+  StoreOptions& with_cache_shards(unsigned shards) {
+    cache_shards = shards;
+    return *this;
+  }
+  StoreOptions& with_reader(ReaderOptions options) {
+    reader = options;
+    return *this;
+  }
+};
+
+/// OPEN access mode. kRead requires an existing committed file; kCreate
+/// stages a new file (atomic-create: visible at its path only once the
+/// first write batch commits).
+enum class OpenMode : std::uint8_t { kRead = 0, kCreate = 1 };
+
+/// One catalog entry as reported by OPEN and the catalog listing.
+struct RemoteFile {
+  std::uint32_t id = 0;  // handle all per-file requests take
+  std::string path;
+  bool writable = false;
+  std::uint64_t generation = 0;  // commits observed (0 = nothing committed)
+  std::uint32_t datasets = 0;
+};
+
+/// The subset of DatasetInfo the LIST reply carries.
+struct RemoteDataset {
+  std::string name;
+  DType dtype = DType::kFloat32;
+  Dims dims;
+  std::uint32_t filter_id = 0;
+  std::uint64_t stored_bytes = 0;
+  std::uint32_t partitions = 0;
+  bool series_member = false;
+  std::string series_base;
+  std::uint32_t series_step = 0;
+  std::uint32_t series_ref_step = 0;
+};
+
+/// A decoded read: raw element bytes plus their dtype and extents.
+struct RemoteRead {
+  DType dtype = DType::kFloat32;
+  Dims extents;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// WRITE_STEP acknowledgement, sent after the group commit that made the
+/// step durable.
+struct RemoteStep {
+  std::uint32_t step = 0;
+  bool keyframe = false;
+  std::uint64_t generation = 0;  // file generation the step committed in
+};
+
+/// One (name, value) row of the STATS reply — the server's
+/// pcw::metrics_snapshot() flattened through telemetry_items().
+struct RemoteStat {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+class Server {
+ public:
+  struct Impl;
+
+  /// Binds `address`, starts the accept loop, and returns a running
+  /// server. The returned handle is the only way to stop it.
+  static Result<Server> start(const std::string& address, StoreOptions options = {});
+
+  /// Invalid handle; every operation fails / returns defaults.
+  Server() = default;
+  bool valid() const { return impl_ != nullptr; }
+
+  /// The canonical listen address ("unix:<path>" / "tcp:<host>:<port>"
+  /// with any ephemeral port resolved), for handing to clients.
+  std::string address() const;
+
+  /// Blocks until some client sends SHUTDOWN or stop() is called
+  /// elsewhere. Returns immediately on an invalid handle.
+  void wait();
+  /// Same, with a timeout; true once shutdown has been requested.
+  bool wait_for_ms(unsigned ms);
+
+  /// Graceful stop: closes the listener, disconnects clients, joins all
+  /// service threads, and commits + closes writable catalog files.
+  /// Idempotent; the first call's status sticks.
+  Status stop();
+
+ private:
+  std::shared_ptr<Impl> impl_;
+};
+
+class Client {
+ public:
+  struct Impl;
+
+  static Result<Client> connect(const std::string& address);
+
+  /// Invalid handle; every operation fails with kFailedPrecondition.
+  Client() = default;
+  bool valid() const { return impl_ != nullptr; }
+
+  /// Opens (or, with kCreate, creates) a file server-side and returns
+  /// its catalog entry. Opening the same path twice returns the same id.
+  Result<RemoteFile> open(const std::string& path, OpenMode mode = OpenMode::kRead);
+
+  /// Every file in the server's catalog.
+  Result<std::vector<RemoteFile>> catalog();
+
+  /// The dataset table of one open file.
+  Result<std::vector<RemoteDataset>> list(std::uint32_t file_id);
+
+  /// Whole dataset (region = nullopt) or one hyperslab of it, decoded
+  /// server-side (through the cache). `expected` nullopt accepts the
+  /// stored dtype; a value makes the server enforce it.
+  Result<RemoteRead> read_region(std::uint32_t file_id, const std::string& dataset,
+                                 const std::optional<Region>& region = std::nullopt,
+                                 std::optional<DType> expected = std::nullopt);
+
+  /// One step of a time series by logical field name, resolving the
+  /// restart chain server-side.
+  Result<RemoteRead> read_step(std::uint32_t file_id, const std::string& base,
+                               std::uint32_t step,
+                               const std::optional<Region>& region = std::nullopt,
+                               std::optional<DType> expected = std::nullopt);
+
+  /// Appends the next step of field `data` (name taken from `field`).
+  /// The first WRITE_STEP for a field pins its dims, dtype, error bound
+  /// and keyframe cadence. Blocks until the admitting group commit has
+  /// made the step durable.
+  Result<RemoteStep> write_step(std::uint32_t file_id, const std::string& field,
+                                const FieldView& data, double error_bound,
+                                std::uint32_t keyframe_interval = 8);
+
+  /// Server-side damage audit of one open file (Reader::scrub).
+  Result<ScrubReport> scrub(std::uint32_t file_id, bool deep = true);
+
+  /// The server's current metrics snapshot as named rows.
+  Result<std::vector<RemoteStat>> stats();
+
+  /// Round-trip liveness probe.
+  Status ping();
+
+  /// Asks the server to shut down (acknowledged before it begins).
+  Status shutdown_server();
+
+  /// Closes the connection; further calls fail with kFailedPrecondition.
+  Status close();
+
+ private:
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace pcw::store

@@ -60,6 +60,17 @@ struct Telemetry {
   std::uint64_t series_steps = 0;
   std::uint64_t chain_links_decoded = 0;
   std::uint64_t degraded_reads = 0;
+  // checkpoint-store service (pcwd)
+  std::uint64_t store_requests = 0;         // protocol requests served
+  std::uint64_t store_cache_hits = 0;       // decoded-block cache hits
+  std::uint64_t store_cache_misses = 0;     // misses that became decodes
+  std::uint64_t store_cache_evictions = 0;  // evictions under the byte budget
+  std::uint64_t store_coalesced = 0;        // readers joining an in-flight decode
+  std::uint64_t store_write_batches = 0;    // group commits of admitted writes
+  std::uint64_t store_cache_bytes = 0;      // bytes resident in the cache
+  std::uint64_t store_cache_hiwater = 0;    // peak resident bytes
+  std::uint64_t store_active_clients = 0;   // currently connected clients
+  std::uint64_t store_clients_hiwater = 0;  // peak concurrent clients
   // tracing
   std::uint64_t trace_spans = 0;    // events recorded since arming
   std::uint64_t trace_dropped = 0;  // of those, lost to ring wrap

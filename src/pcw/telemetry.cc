@@ -35,6 +35,16 @@ Telemetry from_snapshot(const util::metrics::Snapshot& s) {
   t.series_steps = s.series_steps;
   t.chain_links_decoded = s.chain_links_decoded;
   t.degraded_reads = s.degraded_reads;
+  t.store_requests = s.store_requests;
+  t.store_cache_hits = s.store_cache_hits;
+  t.store_cache_misses = s.store_cache_misses;
+  t.store_cache_evictions = s.store_cache_evictions;
+  t.store_coalesced = s.store_coalesced;
+  t.store_write_batches = s.store_write_batches;
+  t.store_cache_bytes = s.store_cache_bytes;
+  t.store_cache_hiwater = s.store_cache_hiwater;
+  t.store_active_clients = s.store_active_clients;
+  t.store_clients_hiwater = s.store_clients_hiwater;
   t.trace_spans = s.trace_spans;
   t.trace_dropped = s.trace_dropped;
   return t;
@@ -73,6 +83,12 @@ Telemetry telemetry_since(const util::metrics::Snapshot& base) {
   t.series_steps -= base.series_steps;
   t.chain_links_decoded -= base.chain_links_decoded;
   t.degraded_reads -= base.degraded_reads;
+  t.store_requests -= base.store_requests;
+  t.store_cache_hits -= base.store_cache_hits;
+  t.store_cache_misses -= base.store_cache_misses;
+  t.store_cache_evictions -= base.store_cache_evictions;
+  t.store_coalesced -= base.store_coalesced;
+  t.store_write_batches -= base.store_write_batches;
   return t;
 }
 
@@ -110,6 +126,16 @@ std::vector<TelemetryItem> telemetry_items(const Telemetry& t) {
       {"series_steps", t.series_steps},
       {"chain_links_decoded", t.chain_links_decoded},
       {"degraded_reads", t.degraded_reads},
+      {"store_requests", t.store_requests},
+      {"store_cache_hits", t.store_cache_hits},
+      {"store_cache_misses", t.store_cache_misses},
+      {"store_cache_evictions", t.store_cache_evictions},
+      {"store_coalesced", t.store_coalesced},
+      {"store_write_batches", t.store_write_batches},
+      {"store_cache_bytes", t.store_cache_bytes},
+      {"store_cache_hiwater", t.store_cache_hiwater},
+      {"store_active_clients", t.store_active_clients},
+      {"store_clients_hiwater", t.store_clients_hiwater},
       {"trace_spans", t.trace_spans},
       {"trace_dropped", t.trace_dropped},
   };

@@ -34,6 +34,18 @@ Snapshot snapshot() {
   s.series_steps = r.series_steps.get();
   s.chain_links_decoded = r.chain_links_decoded.get();
   s.degraded_reads = r.degraded_reads.get();
+  s.store_requests = r.store_requests.get();
+  s.store_cache_hits = r.store_cache_hits.get();
+  s.store_cache_misses = r.store_cache_misses.get();
+  s.store_cache_evictions = r.store_cache_evictions.get();
+  s.store_coalesced = r.store_coalesced.get();
+  s.store_write_batches = r.store_write_batches.get();
+  const std::int64_t cache_bytes = r.store_cache_bytes.value();
+  s.store_cache_bytes = cache_bytes < 0 ? 0 : static_cast<std::uint64_t>(cache_bytes);
+  s.store_cache_hiwater = r.store_cache_bytes.hiwater();
+  const std::int64_t clients = r.store_active_clients.value();
+  s.store_active_clients = clients < 0 ? 0 : static_cast<std::uint64_t>(clients);
+  s.store_clients_hiwater = r.store_active_clients.hiwater();
   s.trace_spans = trace::recorded();
   s.trace_dropped = trace::dropped();
   return s;
@@ -65,6 +77,14 @@ void reset() {
   r.series_steps.reset();
   r.chain_links_decoded.reset();
   r.degraded_reads.reset();
+  r.store_requests.reset();
+  r.store_cache_hits.reset();
+  r.store_cache_misses.reset();
+  r.store_cache_evictions.reset();
+  r.store_coalesced.reset();
+  r.store_write_batches.reset();
+  r.store_cache_bytes.reset();
+  r.store_active_clients.reset();
 }
 
 }  // namespace pcw::util::metrics

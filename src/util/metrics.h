@@ -131,6 +131,15 @@ struct Registry {
   Counter series_steps;         // SeriesWriter steps
   Counter chain_links_decoded;  // restart-chain links decoded
   Counter degraded_reads;       // keyframe fallbacks taken
+  // store (the pcwd checkpoint-store service, src/store)
+  Counter store_requests;         // protocol requests served
+  Counter store_cache_hits;       // decoded-block cache hits
+  Counter store_cache_misses;     // cache misses that became decodes
+  Counter store_cache_evictions;  // entries evicted under the byte budget
+  Counter store_coalesced;        // readers that joined an in-flight decode
+  Counter store_write_batches;    // group commits admitting >=1 WRITE_STEP
+  Gauge store_cache_bytes;        // bytes resident in the cache (+ hiwater)
+  Gauge store_active_clients;     // connected clients (+ hiwater)
 
   static Registry& get() noexcept {
     static Registry r;
@@ -167,6 +176,16 @@ struct Snapshot {
   std::uint64_t series_steps = 0;
   std::uint64_t chain_links_decoded = 0;
   std::uint64_t degraded_reads = 0;
+  std::uint64_t store_requests = 0;
+  std::uint64_t store_cache_hits = 0;
+  std::uint64_t store_cache_misses = 0;
+  std::uint64_t store_cache_evictions = 0;
+  std::uint64_t store_coalesced = 0;
+  std::uint64_t store_write_batches = 0;
+  std::uint64_t store_cache_bytes = 0;
+  std::uint64_t store_cache_hiwater = 0;
+  std::uint64_t store_active_clients = 0;
+  std::uint64_t store_clients_hiwater = 0;
   std::uint64_t trace_spans = 0;
   std::uint64_t trace_dropped = 0;
 };

@@ -90,12 +90,61 @@ check "scrub missing file" 2 "error:" "${pcw5ls}" "${tmpdir}/nope.pcw5" --scrub
 head -c 256 /dev/urandom >"${tmpdir}/garbage.pcw5"
 check "scrub garbage file" 2 "error:" "${pcw5ls}" "${tmpdir}/garbage.pcw5" --scrub
 
+# pcwz read/restart/stats + --remote: the flag grammar is pinned even
+# without a running pcwd. --remote strips anywhere on the line, composes
+# with --stats, and misuse stays on the exit-2 contract; an unreachable
+# server is a runtime failure (1), never a crash.
+check "read missing args" 2 "usage:" "${pcwz}" read
+check "read unknown flag" 2 "usage:" \
+  "${pcwz}" read "${tmpdir}/nope.pcw5" rho "${tmpdir}/o.raw" --bogus
+check "read bad region" 2 "usage:" \
+  "${pcwz}" read "${tmpdir}/nope.pcw5" rho "${tmpdir}/o.raw" --region garbage
+check "restart missing args" 2 "usage:" "${pcwz}" restart
+check "remote without value" 2 "needs a value" \
+  "${pcwz}" read "${tmpdir}/nope.pcw5" rho "${tmpdir}/o.raw" --remote
+check "remote on compress" 2 "not supported" \
+  "${pcwz}" compress "${raw}" "${blob}" --dims 1,1,1024 --eb 1e-3 \
+  --remote unix:/tmp/x.sock
+check "remote on inspect" 2 "not supported" \
+  "${pcwz}" inspect "${blob}" --remote unix:/tmp/x.sock
+check "stats without remote" 2 "usage:" "${pcwz}" stats
+check "stats unreachable server" 1 "error:" \
+  "${pcwz}" stats --remote "unix:${tmpdir}/no-such-daemon.sock"
+check "read unreachable server" 1 "error:" \
+  "${pcwz}" read nope.pcw5 rho "${tmpdir}/o.raw" \
+  --remote "unix:${tmpdir}/no-such-daemon.sock"
+
+# pcw5ls --remote: same contract.
+check "pcw5ls remote without value" 2 "needs a value" "${pcw5ls}" --remote
+check "pcw5ls remote rejects flags" 2 "not supported with --remote" \
+  "${pcw5ls}" --remote unix:/tmp/x.sock nope.pcw5 --steps
+check "pcw5ls unreachable server" 1 "error:" \
+  "${pcw5ls}" --remote "unix:${tmpdir}/no-such-daemon.sock"
+
 # With a real checkpoint (written by the quickstart example): a clean file
 # scrubs to 0, a torn one (footer cut off) is unreadable -> 2.
 if [[ -n "${quickstart}" ]]; then
   ckpt="${tmpdir}/quickstart.pcw5"
   if "${quickstart}" "${ckpt}" >/dev/null 2>&1; then
     check "scrub clean checkpoint" 0 "scrub" "${pcw5ls}" "${ckpt}" --scrub
+    # Local read happy path: whole dataset and a sparse region, with the
+    # raw output sized accordingly.
+    check "read whole dataset" 0 "" \
+      "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/whole.raw"
+    check "read sparse region" 0 "" \
+      "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/part.raw" \
+      --region 0,0,0:2,4,8
+    part_size="$(wc -c <"${tmpdir}/part.raw")"
+    if [[ "${part_size}" -ne $((2 * 4 * 8 * 4)) ]]; then
+      echo "FAIL: sparse read wrote ${part_size} bytes, want 256"
+      fails=$((fails + 1))
+    else
+      echo "ok: sparse read byte count"
+    fi
+    check "read unknown dataset" 1 "error:" \
+      "${pcwz}" read "${ckpt}" no_such_dataset "${tmpdir}/o.raw"
+    check "read --stats" 0 "telemetry:" \
+      "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/whole.raw" --stats
     check "pcw5ls --stats" 0 "telemetry:" "${pcw5ls}" "${ckpt}" --stats
     check "pcw5ls --stats io counters" 0 "io_reads" "${pcw5ls}" "${ckpt}" --stats
     check "pcw5ls --stats unknown flag" 2 "usage:" \

@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the checkpoint-store service: launch a real
+# pcwd daemon on an ephemeral Unix socket, drive it with the stock CLI
+# clients (pcwz --remote, pcw5ls --remote), and require the remote reads
+# to be byte-identical to local decodes of the same checkpoint. Finishes
+# with a signal-driven shutdown that must be clean (rc 0, every file
+# committed and closed). Registered as a tier1 CTest; binaries are
+# passed in by CMake.
+set -u
+
+pcwd="$1"
+pcwz="$2"
+pcw5ls="$3"
+quickstart="$4"
+tmpdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  if [[ -n "${daemon_pid}" ]] && kill -0 "${daemon_pid}" 2>/dev/null; then
+    kill -KILL "${daemon_pid}" 2>/dev/null
+    wait "${daemon_pid}" 2>/dev/null
+  fi
+  rm -rf "${tmpdir}"
+}
+trap cleanup EXIT
+
+fails=0
+check() {
+  local desc="$1" want_rc="$2" want_msg="$3"
+  shift 3
+  local out rc
+  out="$("$@" 2>&1)"
+  rc=$?
+  if [[ ${rc} -ne ${want_rc} ]]; then
+    echo "FAIL: ${desc}: exit ${rc}, want ${want_rc}"
+    echo "${out}" | head -5
+    fails=$((fails + 1))
+  elif [[ -n "${want_msg}" ]] && ! grep -q "${want_msg}" <<<"${out}"; then
+    echo "FAIL: ${desc}: output lacks '${want_msg}'"
+    echo "${out}" | head -5
+    fails=$((fails + 1))
+  else
+    echo "ok: ${desc}"
+  fi
+}
+
+# Fixture: a real checkpoint written through the façade.
+ckpt="${tmpdir}/smoke.pcw5"
+if ! "${quickstart}" "${ckpt}" >/dev/null 2>&1; then
+  echo "FAIL: quickstart fixture did not produce a checkpoint"
+  exit 1
+fi
+
+# Launch the daemon and wait for its ready line (the socket is only
+# accepting once "pcwd: listening on" is printed and flushed).
+sock="unix:${tmpdir}/pcwd.sock"
+log="${tmpdir}/pcwd.log"
+"${pcwd}" --listen "${sock}" --cache-mb 64 >"${log}" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "pcwd: listening on" "${log}" 2>/dev/null && break
+  if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+    echo "FAIL: pcwd exited before becoming ready"
+    cat "${log}"
+    exit 1
+  fi
+  sleep 0.1
+done
+if ! grep -q "pcwd: listening on" "${log}"; then
+  echo "FAIL: pcwd never printed its ready line"
+  cat "${log}"
+  exit 1
+fi
+echo "ok: pcwd is listening"
+
+# Remote reads are byte-identical to local decodes: whole dataset and a
+# sparse interior region, through the daemon's decoded-block cache.
+check "local whole read" 0 "" \
+  "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/local.raw"
+check "remote whole read" 0 "" \
+  "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/remote.raw" --remote "${sock}"
+if cmp -s "${tmpdir}/local.raw" "${tmpdir}/remote.raw"; then
+  echo "ok: remote whole read is bit-exact"
+else
+  echo "FAIL: remote whole read differs from local decode"
+  fails=$((fails + 1))
+fi
+
+region="3,5,7:19,21,23"
+check "local region read" 0 "" \
+  "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/local_part.raw" \
+  --region "${region}"
+check "remote region read" 0 "" \
+  "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/remote_part.raw" \
+  --region "${region}" --remote "${sock}"
+if cmp -s "${tmpdir}/local_part.raw" "${tmpdir}/remote_part.raw"; then
+  echo "ok: remote region read is bit-exact"
+else
+  echo "FAIL: remote region read differs from local decode"
+  fails=$((fails + 1))
+fi
+# A second remote pass hits the now-warm cache and must stay identical.
+check "remote re-read (warm cache)" 0 "" \
+  "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/remote2.raw" --remote "${sock}"
+if cmp -s "${tmpdir}/remote.raw" "${tmpdir}/remote2.raw"; then
+  echo "ok: warm-cache re-read is bit-exact"
+else
+  echo "FAIL: warm-cache re-read differs"
+  fails=$((fails + 1))
+fi
+
+# pcw5ls --remote: dataset table for one file, then the whole catalog
+# (which now holds the file the reads opened).
+check "remote dataset listing" 0 "baryon_density" \
+  "${pcw5ls}" --remote "${sock}" "${ckpt}"
+check "remote catalog listing" 0 "smoke.pcw5" "${pcw5ls}" --remote "${sock}"
+
+# Server-side telemetry: the daemon has served requests and filled its
+# cache, and --stats composes with --remote on the client.
+check "server stats" 0 "store_requests" "${pcwz}" stats --remote "${sock}"
+check "server cache counters" 0 "store_cache_hits" "${pcwz}" stats --remote "${sock}"
+check "remote read --stats" 0 "telemetry:" \
+  "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/remote3.raw" \
+  --remote "${sock}" --stats
+
+# Error contract through a live daemon: unknown dataset is a clean
+# runtime failure (rc 1), not a wedged connection — and the daemon keeps
+# serving afterwards.
+check "remote unknown dataset" 1 "error:" \
+  "${pcwz}" read "${ckpt}" no_such_dataset "${tmpdir}/o.raw" --remote "${sock}"
+check "daemon still serving" 0 "" \
+  "${pcwz}" read "${ckpt}" baryon_density "${tmpdir}/remote4.raw" --remote "${sock}"
+
+# Clean shutdown: SIGTERM, daemon exits 0 with its shutdown line, and
+# the socket is gone.
+kill -TERM "${daemon_pid}"
+daemon_rc=0
+wait "${daemon_pid}" || daemon_rc=$?
+daemon_pid=""
+if [[ ${daemon_rc} -ne 0 ]]; then
+  echo "FAIL: pcwd exited ${daemon_rc} on SIGTERM"
+  cat "${log}"
+  fails=$((fails + 1))
+elif ! grep -q "pcwd: shut down cleanly" "${log}"; then
+  echo "FAIL: pcwd did not report a clean shutdown"
+  cat "${log}"
+  fails=$((fails + 1))
+else
+  echo "ok: pcwd shut down cleanly on SIGTERM"
+fi
+
+if [[ ${fails} -ne 0 ]]; then
+  echo "${fails} store smoke check(s) failed"
+  exit 1
+fi
+echo "all store smoke checks passed"

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,29 @@ inline bool strip_stats_flag(int& argc, char** argv) {
     }
   }
   return found;
+}
+
+/// Strips one "<flag> <value>" pair from argv wherever it appears — the
+/// same pre-pass style as strip_stats_flag, so global flags like
+/// "--remote <addr>" compose with --stats and with every per-command
+/// grammar (which never sees the flag) while keeping the exit-2
+/// contract: the flag without its value is misuse. Returns the value,
+/// or nullopt when the flag was absent.
+inline std::optional<std::string> strip_value_flag(int& argc, char** argv,
+                                                   const char* flag,
+                                                   const char* usage_text) {
+  std::optional<std::string> value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) {
+      if (i + 1 >= argc) usage_exit(usage_text, std::string(flag) + " needs a value");
+      value = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return value;
 }
 
 inline void print_stats() {

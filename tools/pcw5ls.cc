@@ -4,12 +4,19 @@
 // (Reader + the blob-level codec surface).
 //
 //   pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify] [--scrub]
+//   pcw5ls --remote <addr> [<file.pcw5>]
 //
 // --scrub audits the file for damage (checksums, extents, restart
 // chains) without decoding payloads, prints a per-dataset damage table,
 // and exits 0 (clean), 1 (damage, but every damaged dataset is
 // salvageable via a degraded read), or 2 (unreadable data, or the file
 // itself would not open).
+//
+// --remote lists through a running pcwd server instead of opening
+// locally: with a file argument, the server opens it and returns its
+// dataset table; without one, the server's whole catalog is listed. The
+// local deep-inspection flags need the file and do not compose with
+// --remote.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +27,7 @@
 
 #include "cli_common.h"
 #include "pcw/pcw.h"
+#include "pcw/store.h"
 #include "pcw/text.h"
 
 namespace {
@@ -28,7 +36,8 @@ using namespace pcw;
 
 constexpr const char* kUsage =
     "usage: pcw5ls <file.pcw5> [--partitions] [--blocks] [--steps] [--verify] "
-    "[--scrub] [--stats]\n";
+    "[--scrub] [--stats]\n"
+    "       pcw5ls --remote unix:<path>|tcp:<host>:<port> [<file.pcw5>] [--stats]\n";
 
 std::string filter_name(std::uint32_t filter_id) {
   const Result<CodecInfo> info = find_codec(filter_id);
@@ -345,10 +354,79 @@ int run(const std::string& path, bool show_partitions, bool show_blocks,
   return 0;
 }
 
+/// --remote catalog / dataset listing through a pcwd server.
+int run_remote(const std::string& address, const std::optional<std::string>& path) {
+  Result<store::Client> connected = store::Client::connect(address);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.status().message().c_str());
+    return 1;
+  }
+  store::Client client = std::move(connected).value();
+  if (!path) {
+    const Result<std::vector<store::RemoteFile>> files = client.catalog();
+    if (!files.ok()) {
+      std::fprintf(stderr, "error: %s\n", files.status().message().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu open file(s)\n\n", address.c_str(), files->size());
+    util::Table table({"id", "path", "mode", "generation", "datasets"});
+    for (const store::RemoteFile& f : *files) {
+      table.add_row({std::to_string(f.id), f.path, f.writable ? "rw" : "ro",
+                     std::to_string(f.generation), std::to_string(f.datasets)});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+  const Result<store::RemoteFile> file = client.open(*path);
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().message().c_str());
+    return 1;
+  }
+  const Result<std::vector<store::RemoteDataset>> listed = client.list(file->id);
+  if (!listed.ok()) {
+    std::fprintf(stderr, "error: %s\n", listed.status().message().c_str());
+    return 1;
+  }
+  std::printf("%s via %s: %zu dataset(s), generation %llu\n\n", path->c_str(),
+              address.c_str(), listed->size(),
+              static_cast<unsigned long long>(file->generation));
+  util::Table table({"dataset", "dtype", "dims", "filter", "parts", "stored", "series"});
+  for (const store::RemoteDataset& d : *listed) {
+    char dims_str[64];
+    std::snprintf(dims_str, sizeof(dims_str), "%zux%zux%zu", d.dims.d0, d.dims.d1,
+                  d.dims.d2);
+    table.add_row({d.name, to_string(d.dtype), dims_str, filter_name(d.filter_id),
+                   std::to_string(d.partitions),
+                   util::Table::fmt_bytes(static_cast<double>(d.stored_bytes)),
+                   d.series_member
+                       ? d.series_base + "@" + std::to_string(d.series_step)
+                       : "-"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool stats = cli::strip_stats_flag(argc, argv);
+  const std::optional<std::string> remote =
+      cli::strip_value_flag(argc, argv, "--remote", kUsage);
+  if (remote) {
+    std::optional<std::string> path;
+    cli::ArgCursor args(argc, argv, 1, kUsage);
+    while (args.next()) {
+      const std::string arg = args.arg();
+      if (!arg.empty() && arg[0] == '-') {
+        cli::usage_exit(kUsage, arg + " is not supported with --remote");
+      }
+      if (path) cli::usage_exit(kUsage, "more than one file with --remote");
+      path = arg;
+    }
+    const int rc = run_remote(*remote, path);
+    if (stats) cli::print_stats();
+    return rc;
+  }
   if (argc < 2) cli::usage_exit(kUsage);
   bool show_partitions = false, show_blocks = false, show_steps = false, verify = false;
   bool scrub = false;

@@ -1,0 +1,73 @@
+// pcwd — the checkpoint-store daemon: serves a catalog of .pcw5 files to
+// concurrent pcwz/pcw5ls clients (and anything else speaking the
+// protocol in docs/store.md) over a Unix or TCP socket.
+//
+//   pcwd --listen unix:<path>|tcp:<host>:<port> [--cache-mb N] [--stats]
+//
+// Reads go through the server's decoded-block cache; concurrent
+// WRITE_STEPs are group-committed. The daemon exits 0 on SIGINT/SIGTERM
+// or a client's SHUTDOWN request, after committing and closing every
+// writable file. --cache-mb sizes the decoded-block cache (default 256).
+#include <csignal>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "cli_common.h"
+#include "pcw/store.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pcwd --listen unix:<path>|tcp:<host>:<port> [--cache-mb N] [--stats]\n";
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool stats = pcw::cli::strip_stats_flag(argc, argv);
+  std::optional<std::string> listen;
+  pcw::store::StoreOptions options;
+  pcw::cli::ArgCursor args(argc, argv, 1, kUsage);
+  while (args.next()) {
+    const std::string arg = args.arg();
+    if (arg == "--listen") {
+      listen = args.value("--listen");
+    } else if (arg == "--cache-mb") {
+      options.with_cache_bytes(std::stoull(args.value("--cache-mb")) << 20);
+    } else {
+      args.unknown();
+    }
+  }
+  if (!listen) pcw::cli::usage_exit(kUsage, "--listen is required");
+
+  pcw::Result<pcw::store::Server> started = pcw::store::Server::start(*listen, options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.status().message().c_str());
+    return 1;
+  }
+  pcw::store::Server server = std::move(started).value();
+  std::printf("pcwd: listening on %s\n", server.address().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // Poll-wait so a signal (which cannot touch condition variables) still
+  // gets a prompt, clean shutdown.
+  while (g_signalled == 0) {
+    if (server.wait_for_ms(200)) break;
+  }
+
+  const pcw::Status stopped = server.stop();
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "error: shutdown: %s\n", stopped.message().c_str());
+    if (stats) pcw::cli::print_stats();
+    return 1;
+  }
+  std::printf("pcwd: shut down cleanly\n");
+  if (stats) pcw::cli::print_stats();
+  return 0;
+}

@@ -7,11 +7,19 @@
 //   pcwz decompress <in.pcwz|in.pzfp> <out.f32>
 //   pcwz inspect    <in.pcwz|in.pzfp>
 //   pcwz verify     <in.pcwz|in.pzfp> [--shallow]
+//   pcwz read       <file.pcw5> <dataset> <out.raw> [--region L0,L1,L2:H0,H1,H2]
+//   pcwz restart    <file.pcw5> <field> <step> <out.raw> [--region ...]
+//   pcwz stats      --remote <addr>
 //
 // `verify` checks a blob's structure and (checksummed containers) its
 // CRCs without writing anything, localizing damage to block indices;
 // exit 0 = intact, 1 = damaged, 2 = unparseable. Raw files are
 // little-endian float32 arrays (numpy `.tofile` format).
+//
+// `read` and `restart` accept --remote unix:<path>|tcp:<host>:<port> to
+// serve the request through a running pcwd instead of opening the file
+// locally (the <file> argument then names the path server-side);
+// `stats` prints a pcwd server's telemetry rows and is remote-only.
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -20,6 +28,9 @@
 
 #include "cli_common.h"
 #include "pcw/codec.h"
+#include "pcw/reader.h"
+#include "pcw/series.h"
+#include "pcw/store.h"
 #include "pcw/text.h"
 
 namespace {
@@ -34,8 +45,12 @@ constexpr const char* kUsage =
     "  pcwz decompress <in> <out.f32>\n"
     "  pcwz inspect    <in>\n"
     "  pcwz verify     <in> [--shallow]\n"
+    "  pcwz read       <file.pcw5> <dataset> <out.raw> [--region L0,L1,L2:H0,H1,H2]\n"
+    "  pcwz restart    <file.pcw5> <field> <step> <out.raw> [--region ...]\n"
+    "  pcwz stats      --remote <addr>\n"
     "every command accepts --stats (print the telemetry counters and\n"
-    "span totals the run accumulated)\n";
+    "span totals the run accumulated); read/restart/stats accept\n"
+    "--remote unix:<path>|tcp:<host>:<port> to go through a pcwd server\n";
 
 [[noreturn]] int fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.message().c_str());
@@ -187,12 +202,133 @@ int cmd_verify(int argc, char** argv) {
   return 1;
 }
 
+Region parse_region(const std::string& spec) {
+  Region r;
+  if (std::sscanf(spec.c_str(), "%zu,%zu,%zu:%zu,%zu,%zu", &r.lo[0], &r.lo[1],
+                  &r.lo[2], &r.hi[0], &r.hi[1], &r.hi[2]) != 6) {
+    cli::usage_exit(kUsage, "--region expects L0,L1,L2:H0,H1,H2 (half-open)");
+  }
+  return r;
+}
+
+void write_remote_read(const store::RemoteRead& read, const std::string& out_path,
+                       const std::string& what) {
+  cli::write_file_or_exit(out_path, read.bytes.data(), read.bytes.size());
+  std::printf("%s: %zu values (%s, %zux%zux%zu) from %s\n", out_path.c_str(),
+              read.bytes.size() / element_size(read.dtype), to_string(read.dtype),
+              read.extents.d0, read.extents.d1, read.extents.d2, what.c_str());
+}
+
+store::Client connect_or_fail(const std::string& address) {
+  Result<store::Client> client = store::Client::connect(address);
+  if (!client.ok()) fail(client.status());
+  return std::move(client).value();
+}
+
+/// `pcwz read <file.pcw5> <dataset> <out.raw>`: one dataset (whole, or a
+/// --region hyperslab), decoded locally or by a pcwd server.
+int cmd_read(int argc, char** argv, const std::optional<std::string>& remote) {
+  if (argc < 5) cli::usage_exit(kUsage, "read needs <file> <dataset> <out>");
+  const std::string path = argv[2], dataset = argv[3], out_path = argv[4];
+  std::optional<Region> region;
+  cli::ArgCursor args(argc, argv, 5, kUsage);
+  while (args.next()) {
+    if (args.arg() == "--region") {
+      region = parse_region(args.value("--region"));
+    } else {
+      args.unknown();
+    }
+  }
+  if (remote) {
+    store::Client client = connect_or_fail(*remote);
+    const Result<store::RemoteFile> file = client.open(path);
+    if (!file.ok()) fail(file.status());
+    const Result<store::RemoteRead> read = client.read_region(file->id, dataset, region);
+    if (!read.ok()) fail(read.status());
+    write_remote_read(*read, out_path, *remote);
+    return 0;
+  }
+  const Result<Reader> reader = Reader::open(path);
+  if (!reader.ok()) fail(reader.status());
+  const Result<DatasetInfo> info = reader->dataset(dataset);
+  if (!info.ok()) fail(info.status());
+  const Result<std::vector<std::uint8_t>> bytes =
+      region ? reader->read_region_bytes(dataset, *region, info->dtype)
+             : reader->read_bytes(dataset, info->dtype);
+  if (!bytes.ok()) fail(bytes.status());
+  cli::write_file_or_exit(out_path, bytes->data(), bytes->size());
+  std::printf("%s: %zu values (%s) from %s\n", out_path.c_str(),
+              bytes->size() / element_size(info->dtype), to_string(info->dtype),
+              path.c_str());
+  return 0;
+}
+
+/// `pcwz restart <file.pcw5> <field> <step> <out.raw>`: one series step
+/// reconstructed through its restart chain, locally or server-side.
+int cmd_restart(int argc, char** argv, const std::optional<std::string>& remote) {
+  if (argc < 6) cli::usage_exit(kUsage, "restart needs <file> <field> <step> <out>");
+  const std::string path = argv[2], field = argv[3], out_path = argv[5];
+  const auto step = static_cast<std::uint32_t>(std::stoul(argv[4]));
+  std::optional<Region> region;
+  cli::ArgCursor args(argc, argv, 6, kUsage);
+  while (args.next()) {
+    if (args.arg() == "--region") {
+      region = parse_region(args.value("--region"));
+    } else {
+      args.unknown();
+    }
+  }
+  if (remote) {
+    store::Client client = connect_or_fail(*remote);
+    const Result<store::RemoteFile> file = client.open(path);
+    if (!file.ok()) fail(file.status());
+    const Result<store::RemoteRead> read =
+        client.read_step(file->id, field, step, region);
+    if (!read.ok()) fail(read.status());
+    write_remote_read(*read, out_path, *remote);
+    return 0;
+  }
+  const Result<Reader> reader = Reader::open(path);
+  if (!reader.ok()) fail(reader.status());
+  const Result<DatasetInfo> info = reader->series_step(field, step);
+  if (!info.ok()) fail(info.status());
+  const Result<std::vector<std::uint8_t>> bytes =
+      restart_bytes(*reader, field, step, info->dtype, region);
+  if (!bytes.ok()) fail(bytes.status());
+  cli::write_file_or_exit(out_path, bytes->data(), bytes->size());
+  std::printf("%s: %zu values (%s) from %s step %u\n", out_path.c_str(),
+              bytes->size() / element_size(info->dtype), to_string(info->dtype),
+              path.c_str(), step);
+  return 0;
+}
+
+/// `pcwz stats --remote <addr>`: a pcwd server's telemetry counters.
+int cmd_stats(int argc, char** argv, const std::optional<std::string>& remote) {
+  if (argc > 2) cli::usage_exit(kUsage, "unknown flag " + std::string(argv[2]));
+  if (!remote) cli::usage_exit(kUsage, "stats needs --remote <addr>");
+  store::Client client = connect_or_fail(*remote);
+  const Result<std::vector<store::RemoteStat>> stats = client.stats();
+  if (!stats.ok()) fail(stats.status());
+  std::printf("server telemetry (%s):\n", remote->c_str());
+  for (const store::RemoteStat& s : *stats) {
+    std::printf("  %-22s %llu\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.value));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool stats = cli::strip_stats_flag(argc, argv);
+  const std::optional<std::string> remote =
+      cli::strip_value_flag(argc, argv, "--remote", kUsage);
   if (argc < 2) cli::usage_exit(kUsage);
   const std::string cmd = argv[1];
+  const bool takes_remote = cmd == "read" || cmd == "restart" || cmd == "stats";
+  if (remote && !takes_remote) {
+    cli::usage_exit(kUsage, "--remote is not supported by " + cmd);
+  }
   // The façade returns Status instead of throwing, but flag parsing
   // (std::stod/std::stoul) can still throw on malformed numbers.
   try {
@@ -201,6 +337,9 @@ int main(int argc, char** argv) {
     else if (cmd == "decompress") rc = cmd_decompress(argc, argv);
     else if (cmd == "inspect") rc = cmd_inspect(argc, argv);
     else if (cmd == "verify") rc = cmd_verify(argc, argv);
+    else if (cmd == "read") rc = cmd_read(argc, argv, remote);
+    else if (cmd == "restart") rc = cmd_restart(argc, argv, remote);
+    else if (cmd == "stats") rc = cmd_stats(argc, argv, remote);
     if (rc >= 0) {
       if (stats) cli::print_stats();
       return rc;

@@ -7,6 +7,7 @@
 #   tools/run_tier1.sh                 # RelWithDebInfo into build/
 #   tools/run_tier1.sh --asan          # ASan+UBSan config into build-asan/
 #   tools/run_tier1.sh --tsan          # ThreadSanitizer config into build-tsan/
+#   tools/run_tier1.sh --filter REGEX  # only tests matching REGEX (ctest -R)
 #   tools/run_tier1.sh --build-dir DIR [extra cmake args...]
 set -euo pipefail
 
@@ -15,6 +16,7 @@ build_dir=""
 default_build_dir="${repo_root}/build"
 build_type=RelWithDebInfo
 cmake_args=()
+ctest_args=()
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -36,6 +38,14 @@ while [[ $# -gt 0 ]]; do
       build_dir="$2"
       shift 2
       ;;
+    --filter)
+      if [[ $# -lt 2 ]]; then
+        echo "error: --filter requires a regex argument" >&2
+        exit 2
+      fi
+      ctest_args+=(-R "$2")
+      shift 2
+      ;;
     *)
       cmake_args+=("$1")
       shift
@@ -49,4 +59,5 @@ build_dir="${build_dir:-${default_build_dir}}"
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE="${build_type}" "${cmake_args[@]+"${cmake_args[@]}"}"
 cmake --build "${build_dir}" -j
-ctest --test-dir "${build_dir}" -L tier1 --output-on-failure -j "$(nproc)"
+ctest --test-dir "${build_dir}" -L tier1 --output-on-failure -j "$(nproc)" \
+  "${ctest_args[@]+"${ctest_args[@]}"}"
